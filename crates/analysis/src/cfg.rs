@@ -1,0 +1,109 @@
+//! Control-flow graph utilities.
+
+use tfm_ir::{Block, Function};
+
+/// Blocks in reverse postorder starting at the entry (unreachable blocks are
+/// omitted).
+pub fn reverse_postorder(f: &Function) -> Vec<Block> {
+    let mut order = Vec::new();
+    let mut state: Vec<u8> = vec![0; f.num_blocks()];
+    let mut stack = vec![(f.entry_block(), 0usize)];
+    state[f.entry_block().index()] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.succs(b);
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Predecessor lists for every block, computed in one pass (unlike
+/// [`Function::preds`], which is O(blocks) per query).
+pub fn predecessors(f: &Function) -> Vec<Vec<Block>> {
+    let mut preds = vec![Vec::new(); f.num_blocks()];
+    for b in f.blocks() {
+        for s in f.succs(b) {
+            preds[s.index()].push(b);
+        }
+    }
+    preds
+}
+
+/// True if `b` is reachable from the entry block.
+pub fn is_reachable(f: &Function, b: Block) -> bool {
+    reverse_postorder(f).contains(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{CmpOp, FunctionBuilder, Module, Signature, Type};
+
+    fn diamond() -> (Module, tfm_ir::FuncId) {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let t = b.create_block();
+            let e = b.create_block();
+            let j = b.create_block();
+            let x = b.param(0);
+            let z = b.iconst(Type::I64, 0);
+            let c = b.icmp(CmpOp::Sgt, x, z);
+            b.cond_br(c, t, e);
+            b.switch_to_block(t);
+            b.br(j);
+            b.switch_to_block(e);
+            b.br(j);
+            b.switch_to_block(j);
+            b.ret(Some(x));
+        }
+        (m, id)
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (m, id) = diamond();
+        let f = m.function(id);
+        let rpo = reverse_postorder(f);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry_block());
+        // Join must come after both arms.
+        let join = rpo.last().unwrap();
+        assert_eq!(join.index(), 3);
+    }
+
+    #[test]
+    fn unreachable_blocks_omitted() {
+        let (mut m, id) = diamond();
+        let f = m.function_mut(id);
+        let dead = f.create_block();
+        let rpo = reverse_postorder(f);
+        assert!(!rpo.contains(&dead));
+        assert!(!is_reachable(f, dead));
+    }
+
+    #[test]
+    fn predecessors_match_function_preds() {
+        let (m, id) = diamond();
+        let f = m.function(id);
+        let preds = predecessors(f);
+        for b in f.blocks() {
+            let mut a = preds[b.index()].clone();
+            let mut e = f.preds(b);
+            a.sort();
+            e.sort();
+            assert_eq!(a, e);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Def-use chains.
+
+use tfm_ir::{Function, Value};
+
+/// Users of every value in a function.
+#[derive(Clone, Debug)]
+pub struct Uses {
+    users: Vec<Vec<Value>>,
+}
+
+impl Uses {
+    /// Computes def-use chains for the live instructions of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let mut users = vec![Vec::new(); f.num_insts()];
+        for v in f.live_insts() {
+            f.kind(v).for_each_operand(|op| {
+                users[op.index()].push(v);
+            });
+        }
+        Uses { users }
+    }
+
+    /// The instructions using `v` (with multiplicity, in block order).
+    pub fn users(&self, v: Value) -> &[Value] {
+        &self.users[v.index()]
+    }
+
+    /// True if `v` has no users.
+    pub fn is_unused(&self, v: Value) -> bool {
+        self.users[v.index()].is_empty()
+    }
+
+    /// Number of uses of `v`.
+    pub fn num_uses(&self, v: Value) -> usize {
+        self.users[v.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{BinOp, FunctionBuilder, Module, Signature, Type};
+
+    #[test]
+    fn tracks_users_with_multiplicity() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let (x, dbl, unused, ret_v);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            x = b.param(0);
+            dbl = b.binop(BinOp::Add, x, x);
+            unused = b.iconst(Type::I64, 9);
+            ret_v = dbl;
+            b.ret(Some(ret_v));
+        }
+        let uses = Uses::compute(m.function(id));
+        assert_eq!(uses.num_uses(x), 2); // both operands of dbl
+        assert_eq!(uses.users(x), &[dbl, dbl]);
+        assert_eq!(uses.num_uses(dbl), 1);
+        assert!(uses.is_unused(unused));
+    }
+}

@@ -1,0 +1,272 @@
+//! Dominator tree (Cooper–Harvey–Kennedy "a simple, fast dominance
+//! algorithm").
+
+use crate::cfg;
+use tfm_ir::{Block, Function};
+
+/// The dominator tree of a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<Block>>,
+    rpo_num: Vec<usize>,
+    rpo: Vec<Block>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree.
+    pub fn compute(f: &Function) -> Self {
+        let rpo = cfg::reverse_postorder(f);
+        let mut rpo_num = vec![usize::MAX; f.num_blocks()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+        let preds = cfg::predecessors(f);
+        let mut idom: Vec<Option<Block>> = vec![None; f.num_blocks()];
+        idom[f.entry_block().index()] = Some(f.entry_block());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let processed: Vec<Block> = preds[b.index()]
+                    .iter()
+                    .copied()
+                    .filter(|p| idom[p.index()].is_some())
+                    .collect();
+                let Some(&first) = processed.first() else {
+                    continue;
+                };
+                let mut new = first;
+                for &p in &processed[1..] {
+                    new = Self::intersect(&idom, &rpo_num, p, new);
+                }
+                if idom[b.index()] != Some(new) {
+                    idom[b.index()] = Some(new);
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, rpo_num, rpo }
+    }
+
+    fn intersect(idom: &[Option<Block>], rpo: &[usize], mut a: Block, mut b: Block) -> Block {
+        while a != b {
+            while rpo[a.index()] > rpo[b.index()] {
+                a = idom[a.index()].expect("processed predecessor");
+            }
+            while rpo[b.index()] > rpo[a.index()] {
+                b = idom[b.index()].expect("processed predecessor");
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: Block) -> Option<Block> {
+        let d = self.idom[b.index()]?;
+        if d == b {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// True iff `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom[cur.index()] {
+                Some(n) => n,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: Block) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// The blocks in reverse postorder.
+    pub fn rpo(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// Reverse-postorder number of a block (`usize::MAX` if unreachable).
+    pub fn rpo_number(&self, b: Block) -> usize {
+        self.rpo_num[b.index()]
+    }
+
+    /// Children lists of the dominator tree (indexed by block).
+    pub fn children(&self) -> Vec<Vec<Block>> {
+        let mut out = vec![Vec::new(); self.idom.len()];
+        for i in 0..self.idom.len() {
+            let b = Block::from_index(i);
+            if let Some(p) = self.idom(b) {
+                out[p.index()].push(b);
+            }
+        }
+        out
+    }
+}
+
+/// Dominance frontiers (Cytron et al.): `DF(b)` = blocks where `b`'s
+/// dominance ends — exactly where SSA construction places phis.
+pub fn dominance_frontier(f: &Function, dt: &DomTree) -> Vec<Vec<Block>> {
+    let mut df = vec![Vec::new(); f.num_blocks()];
+    for b in f.blocks() {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        let preds: Vec<Block> = cfg::predecessors(f)[b.index()]
+            .iter()
+            .copied()
+            .filter(|p| dt.is_reachable(*p))
+            .collect();
+        if preds.len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = dt.idom(b) else { continue };
+        for p in preds {
+            let mut runner = p;
+            while runner != idom_b {
+                if !df[runner.index()].contains(&b) {
+                    df[runner.index()].push(b);
+                }
+                match dt.idom(runner) {
+                    Some(next) => runner = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{CmpOp, FunctionBuilder, Module, Signature, Type};
+
+    /// entry -> (A | B) -> join -> loop{hdr -> body -> hdr} -> exit
+    fn build() -> (Module, tfm_ir::FuncId, Vec<Block>) {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let blocks;
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let a = b.create_block();
+            let bb = b.create_block();
+            let join = b.create_block();
+            let hdr = b.create_block();
+            let body = b.create_block();
+            let exit = b.create_block();
+            blocks = vec![b.entry_block(), a, bb, join, hdr, body, exit];
+            let x = b.param(0);
+            let z = b.iconst(Type::I64, 0);
+            let c = b.icmp(CmpOp::Sgt, x, z);
+            b.cond_br(c, a, bb);
+            b.switch_to_block(a);
+            b.br(join);
+            b.switch_to_block(bb);
+            b.br(join);
+            b.switch_to_block(join);
+            b.br(hdr);
+            b.switch_to_block(hdr);
+            let i = b.phi(Type::I64, &[(join, z)]);
+            let c2 = b.icmp(CmpOp::Slt, i, x);
+            b.cond_br(c2, body, exit);
+            b.switch_to_block(body);
+            let one = b.iconst(Type::I64, 1);
+            let i2 = b.binop(tfm_ir::BinOp::Add, i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.br(hdr);
+            b.switch_to_block(exit);
+            b.ret(Some(i));
+        }
+        m.verify().unwrap();
+        (m, id, blocks)
+    }
+
+    #[test]
+    fn idoms_are_correct() {
+        let (m, id, bl) = build();
+        let dt = DomTree::compute(m.function(id));
+        let (entry, a, bb, join, hdr, body, exit) =
+            (bl[0], bl[1], bl[2], bl[3], bl[4], bl[5], bl[6]);
+        assert_eq!(dt.idom(entry), None);
+        assert_eq!(dt.idom(a), Some(entry));
+        assert_eq!(dt.idom(bb), Some(entry));
+        assert_eq!(dt.idom(join), Some(entry));
+        assert_eq!(dt.idom(hdr), Some(join));
+        assert_eq!(dt.idom(body), Some(hdr));
+        assert_eq!(dt.idom(exit), Some(hdr));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (m, id, bl) = build();
+        let dt = DomTree::compute(m.function(id));
+        let (entry, a, _bb, join, hdr, body, exit) =
+            (bl[0], bl[1], bl[2], bl[3], bl[4], bl[5], bl[6]);
+        for &b in &bl {
+            assert!(dt.dominates(b, b));
+            assert!(dt.dominates(entry, b));
+        }
+        assert!(dt.dominates(join, exit));
+        assert!(dt.dominates(hdr, body));
+        assert!(!dt.dominates(a, join));
+        assert!(!dt.dominates(body, exit));
+    }
+
+    #[test]
+    fn dominance_frontier_of_diamond() {
+        let (m, id, bl) = build();
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let df = dominance_frontier(f, &dt);
+        let (_entry, a, bb, join, hdr, body, _exit) =
+            (bl[0], bl[1], bl[2], bl[3], bl[4], bl[5], bl[6]);
+        // The diamond arms' frontier is the join block.
+        assert_eq!(df[a.index()], vec![join]);
+        assert_eq!(df[bb.index()], vec![join]);
+        // The loop body's frontier is the header; the header is in its own
+        // frontier (back edge).
+        assert_eq!(df[body.index()], vec![hdr]);
+        assert!(df[hdr.index()].contains(&hdr));
+        // The join dominates everything after it: empty frontier.
+        assert!(df[join.index()].is_empty());
+    }
+
+    #[test]
+    fn children_reconstruct_idoms() {
+        let (m, id, _) = build();
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let children = dt.children();
+        for b in f.blocks() {
+            for &c in &children[b.index()] {
+                assert_eq!(dt.idom(c), Some(b));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_not_dominated() {
+        let (mut m, id, _) = build();
+        let dead = m.function_mut(id).create_block();
+        let dt = DomTree::compute(m.function(id));
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(m.function(id).entry_block(), dead));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tfm-analysis — program analyses for the TrackFM compiler
+//!
+//! The TrackFM paper builds its passes on NOELLE's program-wide abstractions:
+//! a program dependence graph backed by "several high-accuracy memory alias
+//! analyses" (used by the guard-check analysis to skip stack/global
+//! accesses), a dependence-pattern induction-variable analysis (used by loop
+//! chunking), and a profiling engine (used to filter low-density loops).
+//!
+//! This crate provides the equivalents over [`tfm_ir`]:
+//!
+//! * [`mod@cfg`] — reverse postorder and friends;
+//! * [`dom`] — a Cooper–Harvey–Kennedy dominator tree;
+//! * [`loops`] — natural-loop forest, preheader creation, exit edges;
+//! * [`defuse`] — def-use chains;
+//! * [`points_to`] — allocation-site memory classification (heap / stack /
+//!   global / localized / unknown), the alias backbone of the guard-check
+//!   analysis;
+//! * [`induction`] — basic and derived induction variables plus strided
+//!   loop accesses, the backbone of loop chunking and prefetch planning;
+//! * [`profile`] — edge/block execution profiles gathered by the simulator
+//!   and consumed by the chunking cost model.
+
+pub mod cfg;
+pub mod defuse;
+pub mod dom;
+pub mod induction;
+pub mod loops;
+pub mod points_to;
+pub mod profile;
+
+pub use dom::DomTree;
+pub use induction::{BasicIv, LoopAccess};
+pub use loops::{LoopForest, NaturalLoop};
+pub use points_to::{MemClass, PointsTo};
+pub use profile::Profile;

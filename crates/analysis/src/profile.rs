@@ -1,0 +1,166 @@
+//! Execution profiles.
+//!
+//! The paper couples its chunking cost model with NOELLE's profiling engine
+//! (§3.4: "we leverage NOELLE's profiling engine to collect loop code
+//! coverage statistics", used in Fig. 8/15 to filter loops where chunking
+//! would hurt). The simulator's profiling mode produces this structure; the
+//! `trackfm` chunking analysis consumes it.
+
+use crate::loops::NaturalLoop;
+use std::collections::HashMap;
+use tfm_ir::{Block, Function};
+
+/// Per-function block and edge execution counts.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// `(function name, block) → executions`.
+    pub block_counts: HashMap<(String, Block), u64>,
+    /// `(function name, from, to) → edge traversals`.
+    pub edge_counts: HashMap<(String, Block, Block), u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a block execution.
+    pub fn count_block(&mut self, func: &str, b: Block) {
+        *self
+            .block_counts
+            .entry((func.to_string(), b))
+            .or_insert(0) += 1;
+    }
+
+    /// Records an edge traversal.
+    pub fn count_edge(&mut self, func: &str, from: Block, to: Block) {
+        *self
+            .edge_counts
+            .entry((func.to_string(), from, to))
+            .or_insert(0) += 1;
+    }
+
+    /// Executions of `b` in `func`.
+    pub fn block_count(&self, func: &str, b: Block) -> u64 {
+        self.block_counts
+            .get(&(func.to_string(), b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total times the loop was entered (edges into the header from outside
+    /// the loop).
+    pub fn loop_entries(&self, f: &Function, lp: &NaturalLoop) -> u64 {
+        f.preds(lp.header)
+            .into_iter()
+            .filter(|p| !lp.contains(*p))
+            .map(|p| {
+                self.edge_counts
+                    .get(&(f.name.clone(), p, lp.header))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Total loop iterations (header executions).
+    pub fn loop_iterations(&self, f: &Function, lp: &NaturalLoop) -> u64 {
+        self.block_count(&f.name, lp.header)
+    }
+
+    /// Average iterations per entry, or `None` if the loop never ran.
+    ///
+    /// This is the quantity the profile-guided chunking filter needs: a loop
+    /// that averages only a handful of iterations cannot amortize a
+    /// locality-invariant guard, regardless of static object density.
+    pub fn avg_trip_count(&self, f: &Function, lp: &NaturalLoop) -> Option<f64> {
+        let entries = self.loop_entries(f, lp);
+        if entries == 0 {
+            return None;
+        }
+        // Header executes (iterations + 1) times per entry for rotated-exit
+        // loops; we report raw iterations-per-entry which is what the cost
+        // model integrates over.
+        Some(self.loop_iterations(f, lp) as f64 / entries as f64)
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for (k, v) in &other.block_counts {
+            *self.block_counts.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.edge_counts {
+            *self.edge_counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomTree;
+    use crate::loops::LoopForest;
+    use tfm_ir::{FunctionBuilder, Module, Signature, Type};
+
+    fn looped_module() -> (Module, tfm_ir::FuncId) {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let n = b.param(0);
+            let zero = b.iconst(Type::I64, 0);
+            b.counted_loop(zero, n, 1, |_b, _i| {});
+            b.ret(Some(zero));
+        }
+        (m, id)
+    }
+
+    #[test]
+    fn trip_count_from_edge_counts() {
+        let (m, id) = looped_module();
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        let lp = &forest.loops[0];
+        let pre = lp.preheader(f).unwrap();
+        let latch = lp.latches[0];
+
+        let mut p = Profile::new();
+        // Simulate 2 entries, 10 iterations each: header runs 22 times
+        // (10 body iterations + 1 exit check, per entry).
+        for _ in 0..2 {
+            p.count_edge("f", pre, lp.header);
+            for _ in 0..10 {
+                p.count_block("f", lp.header);
+                p.count_edge("f", latch, lp.header);
+            }
+            p.count_block("f", lp.header); // exit check
+        }
+        assert_eq!(p.loop_entries(f, lp), 2);
+        assert_eq!(p.loop_iterations(f, lp), 22);
+        assert_eq!(p.avg_trip_count(f, lp), Some(11.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profile::new();
+        a.count_block("f", Block(1));
+        let mut b = Profile::new();
+        b.count_block("f", Block(1));
+        b.count_block("f", Block(2));
+        a.merge(&b);
+        assert_eq!(a.block_count("f", Block(1)), 2);
+        assert_eq!(a.block_count("f", Block(2)), 1);
+    }
+
+    #[test]
+    fn unexecuted_loop_has_no_trip_count() {
+        let (m, id) = looped_module();
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        let p = Profile::new();
+        assert_eq!(p.avg_trip_count(f, &forest.loops[0]), None);
+    }
+}

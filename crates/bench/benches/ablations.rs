@@ -1,0 +1,162 @@
+//! Ablations of TrackFM's design choices (beyond the paper's figures):
+//!
+//! 1. **Prefetch depth** — how far ahead the stride prefetcher should run;
+//! 2. **Prefetch provenance** — none vs. runtime stride-detector only vs.
+//!    runtime + compiler-directed chunk streams;
+//! 3. **Object state table** — the §3.2 optimization that replaces AIFM's
+//!    two-memory-reference metadata walk with one indexed load. Ablated by
+//!    charging the fast path one extra memory reference;
+//! 4. **Locality-guard cost** — how the Eq. 3 crossover moves with `c_l`
+//!    (the paper's crossover sits at ~730 because their locality guard is
+//!    empirically heavier than ours);
+//! 5. **Hybrid compiler+kernel** — §5's "holds promise" suggestion: chunked
+//!    streams on the object runtime, guard-free raw accesses with
+//!    kernel-style faults, compared against TrackFM and Fastswap.
+
+use tfm_bench::{f2, print_table, scale};
+use tfm_workloads::hashmap::{hashmap, HashmapParams};
+use tfm_workloads::runner::{execute, RunConfig};
+use tfm_workloads::stream::{sum, StreamParams};
+use trackfm::CostModel;
+
+fn main() {
+    let stream_spec = sum(&StreamParams {
+        elems: (1 << 20) / scale(),
+    });
+    let map_spec = hashmap(&HashmapParams {
+        keys: 100_000 / scale(),
+        lookups: 200_000 / scale(),
+        ..HashmapParams::default()
+    });
+
+    // ------------------------------------------------------------------
+    // 1. Prefetch depth sweep (STREAM at 10% local).
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    for depth in [1u32, 2, 4, 8, 16, 32] {
+        let mut cfg = RunConfig::trackfm(0.1);
+        cfg.prefetch_depth = depth;
+        let out = execute(&stream_spec, &cfg);
+        rows.push(vec![
+            depth.to_string(),
+            out.result.stats.cycles.to_string(),
+            out.result
+                .runtime
+                .map(|r| r.prefetch_late)
+                .unwrap_or(0)
+                .to_string(),
+            out.result.stats.stall_cycles.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 1: prefetch look-ahead depth (STREAM sum, 10% local)",
+        &["depth", "cycles", "late prefetches", "stall cycles"],
+        &rows,
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Prefetch provenance.
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    let none = execute(&stream_spec, &RunConfig::trackfm(0.1).with_prefetch(false));
+    let runtime_only = {
+        let mut c = RunConfig::trackfm(0.1);
+        c.compiler.prefetch = false; // no chunk-stream prefetch flags
+        c.prefetch = true; // runtime stride detector stays on
+        execute(&stream_spec, &c)
+    };
+    let both = execute(&stream_spec, &RunConfig::trackfm(0.1));
+    for (name, out) in [
+        ("no prefetching", &none),
+        ("runtime stride detector only", &runtime_only),
+        ("runtime + compiler streams", &both),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            out.result.stats.cycles.to_string(),
+            out.result
+                .runtime
+                .map(|r| r.prefetch_hits)
+                .unwrap_or(0)
+                .to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 2: who issues prefetches (STREAM sum, 10% local)",
+        &["configuration", "cycles", "prefetch hits"],
+        &rows,
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Object state table: +1 memory reference per fast guard without it.
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    // Run fully local so guard CPU cost (not network stall) is on display.
+    for (name, spec) in [("hashmap (guard-heavy)", &map_spec), ("stream (chunked)", &stream_spec)] {
+        let with_table = execute(spec, &RunConfig::trackfm(1.0));
+        let without = {
+            let mut c = RunConfig::trackfm(1.0);
+            let extra = c.cost.load_store; // the indirect metadata reference
+            c.cost.guard_fast_read += extra;
+            c.cost.guard_fast_write += extra;
+            c.compiler.cost_model = c.cost;
+            execute(spec, &c)
+        };
+        rows.push(vec![
+            name.to_string(),
+            with_table.result.stats.cycles.to_string(),
+            without.result.stats.cycles.to_string(),
+            f2(without.result.stats.cycles as f64 / with_table.result.stats.cycles as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 3: object state table (§3.2) vs. AIFM's two-reference metadata",
+        &["workload", "with table", "without", "slowdown without"],
+        &rows,
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Locality-guard cost vs. the Eq. 3 crossover.
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    for cl in [300u64, 800, 1500, 4000, 8000] {
+        let cost = CostModel {
+            locality_guard: cl,
+            ..Default::default()
+        };
+        rows.push(vec![
+            cl.to_string(),
+            format!("{:.0}", cost.density_threshold()),
+        ]);
+    }
+    print_table(
+        "Ablation 4: locality-guard cost c_l vs. predicted chunking crossover d*",
+        &["c_l (cycles)", "d* (elems/object)"],
+        &rows,
+    );
+    println!("  the paper's empirical crossover (~730) corresponds to c_l ≈ 13K on our constants;");
+    println!("  our default c_l = 1500 puts d* = 76. Either way Eq. 3 predicts the break-even.");
+
+    // ------------------------------------------------------------------
+    // 5. The §5 hybrid (compiler + kernel).
+    // ------------------------------------------------------------------
+    let mut rows = Vec::new();
+    for f in [0.1, 0.25, 0.5, 1.0] {
+        let fsw = execute(&map_spec, &RunConfig::fastswap(f));
+        let tfm = execute(&map_spec, &RunConfig::trackfm(f));
+        let hyb = execute(&map_spec, &RunConfig::hybrid(f));
+        rows.push(vec![
+            f2(f),
+            fsw.result.stats.cycles.to_string(),
+            tfm.result.stats.cycles.to_string(),
+            hyb.result.stats.cycles.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 5: hybrid compiler+kernel (§5) on the Zipf hashmap (cycles)",
+        &["local frac", "Fastswap", "TrackFM", "Hybrid"],
+        &rows,
+    );
+    println!("  hybrid = chunk streams + guard-free raw accesses with 1.3K-cycle faults on miss:");
+    println!("  it wins where residency is high (no guard tax), and leans on prefetch like TrackFM.");
+}

@@ -1,0 +1,56 @@
+//! Fig. 9: impact of the AIFM object size on Zipfian hash-map lookups
+//! (claim C3/E3: fine-grained accesses with little spatial locality benefit
+//! from small objects).
+//!
+//! (a) throughput vs. local-memory fraction for each object size;
+//! (b) throughput at a fixed 25% budget.
+
+use tfm_bench::{f2, f3, print_table, scale, CLOCK_HZ};
+use tfm_workloads::hashmap::{hashmap, HashmapParams};
+use tfm_workloads::runner::{execute, RunConfig};
+
+const SIZES: [u64; 5] = [4096, 2048, 1024, 512, 256];
+
+fn main() {
+    let p = HashmapParams {
+        keys: 200_000 / scale(),
+        lookups: 500_000 / scale(),
+        ..HashmapParams::default()
+    };
+    let spec = hashmap(&p);
+
+    // (a) sweep local memory for each object size.
+    let mut rows = Vec::new();
+    for f in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut row = vec![f2(f)];
+        for os in SIZES {
+            let out = execute(&spec, &RunConfig::trackfm(f).with_object_size(os));
+            let mops = p.lookups as f64 / out.result.seconds(CLOCK_HZ) / 1e6;
+            row.push(f3(mops));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 9a: hashmap throughput (MOps/s) vs. local memory, per object size",
+        &["local frac", "4KB", "2KB", "1KB", "512B", "256B"],
+        &rows,
+    );
+
+    // (b) fixed 25%.
+    let mut rows = Vec::new();
+    for os in SIZES {
+        let out = execute(&spec, &RunConfig::trackfm(0.25).with_object_size(os));
+        let mops = p.lookups as f64 / out.result.seconds(CLOCK_HZ) / 1e6;
+        rows.push(vec![
+            format!("{os}B"),
+            f3(mops),
+            (out.result.bytes_transferred() >> 20).to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 9b: hashmap throughput at 25% local memory",
+        &["object size", "MOps/s", "MiB transferred"],
+        &rows,
+    );
+    println!("  paper: smaller objects win under memory pressure (little spatial locality, 4B access granularity).");
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the *library itself* (real wall-clock, not
+//! simulated cycles): guard fast path, state-table lookup, Zipf sampling,
+//! allocator, and interpreter dispatch throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_ir::{BinOp, FunctionBuilder, Module, Signature, Type};
+use tfm_net::LinkParams;
+use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, PrefetchConfig, RegionAllocator};
+use tfm_sim::{ExecStats, LocalMem, Machine, MemorySystem, TrackFmMem};
+use tfm_workloads::ZipfGen;
+use trackfm::CostModel;
+
+fn fm_config() -> FarMemoryConfig {
+    FarMemoryConfig {
+        heap_size: 16 << 20,
+        object_size: 4096,
+        local_budget: 16 << 20,
+        link: LinkParams::tcp_25g(),
+        prefetch: PrefetchConfig::default(),
+    }
+}
+
+fn bench_guard_fast_path(c: &mut Criterion) {
+    let mut mem = TrackFmMem::new(fm_config(), CostModel::default());
+    let ptr = mem.alloc(1 << 20, 0).unwrap();
+    let mut stats = ExecStats::default();
+    c.bench_function("guard_fast_path", |b| {
+        b.iter(|| {
+            let (cycles, out) = mem
+                .guard(black_box(ptr + 64), false, 0, &mut stats)
+                .unwrap();
+            black_box((cycles, out))
+        })
+    });
+}
+
+fn bench_state_table_lookup(c: &mut Criterion) {
+    let fm = FarMemory::new(fm_config());
+    let table = fm.table();
+    c.bench_function("state_table_is_safe", |b| {
+        b.iter(|| black_box(table.is_safe(black_box(ObjId(17)))))
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("region_alloc_free_64B", |b| {
+        let mut a = RegionAllocator::new(64 << 20, 4096);
+        b.iter(|| {
+            let p = a.alloc(black_box(64)).unwrap();
+            a.free(p);
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let gen = ZipfGen::new(1_000_000, 1.02);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("zipf_sample", |b| b.iter(|| black_box(gen.sample(&mut rng))));
+}
+
+fn bench_interpreter_dispatch(c: &mut Criterion) {
+    // A tight arithmetic loop: measures instructions-per-second of the
+    // interpreter core.
+    let mut m = Module::new("spin");
+    let id = m.declare_function("main", Signature::new(vec![Type::I64], Some(Type::I64)));
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let n = b.param(0);
+        let zero = b.iconst(Type::I64, 0);
+        b.counted_loop(zero, n, 1, |b, i| {
+            let x = b.binop(BinOp::Mul, i, i);
+            let _ = b.binop(BinOp::Add, x, i);
+        });
+        b.ret(Some(zero));
+    }
+    m.verify().unwrap();
+    c.bench_function("interpreter_10k_iters", |b| {
+        b.iter(|| {
+            let mem = LocalMem::new(1 << 16);
+            let mut machine = Machine::new(&m, mem, CostModel::default(), 1 << 16);
+            black_box(machine.run("main", &[10_000]).unwrap().ret)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_guard_fast_path,
+    bench_state_table_lookup,
+    bench_allocator,
+    bench_zipf,
+    bench_interpreter_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Table 1: TrackFM fast-path vs. slow-path guard costs when an object is
+//! local (median cycles in the paper; deterministic model cycles here).
+//!
+//! The "uncached" column of the paper measures CPU-cache misses on the
+//! object state table; the simulator does not model the CPU cache, so we
+//! report the cached path and note the omission in EXPERIMENTS.md.
+
+use tfm_bench::print_table;
+use tfm_net::LinkParams;
+use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use tfm_sim::{ExecStats, MemorySystem, TrackFmMem};
+use trackfm::CostModel;
+
+fn mem() -> TrackFmMem {
+    TrackFmMem::new(
+        FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 1 << 20,
+            link: LinkParams::tcp_25g(),
+            prefetch: PrefetchConfig::default(),
+        },
+        CostModel::default(),
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // Fast paths: object local and safe.
+    for (label, write, paper) in [
+        ("TrackFM fast-path read guard", false, 21),
+        ("TrackFM fast-path write guard", true, 21),
+    ] {
+        let mut m = mem();
+        let mut st = ExecStats::default();
+        let ptr = m.alloc(4096, 0).unwrap();
+        let (cycles, _) = m.guard(ptr, write, 0, &mut st).unwrap();
+        // Report the guard body cost (excluding the custody check) to match
+        // the paper's accounting, plus the total.
+        let body = cycles - CostModel::default().custody_check;
+        rows.push(vec![
+            label.to_string(),
+            body.to_string(),
+            cycles.to_string(),
+            paper.to_string(),
+        ]);
+    }
+
+    // Slow paths with the object local: arrange an already-completed
+    // prefetch so localize() finds the data in place.
+    for (label, write, paper) in [
+        ("TrackFM slow-path read guard", false, 144),
+        ("TrackFM slow-path write guard", true, 159),
+    ] {
+        let mut m = mem();
+        let mut st = ExecStats::default();
+        let ptr = m.alloc(4096, 0).unwrap();
+        m.evacuate_all(0);
+        m.prefetch_hint(ptr, 0);
+        // Take the guard long after the fetch landed: slow path, no stall.
+        let (cycles, _) = m.guard(ptr, write, 10_000_000, &mut st).unwrap();
+        let body = cycles - CostModel::default().custody_check;
+        rows.push(vec![
+            label.to_string(),
+            body.to_string(),
+            cycles.to_string(),
+            paper.to_string(),
+        ]);
+        assert_eq!(st.guards_slow_local, 1, "must exercise the slow-local path");
+    }
+
+    // Extensions beyond Table 1: the chunking primitives of §3.4.
+    let cost = CostModel::default();
+    rows.push(vec![
+        "chunk object-boundary check".to_string(),
+        cost.boundary_check.to_string(),
+        cost.boundary_check.to_string(),
+        "~3 insts".to_string(),
+    ]);
+    rows.push(vec![
+        "chunk locality-invariant guard".to_string(),
+        cost.locality_guard.to_string(),
+        cost.locality_guard.to_string(),
+        "(runtime call)".to_string(),
+    ]);
+
+    print_table(
+        "Table 1: guard costs, object local (cycles)",
+        &["guard type", "body", "incl. custody", "paper (cached)"],
+        &rows,
+    );
+    println!("  note: the paper's 'uncached' column reflects CPU-cache misses, which the simulator does not model.");
+}

@@ -1,0 +1,80 @@
+//! Table 2: primitive overheads — TrackFM slow-path guards vs. Fastswap
+//! page faults, with the object/page local and remote.
+
+use tfm_bench::print_table;
+use tfm_fastswap::{Pager, PagerConfig, PAGE_SIZE};
+use tfm_net::LinkParams;
+use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use tfm_sim::{ExecStats, MemorySystem, TrackFmMem};
+use trackfm::CostModel;
+
+fn tfm_mem() -> TrackFmMem {
+    TrackFmMem::new(
+        FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 1 << 20,
+            link: LinkParams::tcp_25g(),
+            prefetch: PrefetchConfig::default(),
+        },
+        CostModel::default(),
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // Fastswap faults. "Local cost" in the paper is the kernel fault path
+    // with the page in the swap cache; we report the kernel handling cost
+    // (minor fault). "Remote" is a major fault over RDMA.
+    for (label, write, paper_local, paper_remote) in [
+        ("Fastswap read fault", false, 1_300u64, 34_000u64),
+        ("Fastswap write fault", true, 1_300, 35_000),
+    ] {
+        let mut p = Pager::new(PagerConfig::default());
+        let local = p.access(0, 8, write, 0);
+        p.evacuate_all(local);
+        // Measure long after setup so the writeback has drained from the link.
+        let remote = p.access(0, 8, write, 10_000_000);
+        let _ = PAGE_SIZE;
+        rows.push(vec![
+            label.to_string(),
+            local.to_string(),
+            remote.to_string(),
+            format!("{paper_local} / {paper_remote}"),
+        ]);
+    }
+
+    // TrackFM slow-path guards: local (post-prefetch) and remote (demand
+    // fetch over TCP).
+    for (label, write, paper_local, paper_remote) in [
+        ("TrackFM slow-path read guard", false, 453u64, 35_000u64),
+        ("TrackFM slow-path write guard", true, 432, 35_000),
+    ] {
+        let mut st = ExecStats::default();
+        let mut m = tfm_mem();
+        let ptr = m.alloc(4096, 0).unwrap();
+        m.evacuate_all(0);
+        m.prefetch_hint(ptr, 0);
+        let (local, _) = m.guard(ptr, write, 10_000_000, &mut st).unwrap();
+
+        let mut m = tfm_mem();
+        let ptr = m.alloc(4096, 0).unwrap();
+        m.evacuate_all(0);
+        let (remote, _) = m.guard(ptr, write, 10_000_000, &mut st).unwrap();
+        rows.push(vec![
+            label.to_string(),
+            local.to_string(),
+            remote.to_string(),
+            format!("{paper_local} / {paper_remote}"),
+        ]);
+    }
+
+    print_table(
+        "Table 2: primitive overheads (cycles)",
+        &["event", "local", "remote", "paper local/remote"],
+        &rows,
+    );
+    println!("  note: paper 'local' for Fastswap includes swap-cache handling (1.3K); ours is the kernel minor-fault path.");
+    println!("  note: the paper's 453/432-cycle local slow paths include uncached metadata misses we do not model (ours ≈ 144/159 + custody).");
+}

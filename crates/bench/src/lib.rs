@@ -1,0 +1,112 @@
+//! # tfm-bench — the paper-reproduction harness
+//!
+//! One bench target per table/figure of the TrackFM paper's evaluation
+//! (`cargo bench --workspace` regenerates all of them; see the experiment
+//! index in DESIGN.md and the measured-vs-paper record in EXPERIMENTS.md).
+//! Each target prints the rows/series the paper's exhibit plots.
+//!
+//! Set `TFM_SCALE=<divisor>` to shrink workload sizes for a quick pass
+//! (e.g. `TFM_SCALE=8`); shapes are preserved at small scale, absolute
+//! counts are not.
+
+use std::fmt::Display;
+
+/// Paper clock rate: 2.4 GHz Xeon E5-2640v4.
+pub const CLOCK_HZ: f64 = 2.4e9;
+
+/// Workload scale divisor from `TFM_SCALE` (default 1 = full scale).
+pub fn scale() -> usize {
+    std::env::var("TFM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// The local-memory fractions the figures sweep.
+pub fn fractions() -> Vec<f64> {
+    vec![0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+}
+
+/// Prints a titled, aligned table.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n=== {title} ===");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&headers);
+    println!(
+        "  {}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for r in &rows {
+        line(r);
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats bytes as MiB.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(mib(1 << 20), "1.0");
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The cycle cost model.
+//!
+//! Two consumers share these constants:
+//!
+//! 1. the **execution engine** charges them while interpreting transformed
+//!    programs (guard fast/slow paths, boundary checks, locality guards);
+//! 2. the **loop-chunking analysis** plugs them into the paper's Eq. 1–3 to
+//!    decide when chunking pays off.
+//!
+//! Defaults are calibrated against Tables 1–2 of the paper (cached costs);
+//! see DESIGN.md §4 for the calibration table and the one deliberate
+//! deviation (`locality_guard`, which sets the Fig. 6 crossover point for
+//! *our* substrate).
+
+/// Cycle costs for CPU work and guard paths.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CostModel {
+    /// ALU / compare / cast operation.
+    pub alu: u64,
+    /// Branch (conditional or not).
+    pub branch: u64,
+    /// Load or store that hits local memory, unguarded.
+    pub load_store: u64,
+    /// Call/return overhead for direct calls.
+    pub call_overhead: u64,
+    /// Allocator work per `malloc`/`free` family call.
+    pub alloc_cycles: u64,
+    /// The custody check for pointers that turn out not to be
+    /// TrackFM-managed (Fig. 4a: "roughly four instructions").
+    pub custody_check: u64,
+    /// Fast-path read guard, object local & metadata cached (Table 1: 21).
+    pub guard_fast_read: u64,
+    /// Fast-path write guard (Table 1: 21).
+    pub guard_fast_write: u64,
+    /// Slow-path read guard when the object is already local (Table 1: 144).
+    pub guard_slow_read: u64,
+    /// Slow-path write guard when the object is already local (Table 1: 159).
+    pub guard_slow_write: u64,
+    /// Object-boundary check inserted by loop chunking (§3.4: 3
+    /// instructions), `c_b` in Eq. 2.
+    pub boundary_check: u64,
+    /// Locality-invariant guard at object crossings (runtime call that pins
+    /// the object and runs a collection point), `c_l` in Eq. 2.
+    pub locality_guard: u64,
+    /// AIFM smart-pointer dereference (library-based baseline; §4.1 notes
+    /// AIFM "does incur overhead for smart pointer indirection" — its hot
+    /// path performs the same metadata test as TrackFM's fast-path guard,
+    /// minus the custody check, plus DerefScope bookkeeping).
+    pub aifm_deref: u64,
+    /// AIFM miss-path overhead before the fetch (no custody check, no
+    /// kernel).
+    pub aifm_slow: u64,
+    /// One-time runtime initialization (`tfm.runtime.init`).
+    pub runtime_init_cycles: u64,
+    /// Bulk copy throughput for `memcpy`/`memset` (bytes per cycle).
+    pub memcpy_bytes_per_cycle: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            branch: 1,
+            load_store: 6,
+            call_overhead: 8,
+            alloc_cycles: 60,
+            custody_check: 4,
+            guard_fast_read: 21,
+            guard_fast_write: 21,
+            guard_slow_read: 144,
+            guard_slow_write: 159,
+            boundary_check: 3,
+            locality_guard: 1500,
+            aifm_deref: 16,
+            aifm_slow: 130,
+            runtime_init_cycles: 2_000,
+            memcpy_bytes_per_cycle: 8,
+        }
+    }
+}
+
+impl CostModel {
+    /// `c_f` (average of read/write fast guards).
+    pub fn c_f(&self) -> f64 {
+        (self.guard_fast_read + self.guard_fast_write) as f64 / 2.0
+    }
+
+    /// `c_s` (average of read/write slow guards, object local).
+    pub fn c_s(&self) -> f64 {
+        (self.guard_slow_read + self.guard_slow_write) as f64 / 2.0
+    }
+
+    /// `c_b`.
+    pub fn c_b(&self) -> f64 {
+        self.boundary_check as f64
+    }
+
+    /// `c_l`.
+    pub fn c_l(&self) -> f64 {
+        self.locality_guard as f64
+    }
+
+    /// Eq. 1: guard cost of a loop iterating over one object of density `d`
+    /// with the naive transformation: `(d−1)·c_f + c_s`.
+    pub fn naive_loop_cost(&self, d: f64) -> f64 {
+        (d - 1.0) * self.c_f() + self.c_s()
+    }
+
+    /// Eq. 2: guard cost per object after chunking: `(d−1)·c_b + c_l`.
+    pub fn chunked_loop_cost(&self, d: f64) -> f64 {
+        (d - 1.0) * self.c_b() + self.c_l()
+    }
+
+    /// Eq. 3 rearranged: the minimum object density for chunking to win.
+    /// The paper states `d > (c_s − c_l)/(c_b − c_f)`; solving Eq. 1 = Eq. 2
+    /// exactly gives `d* = 1 + (c_l − c_s)/(c_f − c_b)` (the paper drops the
+    /// `+1`, which is negligible at its ~730-element crossover).
+    pub fn density_threshold(&self) -> f64 {
+        1.0 + (self.c_l() - self.c_s()) / (self.c_f() - self.c_b())
+    }
+
+    /// The chunking decision. `density` is `d = o/e`; `avg_trips`, when a
+    /// profile is available, is the loop's average iterations per entry.
+    ///
+    /// * Static (no profile): the paper's Eq. 3 — chunk iff `d > d*`.
+    /// * Profile-guided: integrate the guard trade over an observed entry:
+    ///   `trips` iterations save `c_f − c_b` each, but every entry pays at
+    ///   least one locality guard and crosses `max(1, trips/d)` boundaries.
+    ///   This is the filter that rescues k-means (Fig. 8) and the analytics
+    ///   aggregations (Fig. 15), whose nested loops iterate only a handful
+    ///   of times.
+    pub fn should_chunk(&self, density: f64, avg_trips: Option<f64>) -> bool {
+        if density <= 1.0 {
+            return false;
+        }
+        match avg_trips {
+            None => density > self.density_threshold(),
+            Some(trips) => {
+                let crossings = (trips / density).max(1.0);
+                trips * (self.c_f() - self.c_b()) > crossings * (self.c_l() - self.c_s())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tables() {
+        let c = CostModel::default();
+        assert_eq!(c.guard_fast_read, 21);
+        assert_eq!(c.guard_slow_read, 144);
+        assert_eq!(c.guard_slow_write, 159);
+        assert_eq!(c.boundary_check, 3);
+        assert_eq!(c.custody_check, 4);
+    }
+
+    #[test]
+    fn threshold_is_crossover_of_eq1_eq2() {
+        let c = CostModel::default();
+        let d = c.density_threshold();
+        // At the threshold the two cost curves intersect.
+        let naive = c.naive_loop_cost(d);
+        let chunked = c.chunked_loop_cost(d);
+        assert!((naive - chunked).abs() < 1e-6, "{naive} vs {chunked}");
+        // Just above: chunking wins; just below: it loses.
+        assert!(c.chunked_loop_cost(d * 1.1) < c.naive_loop_cost(d * 1.1));
+        assert!(c.chunked_loop_cost(d * 0.9) > c.naive_loop_cost(d * 0.9));
+    }
+
+    #[test]
+    fn static_decision_follows_eq3() {
+        let c = CostModel::default();
+        let d = c.density_threshold();
+        assert!(c.should_chunk(d + 1.0, None));
+        assert!(!c.should_chunk(d - 1.0, None));
+        assert!(!c.should_chunk(0.5, None));
+    }
+
+    #[test]
+    fn profile_rejects_short_loops_despite_density() {
+        let c = CostModel::default();
+        // Dense object (512 elements) but the loop only runs 8 iterations
+        // per entry (k-means inner loop): one locality guard per entry can
+        // never amortize.
+        assert!(c.should_chunk(512.0, None), "static model would chunk");
+        assert!(
+            !c.should_chunk(512.0, Some(8.0)),
+            "profile-guided model must reject"
+        );
+        // Long-running dense loop: chunk.
+        assert!(c.should_chunk(512.0, Some(100_000.0)));
+    }
+
+    #[test]
+    fn profile_accepts_exactly_when_amortized() {
+        let c = CostModel::default();
+        let breakeven = (c.c_l() - c.c_s()) / (c.c_f() - c.c_b());
+        // Just above break-even trips (single crossing regime).
+        assert!(c.should_chunk(1_000_000.0, Some(breakeven * 1.1)));
+        assert!(!c.should_chunk(1_000_000.0, Some(breakeven * 0.9)));
+    }
+}

@@ -1,0 +1,498 @@
+//! Loop chunking analysis + transform (§3.4, Fig. 5).
+//!
+//! For loops with a recognized induction variable and strided heap accesses,
+//! the transform replaces per-element fast-path guards with:
+//!
+//! * a `tfm.chunk.begin` in the loop preheader (sets up the stream, carries
+//!   write-intent and prefetch flags);
+//! * a `tfm.chunk.deref` at each access — a 3-cycle object-boundary check
+//!   while the access stays inside the pinned object, and a
+//!   locality-invariant guard (runtime call that pins the next object,
+//!   unpins the previous one, runs a collection point, and optionally
+//!   prefetches ahead) when the boundary is crossed;
+//! * a `tfm.chunk.end` on every loop-exit edge (releasing the pin).
+//!
+//! Whether to apply the transform is governed by the paper's cost model
+//! (Eq. 1–3): indiscriminate chunking of low-density or short-trip loops is
+//! a slowdown (Figs. 8/15), so [`ChunkingMode::CostModel`] consults the
+//! static object density and, when available, the execution profile.
+
+use crate::cost::CostModel;
+use std::collections::HashSet;
+use tfm_analysis::dom::DomTree;
+use tfm_analysis::induction::{basic_ivs, strided_accesses, LoopAccess};
+use tfm_analysis::loops::{ensure_preheader, split_edge, LoopForest};
+use tfm_analysis::profile::Profile;
+use tfm_ir::{
+    Block, FuncId, InstData, InstKind, Intrinsic, Module, Type, Value, CHUNK_FLAG_PREFETCH,
+    CHUNK_FLAG_WRITE,
+};
+
+/// When to apply the chunking transform.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChunkingMode {
+    /// Never chunk (the "baseline"/naive arm of Figs. 8/15).
+    Off,
+    /// Chunk every chunkable loop indiscriminately (the "all loops" arm).
+    AllLoops,
+    /// Chunk only loops the Eq. 3 cost model (optionally profile-guided)
+    /// approves (the "high-density loops only" arm).
+    CostModel,
+}
+
+/// Options for the chunking pass.
+#[derive(Copy, Clone, Debug)]
+pub struct ChunkingOptions {
+    /// Application mode.
+    pub mode: ChunkingMode,
+    /// The AIFM object size the compiler selected (needed for density).
+    pub object_size: u64,
+    /// Whether chunk streams should request stride prefetching.
+    pub prefetch: bool,
+}
+
+/// What the pass did (feeds the compile report and Figs. 8/15).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChunkingOutcome {
+    /// Chunk streams created (`tfm.chunk.begin` count).
+    pub streams: usize,
+    /// Accesses rewritten to `tfm.chunk.deref`.
+    pub chunked_accesses: usize,
+    /// Loops with at least one stream.
+    pub chunked_loops: usize,
+    /// Candidate streams rejected by the cost model.
+    pub skipped_low_benefit: usize,
+}
+
+impl ChunkingOutcome {
+    fn merge(&mut self, other: ChunkingOutcome) {
+        self.streams += other.streams;
+        self.chunked_accesses += other.chunked_accesses;
+        self.chunked_loops += other.chunked_loops;
+        self.skipped_low_benefit += other.skipped_low_benefit;
+    }
+}
+
+/// Runs chunking on one function.
+pub fn run(
+    module: &mut Module,
+    func: FuncId,
+    cost: &CostModel,
+    opts: &ChunkingOptions,
+    profile: Option<&Profile>,
+) -> ChunkingOutcome {
+    let mut outcome = ChunkingOutcome::default();
+    if opts.mode == ChunkingMode::Off {
+        return outcome;
+    }
+    let mut processed_headers: HashSet<Block> = HashSet::new();
+    let mut handled_accesses: HashSet<Value> = HashSet::new();
+
+    // Snapshot profile-derived trip counts on the pristine CFG: later
+    // preheader insertion and exit-edge splitting perturb the very edges
+    // `loop_entries` counts. Headers are stable across those mutations.
+    let mut trips_by_header: std::collections::HashMap<Block, f64> = Default::default();
+    if let Some(p) = profile {
+        let f = module.function(func);
+        let dt = DomTree::compute(f);
+        for lp in &LoopForest::compute(f, &dt).loops {
+            if let Some(t) = p.avg_trip_count(f, lp) {
+                trips_by_header.insert(lp.header, t);
+            }
+        }
+    }
+
+    // Transforming a loop mutates the CFG (preheaders, split exit edges), so
+    // we recompute the loop forest after each transformed loop and always
+    // pick the innermost unprocessed loop next (inner streams must claim
+    // their accesses before enclosing loops see them).
+    loop {
+        let f = module.function(func);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        let Some(lp) = forest
+            .loops
+            .iter()
+            .filter(|l| !processed_headers.contains(&l.header))
+            .max_by_key(|l| l.depth)
+        else {
+            break;
+        };
+        let lp = lp.clone();
+        processed_headers.insert(lp.header);
+        let trips = if profile.is_some() {
+            trips_by_header.get(&lp.header).copied()
+        } else {
+            None
+        };
+        let o = run_on_loop(
+            module,
+            func,
+            &lp,
+            cost,
+            opts,
+            trips,
+            &mut handled_accesses,
+        );
+        outcome.merge(o);
+    }
+    outcome
+}
+
+fn run_on_loop(
+    module: &mut Module,
+    func: FuncId,
+    lp: &tfm_analysis::loops::NaturalLoop,
+    cost: &CostModel,
+    opts: &ChunkingOptions,
+    avg_trips: Option<f64>,
+    handled: &mut HashSet<Value>,
+) -> ChunkingOutcome {
+    let mut outcome = ChunkingOutcome::default();
+    let f = module.function(func);
+    let ivs = basic_ivs(f, lp);
+    if ivs.is_empty() {
+        return outcome;
+    }
+    let accesses: Vec<LoopAccess> = strided_accesses(f, lp, &ivs)
+        .into_iter()
+        .filter(|a| !handled.contains(&a.inst) && a.stride != 0)
+        .collect();
+    if accesses.is_empty() {
+        return outcome;
+    }
+
+    // Group accesses into streams by (base pointer, IV).
+    let mut groups: Vec<(Value, Value, Vec<LoopAccess>)> = Vec::new();
+    for a in accesses {
+        match groups
+            .iter_mut()
+            .find(|(b, phi, _)| *b == a.base && *phi == a.iv.phi)
+        {
+            Some((_, _, list)) => list.push(a),
+            None => groups.push((a.base, a.iv.phi, vec![a])),
+        }
+    }
+
+    let mut approved: Vec<(Value, Vec<LoopAccess>)> = Vec::new();
+    for (base, _phi, list) in groups {
+        let elem = list.iter().map(|a| a.element_size()).max().unwrap_or(1);
+        let density = opts.object_size as f64 / elem as f64;
+        let take = match opts.mode {
+            ChunkingMode::Off => false,
+            ChunkingMode::AllLoops => true,
+            ChunkingMode::CostModel => cost.should_chunk(density, avg_trips),
+        };
+        if take {
+            approved.push((base, list));
+        } else {
+            outcome.skipped_low_benefit += 1;
+        }
+    }
+    if approved.is_empty() {
+        return outcome;
+    }
+
+    // Transform. All streams of this loop share the preheader and the exit
+    // edge splits.
+    let f = module.function_mut(func);
+    let preheader = ensure_preheader(f, lp);
+    let ph_term = f.terminator(preheader).expect("preheader terminated");
+    let mut handles = Vec::new();
+    for (base, list) in &approved {
+        let write = list.iter().any(|a| a.is_store);
+        let mut flags = 0;
+        if write {
+            flags |= CHUNK_FLAG_WRITE;
+        }
+        if opts.prefetch {
+            flags |= CHUNK_FLAG_PREFETCH;
+        }
+        let flags_c = f.insert_before(
+            ph_term,
+            InstData {
+                kind: InstKind::ConstInt(flags),
+                ty: Some(Type::I64),
+                block: preheader,
+            },
+        );
+        let handle = f.insert_before(
+            ph_term,
+            InstData {
+                kind: InstKind::IntrinsicCall {
+                    intr: Intrinsic::ChunkBegin,
+                    args: vec![*base, flags_c],
+                },
+                ty: Some(Type::I64),
+                block: preheader,
+            },
+        );
+        handles.push(handle);
+        for a in list {
+            let ptr_operand = match f.kind(a.inst) {
+                InstKind::Load { ptr } => *ptr,
+                InstKind::Store { ptr, .. } => *ptr,
+                _ => continue,
+            };
+            let deref = f.insert_before(
+                a.inst,
+                InstData {
+                    kind: InstKind::IntrinsicCall {
+                        intr: Intrinsic::ChunkDeref,
+                        args: vec![handle, ptr_operand],
+                    },
+                    ty: Some(Type::Ptr),
+                    block: f.inst(a.inst).block,
+                },
+            );
+            match &mut f.inst_mut(a.inst).kind {
+                InstKind::Load { ptr } => *ptr = deref,
+                InstKind::Store { ptr, .. } => *ptr = deref,
+                _ => unreachable!(),
+            }
+            handled.insert(a.inst);
+            outcome.chunked_accesses += 1;
+        }
+        outcome.streams += 1;
+    }
+    outcome.chunked_loops += 1;
+
+    // Release pins on every exit edge.
+    for (from, to) in lp.exit_edges(f) {
+        let mid = split_edge(f, from, to);
+        let mid_term = f.terminator(mid).expect("split block terminated");
+        for &h in &handles {
+            f.insert_before(
+                mid_term,
+                InstData {
+                    kind: InstKind::IntrinsicCall {
+                        intr: Intrinsic::ChunkEnd,
+                        args: vec![h],
+                    },
+                    ty: None,
+                    block: mid,
+                },
+            );
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{BinOp, FunctionBuilder, Signature};
+
+    fn stream_sum_module(elems: i64, elem_bytes: u32) -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let id = m.declare_function("main", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let arr = b.param(0);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, elems);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let addr = b.gep(arr, i, elem_bytes, 0);
+                let x = b.load(Type::I64, addr);
+                let _ = b.binop(BinOp::Add, x, x);
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        (m, id)
+    }
+
+    fn count_intr(m: &Module, id: FuncId, intr: Intrinsic) -> usize {
+        m.function(id)
+            .live_insts()
+            .into_iter()
+            .filter(|&v| {
+                matches!(m.function(id).kind(v), InstKind::IntrinsicCall { intr: i, .. } if *i == intr)
+            })
+            .count()
+    }
+
+    fn opts(mode: ChunkingMode) -> ChunkingOptions {
+        ChunkingOptions {
+            mode,
+            object_size: 4096,
+            prefetch: true,
+        }
+    }
+
+    #[test]
+    fn chunks_dense_stream_and_stays_valid() {
+        let (mut m, id) = stream_sum_module(1000, 8); // density 512 > 75
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        assert_eq!(out.streams, 1);
+        assert_eq!(out.chunked_accesses, 1);
+        assert_eq!(out.chunked_loops, 1);
+        assert_eq!(out.skipped_low_benefit, 0);
+        m.verify().unwrap();
+        assert_eq!(count_intr(&m, id, Intrinsic::ChunkBegin), 1);
+        assert_eq!(count_intr(&m, id, Intrinsic::ChunkDeref), 1);
+        assert_eq!(count_intr(&m, id, Intrinsic::ChunkEnd), 1);
+    }
+
+    #[test]
+    fn cost_model_rejects_sparse_stream() {
+        // 4096-byte elements in 4096-byte objects: density 1 → never chunk.
+        let (mut m, id) = stream_sum_module(1000, 4096);
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        assert_eq!(out.streams, 0);
+        assert_eq!(out.skipped_low_benefit, 1);
+        assert_eq!(count_intr(&m, id, Intrinsic::ChunkDeref), 0);
+    }
+
+    #[test]
+    fn all_loops_mode_chunks_indiscriminately() {
+        let (mut m, id) = stream_sum_module(1000, 4096);
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::AllLoops), None);
+        assert_eq!(out.streams, 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn off_mode_does_nothing() {
+        let (mut m, id) = stream_sum_module(1000, 8);
+        let before = m.total_live_insts();
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::Off), None);
+        assert_eq!(out, ChunkingOutcome::default());
+        assert_eq!(m.total_live_insts(), before);
+    }
+
+    #[test]
+    fn copy_loop_gets_two_streams_with_write_intent() {
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "main",
+            Signature::new(vec![Type::Ptr, Type::Ptr], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let dst = b.param(0);
+            let src = b.param(1);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 1 << 16);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let saddr = b.gep(src, i, 8, 0);
+                let daddr = b.gep(dst, i, 8, 0);
+                let x = b.load(Type::I64, saddr);
+                b.store(daddr, x);
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        assert_eq!(out.streams, 2);
+        assert_eq!(out.chunked_accesses, 2);
+        m.verify().unwrap();
+        // One stream must carry the write flag, one must not.
+        let f = m.function(id);
+        let mut flags_seen = Vec::new();
+        for v in f.live_insts() {
+            if let InstKind::IntrinsicCall {
+                intr: Intrinsic::ChunkBegin,
+                args,
+            } = f.kind(v)
+            {
+                if let InstKind::ConstInt(c) = f.kind(args[1]) {
+                    flags_seen.push(*c & CHUNK_FLAG_WRITE);
+                }
+            }
+        }
+        flags_seen.sort();
+        assert_eq!(flags_seen, vec![0, CHUNK_FLAG_WRITE]);
+    }
+
+    #[test]
+    fn profile_guided_rejects_short_inner_loops() {
+        // Nested loops: outer long, inner short (8 iterations). With a
+        // profile, only the outer access is chunked — the k-means scenario.
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "main",
+            Signature::new(vec![Type::Ptr, Type::Ptr], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let big = b.param(0);
+            let small = b.param(1);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 100_000);
+            let d = b.iconst(Type::I64, 8);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let addr = b.gep(big, i, 8, 0);
+                let _ = b.load(Type::I64, addr);
+                let z2 = b.iconst(Type::I64, 0);
+                b.counted_loop(z2, d, 1, |b, j| {
+                    let a2 = b.gep(small, j, 8, 0);
+                    let _ = b.load(Type::I64, a2);
+                });
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+
+        // Build a synthetic profile: outer loop runs 100K iterations, inner
+        // runs 8 per entry.
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        let mut prof = Profile::new();
+        for lp in &forest.loops {
+            let pre = lp.preheader(f).unwrap();
+            let (entries, iters) = if lp.depth == 1 { (1, 100_000) } else { (100_000, 8) };
+            for _ in 0..entries {
+                prof.count_edge(&f.name, pre, lp.header);
+            }
+            for _ in 0..(iters * entries) {
+                prof.count_block(&f.name, lp.header);
+            }
+        }
+
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::CostModel),
+            Some(&prof),
+        );
+        assert_eq!(out.streams, 1, "only the outer stream should be chunked");
+        assert_eq!(out.skipped_low_benefit, 1);
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn nested_loops_all_mode_chunks_both() {
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "main",
+            Signature::new(vec![Type::Ptr, Type::Ptr], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let a1 = b.param(0);
+            let a2 = b.param(1);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 64);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let p = b.gep(a1, i, 8, 0);
+                let _ = b.load(Type::I64, p);
+                let z2 = b.iconst(Type::I64, 0);
+                b.counted_loop(z2, n, 1, |b, j| {
+                    let q = b.gep(a2, j, 8, 0);
+                    let x = b.load(Type::I64, q);
+                    b.store(q, x);
+                });
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::AllLoops), None);
+        assert_eq!(out.chunked_loops, 2);
+        assert_eq!(out.streams, 2);
+        assert_eq!(out.chunked_accesses, 3);
+        m.verify().unwrap();
+    }
+}

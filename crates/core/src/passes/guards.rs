@@ -1,0 +1,226 @@
+//! Guard check analysis + transform.
+//!
+//! §3.1/§3.3: "TrackFM searches for all LLVM IR-level load and store
+//! instructions that correspond to heap allocations (returned by malloc) and
+//! marks these instructions as eligible for guard transformation. The pass
+//! ignores accesses to stack and global objects [...]. Candidate heap
+//! pointers are later transformed by the guard transformation pass."
+//!
+//! The transform rewrites `load p` into `p' = tfm.guard.read(p); load p'`
+//! (and symmetrically for stores). At run time the guard performs the
+//! custody check, the object-state-table lookup and — when needed — the
+//! slow-path runtime call, returning a canonical localized pointer
+//! (Fig. 4).
+
+use tfm_analysis::points_to::PointsTo;
+use tfm_ir::{FuncId, InstData, InstKind, Intrinsic, Module, Type, Value};
+
+/// Per-function analysis result: accesses that must be guarded.
+#[derive(Clone, Debug, Default)]
+pub struct GuardPlan {
+    /// Loads needing a read guard.
+    pub loads: Vec<Value>,
+    /// Stores needing a write guard.
+    pub stores: Vec<Value>,
+}
+
+impl GuardPlan {
+    /// Total accesses to be guarded.
+    pub fn len(&self) -> usize {
+        self.loads.len() + self.stores.len()
+    }
+
+    /// True when no guard is needed.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty() && self.stores.is_empty()
+    }
+}
+
+/// The guard check analysis: classifies every load/store pointer and keeps
+/// the ones that may reference the heap. Pointers already localized by a
+/// guard or a chunk dereference are skipped (so this composes with the
+/// chunking transform, which runs first).
+pub fn analyze(module: &Module, func: FuncId) -> GuardPlan {
+    analyze_with_locals(module, func, &std::collections::HashSet::new())
+}
+
+/// [`analyze`], treating `local_sites` (allocation sites pruned from
+/// remoting, §5) as always-local: accesses derived exclusively from them
+/// need no guards.
+pub fn analyze_with_locals(
+    module: &Module,
+    func: FuncId,
+    local_sites: &std::collections::HashSet<tfm_ir::Value>,
+) -> GuardPlan {
+    let f = module.function(func);
+    let pt = PointsTo::compute_with_locals(f, local_sites);
+    let mut plan = GuardPlan::default();
+    for v in f.live_insts() {
+        match f.kind(v) {
+            InstKind::Load { ptr }
+                if pt.needs_guard(*ptr) => {
+                    plan.loads.push(v);
+                }
+            InstKind::Store { ptr, .. }
+                if pt.needs_guard(*ptr) => {
+                    plan.stores.push(v);
+                }
+            _ => {}
+        }
+    }
+    plan
+}
+
+/// The guard transform: applies a [`GuardPlan`], inserting guard intrinsics
+/// and rewriting the access pointers. Returns `(read_guards, write_guards)`
+/// inserted.
+pub fn transform(module: &mut Module, func: FuncId, plan: &GuardPlan) -> (usize, usize) {
+    let f = module.function_mut(func);
+    for &v in &plan.loads {
+        let InstKind::Load { ptr } = *f.kind(v) else {
+            continue;
+        };
+        let guard = f.insert_before(
+            v,
+            InstData {
+                kind: InstKind::IntrinsicCall {
+                    intr: Intrinsic::GuardRead,
+                    args: vec![ptr],
+                },
+                ty: Some(Type::Ptr),
+                block: f.inst(v).block,
+            },
+        );
+        if let InstKind::Load { ptr } = &mut f.inst_mut(v).kind {
+            *ptr = guard;
+        }
+    }
+    for &v in &plan.stores {
+        let InstKind::Store { ptr, .. } = *f.kind(v) else {
+            continue;
+        };
+        let guard = f.insert_before(
+            v,
+            InstData {
+                kind: InstKind::IntrinsicCall {
+                    intr: Intrinsic::GuardWrite,
+                    args: vec![ptr],
+                },
+                ty: Some(Type::Ptr),
+                block: f.inst(v).block,
+            },
+        );
+        if let InstKind::Store { ptr, .. } = &mut f.inst_mut(v).kind {
+            *ptr = guard;
+        }
+    }
+    (plan.loads.len(), plan.stores.len())
+}
+
+/// Convenience: analyze + transform every function of the module. Returns
+/// total `(read_guards, write_guards)`.
+pub fn run(module: &mut Module) -> (usize, usize) {
+    let mut totals = (0, 0);
+    for id in module.function_ids().collect::<Vec<_>>() {
+        let plan = analyze(module, id);
+        let (r, w) = transform(module, id, &plan);
+        totals.0 += r;
+        totals.1 += w;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{FunctionBuilder, Signature};
+
+    #[test]
+    fn guards_heap_skips_stack_and_globals() {
+        let mut m = Module::new("t");
+        let g = m.add_global("lut", 64, None);
+        let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let heap = b.malloc_const(64);
+            let stack = b.alloca(16, 8);
+            let glob = b.global_addr(g);
+            let x = b.load(Type::I64, heap); // guard
+            b.store(stack, x); // no guard
+            let y = b.load(Type::I64, glob); // no guard
+            b.store(heap, y); // guard
+            b.ret(Some(x));
+        }
+        let (r, w) = run(&mut m);
+        assert_eq!((r, w), (1, 1));
+        m.verify().unwrap();
+
+        // The guarded load must now go through the guard's result.
+        let f = m.function(id);
+        let mut guarded_loads = 0;
+        for v in f.live_insts() {
+            if let InstKind::Load { ptr } = f.kind(v) {
+                if matches!(
+                    f.kind(*ptr),
+                    InstKind::IntrinsicCall {
+                        intr: Intrinsic::GuardRead,
+                        ..
+                    }
+                ) {
+                    guarded_loads += 1;
+                }
+            }
+        }
+        assert_eq!(guarded_loads, 1);
+    }
+
+    #[test]
+    fn unknown_pointers_are_guarded() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let x = b.load(Type::I64, p);
+            b.ret(Some(x));
+        }
+        let plan = analyze(&m, id);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn guarded_code_is_not_reguarded() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let heap = b.malloc_const(64);
+            let x = b.load(Type::I64, heap);
+            b.ret(Some(x));
+        }
+        let (r1, _) = run(&mut m);
+        assert_eq!(r1, 1);
+        // Running the pass again must not stack a second guard: the access
+        // pointer is now Localized.
+        let (r2, w2) = run(&mut m);
+        assert_eq!((r2, w2), (0, 0));
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn stored_pointer_values_are_not_guarded() {
+        // Storing a heap *value* through a stack pointer needs no guard.
+        let mut m = Module::new("t");
+        let id = m.declare_function("main", Signature::new(vec![], None));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let heap = b.malloc_const(64);
+            let slot = b.alloca(8, 8);
+            b.store(slot, heap);
+            b.ret(None);
+        }
+        let plan = analyze(&m, m.find_function("main").unwrap());
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! The TrackFM pass pipeline (Fig. 2 of the paper):
+//!
+//! ```text
+//! source IR → [O1 pre-pipeline] → runtime initialization pass
+//!           → guard check analysis → loop chunking analysis
+//!           → loop chunking transform → guard check transform
+//!           → libc transformation pass → far-memory binary
+//! ```
+//!
+//! The O1 pre-pipeline position reflects the paper's Fig. 17b finding: letting
+//! classic scalar optimizations run *before* guard injection removes
+//! redundant memory instructions and with them most of the injected guards.
+
+pub mod chunking;
+pub mod guards;
+pub mod libc;
+pub mod mem2reg;
+pub mod o1;
+pub mod runtime_init;

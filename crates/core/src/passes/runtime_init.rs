@@ -1,0 +1,105 @@
+//! Runtime initialization pass.
+//!
+//! §3.1: "To make far memory transparent to programmers, this pass inserts
+//! hooks in the program's main function to initialize TrackFM's runtime
+//! system."
+
+use tfm_ir::{Block, Function, InstData, InstKind, Intrinsic, Module};
+
+/// Inserts `tfm.runtime.init()` at the top of `main_name`'s entry block
+/// (after parameters). Idempotent. Returns true if a hook was inserted.
+pub fn run(module: &mut Module, main_name: &str) -> bool {
+    let Some(id) = module.find_function(main_name) else {
+        return false;
+    };
+    let f = module.function_mut(id);
+    let entry = f.entry_block();
+    if has_init(f, entry) {
+        return false;
+    }
+    f.insert_at_block_start(
+        entry,
+        InstData {
+            kind: InstKind::IntrinsicCall {
+                intr: Intrinsic::RuntimeInit,
+                args: vec![],
+            },
+            ty: None,
+            block: entry,
+        },
+    );
+    true
+}
+
+fn has_init(f: &Function, b: Block) -> bool {
+    f.block_insts(b).iter().any(|&v| {
+        matches!(
+            f.kind(v),
+            InstKind::IntrinsicCall {
+                intr: Intrinsic::RuntimeInit,
+                ..
+            }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{FunctionBuilder, Signature, Type};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        let id = m.declare_function("main", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let x = b.param(0);
+        b.ret(Some(x));
+        m
+    }
+
+    #[test]
+    fn inserts_hook_after_params() {
+        let mut m = module();
+        assert!(run(&mut m, "main"));
+        m.verify().unwrap();
+        let f = m.function(m.find_function("main").unwrap());
+        let insts = f.block_insts(f.entry_block());
+        // param, init, ret
+        assert!(matches!(f.kind(insts[0]), InstKind::Param(_)));
+        assert!(matches!(
+            f.kind(insts[1]),
+            InstKind::IntrinsicCall {
+                intr: Intrinsic::RuntimeInit,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = module();
+        assert!(run(&mut m, "main"));
+        assert!(!run(&mut m, "main"));
+        let f = m.function(m.find_function("main").unwrap());
+        let inits = f
+            .block_insts(f.entry_block())
+            .iter()
+            .filter(|&&v| {
+                matches!(
+                    f.kind(v),
+                    InstKind::IntrinsicCall {
+                        intr: Intrinsic::RuntimeInit,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(inits, 1);
+    }
+
+    #[test]
+    fn missing_main_is_a_noop() {
+        let mut m = module();
+        assert!(!run(&mut m, "start"));
+    }
+}

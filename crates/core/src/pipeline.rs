@@ -1,0 +1,299 @@
+//! The TrackFM compiler driver.
+//!
+//! Mirrors Fig. 2 of the paper: runtime initialization → guard check
+//! analysis → loop chunking analysis/transform → guard check transform →
+//! libc transformation, optionally preceded by the O1 scalar pipeline
+//! (the Fig. 17b ordering fix). Produces a [`CompileReport`] with the
+//! §4.6 compilation-cost metrics.
+
+use crate::cost::CostModel;
+use crate::passes::chunking::{self, ChunkingMode, ChunkingOptions, ChunkingOutcome};
+use crate::passes::guards;
+use crate::passes::libc;
+use crate::passes::o1::{self, O1Outcome};
+use crate::passes::runtime_init;
+use std::time::Instant;
+use tfm_analysis::profile::Profile;
+use tfm_ir::Module;
+
+/// Compiler options.
+#[derive(Copy, Clone, Debug)]
+pub struct CompilerOptions {
+    /// The cycle cost model (drives the chunking decision and is later
+    /// shared with the execution engine).
+    pub cost_model: CostModel,
+    /// The AIFM object size selected for this application (§3.2: one size
+    /// per application, chosen at compile time).
+    pub object_size: u64,
+    /// Loop-chunking mode.
+    pub chunking: ChunkingMode,
+    /// Plant prefetch requests on chunk streams.
+    pub prefetch: bool,
+    /// Run the O1 scalar pipeline before the TrackFM passes (Fig. 17b).
+    pub o1: bool,
+    /// Prune small constant-size allocations from remoting (§5 /
+    /// MaPHeA-style): they stay on libc `malloc`, permanently local and
+    /// guard-free. Uses `object_size` as the threshold.
+    pub prune_local_allocations: bool,
+    /// Insert guards on unchunked heap accesses. Disabled by the §5 hybrid
+    /// compiler+kernel exploration, where raw accesses fault into a
+    /// kernel-style handler instead (see `tfm_sim::HybridMem`).
+    pub guards: bool,
+    /// Name of the entry function that receives the runtime-init hook.
+    pub main_name: &'static str,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            cost_model: CostModel::default(),
+            object_size: 4096,
+            chunking: ChunkingMode::CostModel,
+            prefetch: true,
+            o1: false,
+            prune_local_allocations: false,
+            guards: true,
+            main_name: "main",
+        }
+    }
+}
+
+/// What the compiler did, with the §4.6 code-size/compile-time metrics.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Read guards inserted.
+    pub read_guards: usize,
+    /// Write guards inserted.
+    pub write_guards: usize,
+    /// Chunking outcome.
+    pub chunking: ChunkingOutcome,
+    /// O1 outcome (if the pre-pipeline ran).
+    pub o1: Option<O1Outcome>,
+    /// Allocation sites pruned from remoting (kept always-local).
+    pub pruned_local_sites: usize,
+    /// Live instructions before compilation.
+    pub insts_before: usize,
+    /// Live instructions after compilation ("code size").
+    pub insts_after: usize,
+    /// Wall-clock nanoseconds per pass, in execution order.
+    pub pass_nanos: Vec<(&'static str, u128)>,
+}
+
+impl CompileReport {
+    /// Code-size growth factor (§4.6 reports ×2.4 on average for the real
+    /// system).
+    pub fn code_size_ratio(&self) -> f64 {
+        if self.insts_before == 0 {
+            1.0
+        } else {
+            self.insts_after as f64 / self.insts_before as f64
+        }
+    }
+
+    /// Total guards inserted.
+    pub fn total_guards(&self) -> usize {
+        self.read_guards + self.write_guards
+    }
+
+    /// Total compile time across passes.
+    pub fn total_nanos(&self) -> u128 {
+        self.pass_nanos.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The TrackFM compiler.
+#[derive(Clone, Debug, Default)]
+pub struct TrackFmCompiler {
+    /// The options this compiler instance applies.
+    pub options: CompilerOptions,
+}
+
+impl TrackFmCompiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: CompilerOptions) -> Self {
+        TrackFmCompiler { options }
+    }
+
+    /// Transforms `module` in place into a far-memory binary.
+    ///
+    /// # Panics
+    /// Panics if the module fails verification after transformation (a
+    /// compiler bug, not a user error).
+    pub fn compile(&self, module: &mut Module, profile: Option<&Profile>) -> CompileReport {
+        let mut report = CompileReport {
+            insts_before: module.total_live_insts(),
+            ..Default::default()
+        };
+        let opts = &self.options;
+
+        if opts.o1 {
+            let t = Instant::now();
+            report.o1 = Some(o1::run(module));
+            report.pass_nanos.push(("o1", t.elapsed().as_nanos()));
+        }
+
+        let t = Instant::now();
+        runtime_init::run(module, opts.main_name);
+        report
+            .pass_nanos
+            .push(("runtime-init", t.elapsed().as_nanos()));
+
+        let t = Instant::now();
+        let chunk_opts = ChunkingOptions {
+            mode: opts.chunking,
+            object_size: opts.object_size,
+            prefetch: opts.prefetch,
+        };
+        for id in module.function_ids().collect::<Vec<_>>() {
+            let out = chunking::run(module, id, &opts.cost_model, &chunk_opts, profile);
+            report.chunking.streams += out.streams;
+            report.chunking.chunked_accesses += out.chunked_accesses;
+            report.chunking.chunked_loops += out.chunked_loops;
+            report.chunking.skipped_low_benefit += out.skipped_low_benefit;
+        }
+        report
+            .pass_nanos
+            .push(("loop-chunking", t.elapsed().as_nanos()));
+
+        let t = Instant::now();
+        let prune_threshold = opts.prune_local_allocations.then_some(opts.object_size);
+        let (mut r, mut w) = (0, 0);
+        if opts.guards {
+            for id in module.function_ids().collect::<Vec<_>>() {
+                let locals = match prune_threshold {
+                    Some(th) => libc::local_alloc_sites(module.function(id), th),
+                    None => Default::default(),
+                };
+                let plan = guards::analyze_with_locals(module, id, &locals);
+                let (pr, pw) = guards::transform(module, id, &plan);
+                r += pr;
+                w += pw;
+            }
+        }
+        report.read_guards = r;
+        report.write_guards = w;
+        report
+            .pass_nanos
+            .push(("guard-transform", t.elapsed().as_nanos()));
+
+        let t = Instant::now();
+        let (_, kept) = libc::run_pruned(module, prune_threshold);
+        report.pruned_local_sites = kept;
+        report
+            .pass_nanos
+            .push(("libc-transform", t.elapsed().as_nanos()));
+
+        report.insts_after = module.total_live_insts();
+        module
+            .verify()
+            .expect("TrackFM output must verify — compiler bug");
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{BinOp, FunctionBuilder, InstKind, Intrinsic, Signature, Type};
+
+    /// Builds the paper's Listing-1 sum loop over a malloc'd array.
+    fn sum_program(elems: i64) -> Module {
+        let mut m = Module::new("sum");
+        let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let arr = b.malloc_const(elems * 8);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, elems);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let addr = b.gep(arr, i, 8, 0);
+                let x = b.load(Type::I64, addr);
+                let _ = b.binop(BinOp::Add, x, x);
+            });
+            b.intrinsic(Intrinsic::Free, vec![arr]);
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        m
+    }
+
+    fn count_intr(m: &Module, intr: Intrinsic) -> usize {
+        m.functions()
+            .flat_map(|(_, f)| {
+                f.live_insts()
+                    .into_iter()
+                    .filter(|&v| {
+                        matches!(f.kind(v), InstKind::IntrinsicCall { intr: i, .. } if *i == intr)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .count()
+    }
+
+    #[test]
+    fn full_pipeline_produces_far_memory_binary() {
+        let mut m = sum_program(1000);
+        let report = TrackFmCompiler::default().compile(&mut m, None);
+        // The array access is chunked, so no plain guards remain on it.
+        assert_eq!(report.chunking.streams, 1);
+        assert_eq!(report.read_guards, 0);
+        assert_eq!(count_intr(&m, Intrinsic::RuntimeInit), 1);
+        assert_eq!(count_intr(&m, Intrinsic::TfmAlloc), 1);
+        assert_eq!(count_intr(&m, Intrinsic::TfmFree), 1);
+        assert_eq!(count_intr(&m, Intrinsic::Malloc), 0);
+        assert!(report.code_size_ratio() > 1.0);
+        assert!(report.total_nanos() > 0);
+        assert_eq!(report.pass_nanos.len(), 4);
+    }
+
+    #[test]
+    fn chunking_off_leaves_naive_guards() {
+        let mut m = sum_program(1000);
+        let compiler = TrackFmCompiler::new(CompilerOptions {
+            chunking: ChunkingMode::Off,
+            ..Default::default()
+        });
+        let report = compiler.compile(&mut m, None);
+        assert_eq!(report.chunking.streams, 0);
+        assert_eq!(report.read_guards, 1);
+        assert_eq!(count_intr(&m, Intrinsic::GuardRead), 1);
+        assert_eq!(count_intr(&m, Intrinsic::ChunkDeref), 0);
+    }
+
+    #[test]
+    fn o1_runs_first_and_is_reported() {
+        let mut m = sum_program(100);
+        let compiler = TrackFmCompiler::new(CompilerOptions {
+            o1: true,
+            ..Default::default()
+        });
+        let report = compiler.compile(&mut m, None);
+        assert!(report.o1.is_some());
+        assert_eq!(report.pass_nanos[0].0, "o1");
+    }
+
+    #[test]
+    fn code_size_growth_is_guard_proportional() {
+        // A program with many distinct (unchunkable) accesses grows more
+        // than a chunkable one — §4.6's "roughly proportional to the number
+        // of memory instructions".
+        let mut m = Module::new("scatter");
+        let id = m.declare_function("main", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let mut acc = b.iconst(Type::I64, 0);
+            for k in 0..10 {
+                // Data-dependent chained loads: no IV, all guarded.
+                let addr = b.gep(p, acc, 8, k);
+                let x = b.load(Type::I64, addr);
+                acc = b.binop(BinOp::Add, acc, x);
+            }
+            b.ret(Some(acc));
+        }
+        m.verify().unwrap();
+        let report = TrackFmCompiler::default().compile(&mut m, None);
+        assert_eq!(report.read_guards, 10);
+        assert!(report.code_size_ratio() > 1.3);
+    }
+}

@@ -1,0 +1,364 @@
+//! # tfm-fastswap — the kernel-paging baseline (Fastswap stand-in)
+//!
+//! Fastswap (Amaro et al., EuroSys '20) is the paper's kernel-based
+//! comparator: a modified Linux swap subsystem that pages 4 KB pages to a
+//! remote server over one-sided RDMA. Its performance character — the one the
+//! paper's figures rely on — comes from three properties:
+//!
+//! 1. every miss costs a **hardware page fault plus kernel handling**
+//!    (~1.3 K cycles even when the data is local, ~34 K when remote,
+//!    Table 2);
+//! 2. transfers happen at the **architected page size**, so fine-grained
+//!    access patterns suffer heavy I/O amplification (Figs. 13/16);
+//! 3. under memory pressure, reclaim (cgroup eviction + dirty writeback)
+//!    adds work on the fault path (§4.1: "mapping and cgroups memory
+//!    reclamation").
+//!
+//! [`Pager`] reproduces all three on the simulated cycle timeline: a page
+//! table over the heap address range, CLOCK reclamation with dirty
+//! writebacks, and per-fault cost accounting over an RDMA
+//! [`tfm_net::Link`]. The *untransformed* program runs against it — kernel
+//! paging needs no compiler support, which is exactly its appeal.
+//!
+//! ```
+//! use tfm_fastswap::{Pager, PagerConfig};
+//! let mut p = Pager::new(PagerConfig { local_budget: 8 * 4096, ..PagerConfig::default() });
+//! // First touch of fresh memory: minor fault (kernel cost only).
+//! let minor = p.access(0x1000, 8, true, 0);
+//! assert_eq!(minor, p.config().kernel_fault_cycles);
+//! // Page it out, touch again: major fault, ~34K cycles over RDMA.
+//! p.evacuate_all(minor);
+//! let major = p.access(0x1000, 8, false, minor);
+//! assert!(major > 30_000);
+//! // Third touch: resident, no fault cost.
+//! assert_eq!(p.access(0x1008, 8, false, minor + major), 0);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use tfm_net::{Link, LinkParams, TransferStats};
+
+/// The architected page size Fastswap is bound to.
+pub const PAGE_SIZE: u64 = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// Pager configuration.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PagerConfig {
+    /// Local memory budget in bytes (cgroup limit in Fastswap terms).
+    pub local_budget: u64,
+    /// Kernel cycles to handle a fault when the page is already in the swap
+    /// cache / local (Table 2: 1.3 K cycles).
+    pub kernel_fault_cycles: u64,
+    /// Extra kernel cycles per reclaimed page on the fault path (cgroup
+    /// reclaim + unmap).
+    pub reclaim_cycles: u64,
+    /// RDMA backend parameters.
+    pub link: LinkParams,
+}
+
+impl Default for PagerConfig {
+    fn default() -> Self {
+        PagerConfig {
+            local_budget: 16 << 20,
+            kernel_fault_cycles: 1_300,
+            reclaim_cycles: 400,
+            link: LinkParams::rdma_25g(),
+        }
+    }
+}
+
+#[derive(Copy, Clone, Default)]
+struct PageMeta {
+    resident: bool,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// Fault/reclaim counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct PagerStats {
+    /// Faults served from remote memory (RDMA fetch).
+    pub major_faults: u64,
+    /// Faults on pages that were never paged out (first touch of fresh
+    /// memory): kernel cost only, no transfer.
+    pub minor_faults: u64,
+    /// Pages reclaimed under pressure.
+    pub reclaims: u64,
+    /// Reclaimed pages that were dirty (written back).
+    pub writebacks: u64,
+}
+
+/// The page-granularity far-memory pager.
+#[derive(Clone)]
+pub struct Pager {
+    cfg: PagerConfig,
+    pages: HashMap<u64, PageMeta>,
+    /// Pages that have a remote copy (have been written back at least once
+    /// or fetched). Pages outside this set fault "minor" on first touch.
+    ever_evicted: HashMap<u64, ()>,
+    clock: VecDeque<u64>,
+    resident_pages: u64,
+    link: Link,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Creates a pager with an empty resident set.
+    pub fn new(cfg: PagerConfig) -> Self {
+        Pager {
+            pages: HashMap::new(),
+            ever_evicted: HashMap::new(),
+            clock: VecDeque::new(),
+            resident_pages: 0,
+            link: Link::new(cfg.link),
+            stats: PagerStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PagerConfig {
+        &self.cfg
+    }
+
+    /// Fault/reclaim counters.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Bytes moved over the link (4 KB granularity — the I/O-amplification
+    /// ledger for Figs. 13/16).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.link.stats()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages * PAGE_SIZE
+    }
+
+    /// Clears counters and the link horizon (after benchmark setup).
+    pub fn reset_stats(&mut self) {
+        self.stats = PagerStats::default();
+        self.link.reset_stats();
+    }
+
+    /// Simulates an access of `size` bytes at `addr`; returns the cycles the
+    /// faulting thread stalls (0 when all touched pages are resident).
+    /// Accesses spanning page boundaries fault on each page.
+    pub fn access(&mut self, addr: u64, size: u64, write: bool, now: u64) -> u64 {
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + size.max(1) - 1) >> PAGE_SHIFT;
+        let mut cycles = 0;
+        for page in first..=last {
+            cycles += self.touch_page(page, write, now + cycles);
+        }
+        cycles
+    }
+
+    fn touch_page(&mut self, page: u64, write: bool, now: u64) -> u64 {
+        let meta = self.pages.entry(page).or_default();
+        if meta.resident {
+            meta.referenced = true;
+            meta.dirty |= write;
+            return 0;
+        }
+        // Fault path: kernel handling + (for paged-out pages) an RDMA fetch,
+        // plus any reclaim work needed to make room.
+        let mut cycles = self.cfg.kernel_fault_cycles;
+        cycles += self.make_room(now + cycles);
+        let had_remote_copy = self.ever_evicted.contains_key(&page);
+        if had_remote_copy {
+            let done = self.link.transfer(PAGE_SIZE, now + cycles);
+            cycles += done.saturating_sub(now + cycles);
+            self.stats.major_faults += 1;
+        } else {
+            // Fresh page: the kernel just maps a zero page.
+            self.stats.minor_faults += 1;
+        }
+        let meta = self.pages.entry(page).or_default();
+        meta.resident = true;
+        meta.referenced = true;
+        meta.dirty = write || !had_remote_copy;
+        self.resident_pages += 1;
+        self.clock.push_back(page);
+        cycles
+    }
+
+    /// CLOCK reclamation down to the budget; returns reclaim cycles charged
+    /// to the faulting thread.
+    fn make_room(&mut self, now: u64) -> u64 {
+        let budget_pages = self.cfg.local_budget / PAGE_SIZE;
+        let mut cycles = 0;
+        let mut visits = self.clock.len().saturating_mul(2) + 1;
+        while self.resident_pages + 1 > budget_pages && visits > 0 {
+            visits -= 1;
+            let Some(page) = self.clock.pop_front() else {
+                break;
+            };
+            let Some(meta) = self.pages.get_mut(&page) else {
+                continue;
+            };
+            if !meta.resident {
+                continue; // stale entry
+            }
+            if meta.referenced {
+                meta.referenced = false;
+                self.clock.push_back(page);
+                continue;
+            }
+            // Reclaim.
+            let dirty = meta.dirty;
+            meta.resident = false;
+            meta.dirty = false;
+            self.resident_pages -= 1;
+            self.ever_evicted.insert(page, ());
+            cycles += self.cfg.reclaim_cycles;
+            self.stats.reclaims += 1;
+            if dirty {
+                self.link.writeback(PAGE_SIZE, now + cycles);
+                self.stats.writebacks += 1;
+            }
+        }
+        cycles
+    }
+
+    /// Pages everything out (dirty pages write back). Benchmarks call this
+    /// after setup for a cold start, then [`Pager::reset_stats`].
+    pub fn evacuate_all(&mut self, now: u64) {
+        while let Some(page) = self.clock.pop_front() {
+            let Some(meta) = self.pages.get_mut(&page) else {
+                continue;
+            };
+            if !meta.resident {
+                continue;
+            }
+            let dirty = meta.dirty;
+            meta.resident = false;
+            meta.dirty = false;
+            meta.referenced = false;
+            self.resident_pages -= 1;
+            self.ever_evicted.insert(page, ());
+            self.stats.reclaims += 1;
+            if dirty {
+                self.link.writeback(PAGE_SIZE, now);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pager(pages: u64) -> Pager {
+        Pager::new(PagerConfig {
+            local_budget: pages * PAGE_SIZE,
+            ..PagerConfig::default()
+        })
+    }
+
+    #[test]
+    fn first_touch_is_minor_fault() {
+        let mut p = pager(8);
+        let c = p.access(0, 8, true, 0);
+        assert_eq!(c, p.config().kernel_fault_cycles);
+        assert_eq!(p.stats().minor_faults, 1);
+        assert_eq!(p.stats().major_faults, 0);
+        assert_eq!(p.transfer_stats().bytes_fetched, 0);
+    }
+
+    #[test]
+    fn remote_fault_costs_match_table2() {
+        let mut p = pager(8);
+        p.access(0, 8, true, 0);
+        p.evacuate_all(0);
+        p.reset_stats();
+        let c = p.access(0, 8, false, 0);
+        assert!((32_000..36_000).contains(&c), "remote fault = {c}");
+        assert_eq!(p.stats().major_faults, 1);
+        assert_eq!(p.transfer_stats().bytes_fetched, PAGE_SIZE);
+    }
+
+    #[test]
+    fn resident_access_is_free() {
+        let mut p = pager(8);
+        p.access(0, 8, false, 0);
+        assert_eq!(p.access(100, 8, false, 0), 0);
+        assert_eq!(p.access(4000, 8, false, 0), 0);
+    }
+
+    #[test]
+    fn page_spanning_access_faults_twice() {
+        let mut p = pager(8);
+        let c = p.access(4090, 16, false, 0);
+        assert_eq!(p.stats().minor_faults, 2);
+        assert_eq!(c, 2 * p.config().kernel_fault_cycles);
+    }
+
+    #[test]
+    fn io_amplification_is_page_granular() {
+        // Touch one byte in each of 16 distinct cold (paged-out) pages: 64 KB
+        // fetched for 16 bytes of use — the Fig. 13 mechanism.
+        let mut p = pager(32);
+        for i in 0..16u64 {
+            p.access(i * PAGE_SIZE, 1, true, 0);
+        }
+        p.evacuate_all(0);
+        p.reset_stats();
+        let mut now = 0;
+        for i in 0..16u64 {
+            now += p.access(i * PAGE_SIZE, 1, false, now);
+        }
+        assert_eq!(p.transfer_stats().bytes_fetched, 16 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn reclaim_under_pressure_writes_back_dirty_pages() {
+        let mut p = pager(2);
+        let mut now = 0;
+        for i in 0..4u64 {
+            now += p.access(i * PAGE_SIZE, 8, true, now);
+        }
+        assert!(p.resident_bytes() <= 3 * PAGE_SIZE);
+        assert!(p.stats().reclaims >= 2);
+        assert!(p.stats().writebacks >= 2, "fresh pages are dirty");
+        // Re-touching a reclaimed page is now a major fault.
+        p.reset_stats();
+        now += p.access(0, 8, false, now);
+        assert_eq!(p.stats().major_faults, 1);
+        let _ = now;
+    }
+
+    #[test]
+    fn temporal_locality_amortizes_faults() {
+        // The paper's observation (§5): with repeated access, page fault
+        // costs amortize. 1 fault then N free accesses.
+        let mut p = pager(8);
+        p.access(0, 8, true, 0);
+        p.evacuate_all(0);
+        p.reset_stats();
+        let mut total = p.access(0, 8, false, 0);
+        for _ in 0..1000 {
+            total += p.access(8, 8, false, total);
+        }
+        assert_eq!(p.stats().major_faults, 1);
+        assert!(total < 40_000);
+    }
+
+    #[test]
+    fn clock_second_chance_prefers_unreferenced() {
+        let mut p = pager(2);
+        let mut now = 0;
+        now += p.access(0, 8, false, now); // page 0
+        now += p.access(PAGE_SIZE, 8, false, now); // page 1
+        // Re-reference page 0 so it gets a second chance.
+        now += p.access(0, 8, false, now);
+        // Pressure: page 2 comes in; CLOCK strips ref bits, evicts page 1
+        // (page 0 was referenced more recently in clock order).
+        now += p.access(2 * PAGE_SIZE, 8, false, now);
+        let _ = now;
+        assert!(p.stats().reclaims >= 1);
+    }
+}

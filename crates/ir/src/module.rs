@@ -1,0 +1,199 @@
+//! Modules: collections of functions and global data.
+
+use crate::entities::{FuncId, GlobalId};
+use crate::function::{Function, Signature};
+use crate::verifier::{verify_module, VerifyError};
+
+/// A global data object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Symbolic name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Optional initializer (must be at most `size` bytes; the remainder is
+    /// zero-filled).
+    pub init: Option<Vec<u8>>,
+}
+
+/// A compilation unit: functions plus globals.
+///
+/// # Example
+/// ```
+/// use tfm_ir::{Module, Signature, Type};
+/// let mut m = Module::new("demo");
+/// let f = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+/// assert_eq!(m.function(f).name, "main");
+/// assert_eq!(m.find_function("main"), Some(f));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Module {
+    /// Module name (for diagnostics).
+    pub name: String,
+    functions: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Declares a new function and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a function with the same name already exists.
+    pub fn declare_function(&mut self, name: impl Into<String>, sig: Signature) -> FuncId {
+        let name = name.into();
+        assert!(
+            self.find_function(&name).is_none(),
+            "duplicate function name: {name}"
+        );
+        let id = FuncId::from_index(self.functions.len());
+        self.functions.push(Function::new(name, sig));
+        id
+    }
+
+    /// Adds a global data object.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64, init: Option<Vec<u8>>) -> GlobalId {
+        if let Some(ref bytes) = init {
+            assert!(
+                bytes.len() as u64 <= size,
+                "global initializer larger than the global"
+            );
+        }
+        let id = GlobalId::from_index(self.globals.len());
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+        });
+        id
+    }
+
+    /// Shared access to a function.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    #[inline]
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Iterator over `(id, function)` pairs.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::from_index(i), f))
+    }
+
+    /// All function ids.
+    pub fn function_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.functions.len()).map(FuncId::from_index)
+    }
+
+    /// Number of functions.
+    #[inline]
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Shared access to a global.
+    #[inline]
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Iterator over `(id, global)` pairs.
+    pub fn globals(&self) -> impl Iterator<Item = (GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId::from_index(i), g))
+    }
+
+    /// Number of globals.
+    #[inline]
+    pub fn num_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Total live instruction count across all functions — the "code size"
+    /// metric used by the §4.6 compilation-cost experiment.
+    pub fn total_live_insts(&self) -> usize {
+        self.functions.iter().map(|f| f.num_live_insts()).sum()
+    }
+
+    /// Verifies every function in the module.
+    ///
+    /// # Errors
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        verify_module(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn declare_and_find() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("a", Signature::new(vec![Type::I64], None));
+        let g = m.declare_function("b", Signature::new(vec![], Some(Type::F64)));
+        assert_eq!(m.find_function("a"), Some(f));
+        assert_eq!(m.find_function("b"), Some(g));
+        assert_eq!(m.find_function("c"), None);
+        assert_eq!(m.num_functions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new("m");
+        m.declare_function("a", Signature::new(vec![], None));
+        m.declare_function("a", Signature::new(vec![], None));
+    }
+
+    #[test]
+    fn globals() {
+        let mut m = Module::new("m");
+        let g = m.add_global("table", 64, Some(vec![1, 2, 3]));
+        assert_eq!(m.global(g).size, 64);
+        assert_eq!(m.global(g).init.as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(m.num_globals(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "initializer larger")]
+    fn oversized_initializer_rejected() {
+        let mut m = Module::new("m");
+        m.add_global("bad", 2, Some(vec![0; 3]));
+    }
+
+    #[test]
+    fn total_live_insts_counts_params() {
+        let mut m = Module::new("m");
+        m.declare_function("a", Signature::new(vec![Type::I64, Type::I64], None));
+        assert_eq!(m.total_live_insts(), 2);
+    }
+}

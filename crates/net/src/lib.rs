@@ -1,0 +1,314 @@
+//! # tfm-net — the cycle-accounted network link model
+//!
+//! Far-memory performance is dominated by three network quantities: the
+//! per-message latency, the link bandwidth, and the total bytes moved
+//! (I/O amplification). This crate models exactly those three on a simulated
+//! cycle timeline, standing in for the paper's 25 Gb/s ConnectX-4 fabric with
+//! its two software backends:
+//!
+//! * **TCP** (AIFM/Shenango's backend, used by TrackFM): higher per-message
+//!   base latency;
+//! * **RDMA** (Fastswap's backend): slightly lower per-message latency.
+//!
+//! The presets are calibrated so that a 4 KB fetch costs ≈35 K cycles end to
+//! end over TCP and a remote 4 KB page fault lands at ≈34 K cycles over RDMA
+//! (1.3 K of which is kernel fault handling), matching Table 2 of the paper.
+//!
+//! ## Timeline semantics
+//!
+//! [`Link`] keeps a single `free_at` horizon. A transfer issued at cycle
+//! `now` begins its bandwidth slot at `max(now, free_at)`, occupies the link
+//! for `bytes / bandwidth` cycles, and completes `base_latency` cycles after
+//! its slot ends. Latency therefore overlaps across outstanding messages
+//! (pipelining) while bandwidth strictly serializes — the behaviour that
+//! makes prefetching profitable (Fig. 11) and small-object fetches
+//! latency-bound (Fig. 9).
+//!
+//! ```
+//! use tfm_net::{Link, LinkParams};
+//! let mut link = Link::new(LinkParams::tcp_25g());
+//! let done = link.transfer(4096, 0);
+//! assert!(done > 30_000); // latency-dominated
+//! let second = link.transfer(4096, 0); // queued behind the first
+//! assert!(second > done);
+//! ```
+
+use std::fmt;
+
+/// Parameters of a simulated link.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct LinkParams {
+    /// Fixed per-message latency in cycles (software stack + wire + remote
+    /// service), charged after the message's bandwidth slot.
+    pub base_latency: u64,
+    /// Bandwidth expressed as cycles per 1024 bytes (so fractional
+    /// bytes-per-cycle rates stay in integer math).
+    pub cycles_per_kib: u64,
+}
+
+impl LinkParams {
+    /// 25 Gb/s link on a 2.4 GHz core: ≈0.77 B/cycle ≈ 1330 cycles/KiB.
+    const CYCLES_PER_KIB_25G: u64 = 1330;
+
+    /// TCP backend preset (AIFM/Shenango): 4 KB fetch ≈ 35 K cycles,
+    /// matching the TrackFM remote slow-path guard in Table 2.
+    pub fn tcp_25g() -> Self {
+        LinkParams {
+            base_latency: 30_000,
+            cycles_per_kib: Self::CYCLES_PER_KIB_25G,
+        }
+    }
+
+    /// RDMA backend preset (Fastswap): one-sided 4 KB read ≈ 33 K cycles;
+    /// with ≈1.3 K cycles of kernel fault handling on top this reproduces the
+    /// ≈34 K-cycle remote fault of Table 2.
+    pub fn rdma_25g() -> Self {
+        LinkParams {
+            base_latency: 27_500,
+            cycles_per_kib: Self::CYCLES_PER_KIB_25G,
+        }
+    }
+
+    /// An idealized instant link (useful in tests).
+    pub fn instant() -> Self {
+        LinkParams {
+            base_latency: 0,
+            cycles_per_kib: 0,
+        }
+    }
+
+    /// Cycles the link is occupied transferring `bytes`.
+    #[inline]
+    pub fn occupancy(&self, bytes: u64) -> u64 {
+        // Round up: even a 1-byte message consumes a sliver of bandwidth.
+        (bytes * self.cycles_per_kib).div_ceil(1024)
+    }
+
+    /// End-to-end cycles for a single transfer on an idle link.
+    #[inline]
+    pub fn solo_cost(&self, bytes: u64) -> u64 {
+        self.occupancy(bytes) + self.base_latency
+    }
+}
+
+/// Byte/message counters, split by direction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TransferStats {
+    /// Messages fetched from the remote node.
+    pub fetches: u64,
+    /// Bytes fetched from the remote node.
+    pub bytes_fetched: u64,
+    /// Messages written back to the remote node.
+    pub writebacks: u64,
+    /// Bytes written back to the remote node.
+    pub bytes_written_back: u64,
+}
+
+impl TransferStats {
+    /// Total bytes moved in either direction — the I/O-amplification
+    /// numerator used by Figs. 13 and 16c.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_fetched + self.bytes_written_back
+    }
+}
+
+impl fmt::Display for TransferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetches: {} ({} B), writebacks: {} ({} B)",
+            self.fetches, self.bytes_fetched, self.writebacks, self.bytes_written_back
+        )
+    }
+}
+
+/// A simulated link with an occupancy horizon and a transfer ledger.
+#[derive(Clone, Debug)]
+pub struct Link {
+    params: LinkParams,
+    free_at: u64,
+    stats: TransferStats,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(params: LinkParams) -> Self {
+        Link {
+            params,
+            free_at: 0,
+            stats: TransferStats::default(),
+        }
+    }
+
+    /// The link parameters.
+    pub fn params(&self) -> LinkParams {
+        self.params
+    }
+
+    /// Schedules a fetch of `bytes` at cycle `now`; returns the completion
+    /// cycle. Synchronous callers stall until then; asynchronous callers
+    /// (the prefetcher) record it as the object's ready time.
+    pub fn transfer(&mut self, bytes: u64, now: u64) -> u64 {
+        let start = now.max(self.free_at);
+        self.free_at = start + self.params.occupancy(bytes);
+        self.stats.fetches += 1;
+        self.stats.bytes_fetched += bytes;
+        self.free_at + self.params.base_latency
+    }
+
+    /// Schedules a writeback (evacuation of a dirty object/page). Returns the
+    /// completion cycle, though callers typically fire-and-forget: the cost
+    /// surfaces as queueing delay for subsequent fetches.
+    pub fn writeback(&mut self, bytes: u64, now: u64) -> u64 {
+        let start = now.max(self.free_at);
+        self.free_at = start + self.params.occupancy(bytes);
+        self.stats.writebacks += 1;
+        self.stats.bytes_written_back += bytes;
+        self.free_at + self.params.base_latency
+    }
+
+    /// First cycle at which a new transfer could start.
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+
+    /// The transfer ledger.
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    /// Resets the ledger and the occupancy horizon (used between benchmark
+    /// phases, e.g. to exclude setup traffic).
+    pub fn reset_stats(&mut self) {
+        self.stats = TransferStats::default();
+        self.free_at = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table2_calibration() {
+        // TCP 4KB fetch ≈ 35K cycles once the 144-cycle slow-path guard is
+        // added by the runtime; the raw link cost must sit just below that.
+        let tcp = LinkParams::tcp_25g().solo_cost(4096);
+        assert!((34_000..36_000).contains(&tcp), "tcp 4KB = {tcp}");
+        // RDMA + 1.3K kernel handling ≈ 34K.
+        let rdma = LinkParams::rdma_25g().solo_cost(4096) + 1_300;
+        assert!((33_000..35_500).contains(&rdma), "rdma fault = {rdma}");
+    }
+
+    #[test]
+    fn occupancy_rounds_up_and_scales() {
+        let p = LinkParams::tcp_25g();
+        assert_eq!(p.occupancy(0), 0);
+        assert!(p.occupancy(1) >= 1);
+        assert_eq!(p.occupancy(2048), 2 * p.occupancy(1024));
+    }
+
+    #[test]
+    fn latency_overlaps_bandwidth_serializes() {
+        let p = LinkParams {
+            base_latency: 1000,
+            cycles_per_kib: 1024, // 1 byte per cycle
+        };
+        let mut l = Link::new(p);
+        let a = l.transfer(100, 0);
+        let b = l.transfer(100, 0);
+        assert_eq!(a, 100 + 1000);
+        // Second message waits for the first's bandwidth slot only, not its
+        // latency: starts at 100, done at 200 + 1000.
+        assert_eq!(b, 200 + 1000);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let p = LinkParams {
+            base_latency: 10,
+            cycles_per_kib: 1024,
+        };
+        let mut l = Link::new(p);
+        let _ = l.transfer(50, 0);
+        // Issue long after the link drained: no queueing.
+        let done = l.transfer(50, 10_000);
+        assert_eq!(done, 10_000 + 50 + 10);
+    }
+
+    #[test]
+    fn ledger_accumulates_both_directions() {
+        let mut l = Link::new(LinkParams::instant());
+        l.transfer(4096, 0);
+        l.transfer(64, 0);
+        l.writeback(4096, 0);
+        let s = l.stats();
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.bytes_fetched, 4160);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.bytes_written_back, 4096);
+        assert_eq!(s.total_bytes(), 8256);
+        assert!(s.to_string().contains("fetches: 2"));
+    }
+
+    #[test]
+    fn reset_clears_horizon_and_ledger() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.transfer(1 << 20, 0);
+        assert!(l.free_at() > 0);
+        l.reset_stats();
+        assert_eq!(l.free_at(), 0);
+        assert_eq!(l.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn small_objects_are_latency_bound_large_are_bandwidth_bound() {
+        // The Fig. 9/10 mechanism: per-byte cost of a 64B fetch is far worse
+        // than per-byte cost of a 4KB fetch.
+        let p = LinkParams::tcp_25g();
+        let small = p.solo_cost(64) as f64 / 64.0;
+        let large = p.solo_cost(4096) as f64 / 4096.0;
+        assert!(small > 40.0 * large, "small {small} vs large {large}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Completion times are monotone in issue order, never precede the
+        /// issue time plus the solo cost's latency component, and the byte
+        /// ledger is exact.
+        #[test]
+        fn link_timeline_is_monotone_and_exact(
+            msgs in prop::collection::vec((1u64..64_000, 0u64..100_000), 1..40),
+        ) {
+            let mut link = Link::new(LinkParams::tcp_25g());
+            let mut now = 0u64;
+            let mut last_done = 0u64;
+            let mut total = 0u64;
+            for (s, g) in &msgs {
+                now += g;
+                let done = link.transfer(*s, now);
+                prop_assert!(done >= last_done, "completions must be ordered");
+                prop_assert!(done >= now + LinkParams::tcp_25g().base_latency);
+                last_done = done;
+                total += s;
+            }
+            prop_assert_eq!(link.stats().bytes_fetched, total);
+            prop_assert_eq!(link.stats().fetches, msgs.len() as u64);
+        }
+
+        /// A transfer on an idle link costs exactly the solo cost.
+        #[test]
+        fn idle_link_charges_solo_cost(size in 1u64..1_000_000, start in 0u64..1_000_000) {
+            let p = LinkParams::rdma_25g();
+            let mut link = Link::new(p);
+            // Drain any state by starting fresh; first transfer at `start`.
+            let done = link.transfer(size, start);
+            prop_assert_eq!(done, start + p.solo_cost(size));
+        }
+    }
+}

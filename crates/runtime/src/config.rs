@@ -1,0 +1,144 @@
+//! Runtime configuration.
+
+use tfm_net::LinkParams;
+
+/// Prefetcher configuration.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PrefetchConfig {
+    /// Master switch. When off, `tfm.prefetch` hints and chunk-stream
+    /// prefetching are ignored (the Fig. 11 "no prefetch" arm).
+    pub enabled: bool,
+    /// How many objects ahead of the current stream position to keep in
+    /// flight (AIFM's stride prefetcher look-ahead).
+    pub depth: u32,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            enabled: true,
+            depth: 8,
+        }
+    }
+}
+
+/// Configuration of the far-memory runtime.
+///
+/// The two knobs the paper sweeps are [`object_size`](Self::object_size)
+/// (Figs. 9/10) and the local-memory budget (the x-axis of most figures,
+/// expressed as a fraction of the working set).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FarMemoryConfig {
+    /// Total far-heap capacity in bytes (multiple of `object_size`).
+    pub heap_size: u64,
+    /// AIFM object size in bytes; power of two in `[64, 4096]` per §3.2.
+    pub object_size: u64,
+    /// Local-memory budget in bytes; resident objects above this trigger the
+    /// evacuator.
+    pub local_budget: u64,
+    /// Network backend parameters (TCP for TrackFM/AIFM).
+    pub link: LinkParams,
+    /// Prefetcher settings.
+    pub prefetch: PrefetchConfig,
+}
+
+impl FarMemoryConfig {
+    /// A small default configuration: 64 MiB heap, 4 KiB objects, 16 MiB
+    /// local budget, TCP backend.
+    pub fn small() -> Self {
+        FarMemoryConfig {
+            heap_size: 64 << 20,
+            object_size: 4096,
+            local_budget: 16 << 20,
+            link: LinkParams::tcp_25g(),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Validates invariants, panicking with a descriptive message otherwise.
+    ///
+    /// # Panics
+    /// If the object size is not a power of two in `[64, 4096]`, or the heap
+    /// size is not a multiple of the object size, or the budget is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.object_size.is_power_of_two()
+                && (64..=4096).contains(&self.object_size),
+            "object size must be a power of two in [64, 4096], got {}",
+            self.object_size
+        );
+        assert!(
+            self.heap_size.is_multiple_of(self.object_size) && self.heap_size > 0,
+            "heap size must be a positive multiple of the object size"
+        );
+        assert!(self.local_budget > 0, "local budget must be positive");
+    }
+
+    /// Number of objects in the heap (= state-table entries).
+    pub fn num_objects(&self) -> u64 {
+        self.heap_size / self.object_size
+    }
+
+    /// log2 of the object size — the shift the guards use to derive object
+    /// ids from pointers.
+    pub fn log2_object_size(&self) -> u32 {
+        self.object_size.trailing_zeros()
+    }
+
+    /// Returns a copy with a different object size.
+    pub fn with_object_size(mut self, object_size: u64) -> Self {
+        self.object_size = object_size;
+        self
+    }
+
+    /// Returns a copy with a different local budget.
+    pub fn with_local_budget(mut self, budget: u64) -> Self {
+        self.local_budget = budget;
+        self
+    }
+
+    /// Returns a copy with prefetching toggled.
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch.enabled = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_is_valid() {
+        let c = FarMemoryConfig::small();
+        c.validate();
+        assert_eq!(c.num_objects(), (64 << 20) / 4096);
+        assert_eq!(c.log2_object_size(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "object size")]
+    fn rejects_non_power_of_two_objects() {
+        FarMemoryConfig::small().with_object_size(3000).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "object size")]
+    fn rejects_tiny_objects() {
+        // §3.2: below a cache line "would saturate the network with many
+        // small packets".
+        FarMemoryConfig::small().with_object_size(32).validate();
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let c = FarMemoryConfig::small()
+            .with_object_size(256)
+            .with_local_budget(1 << 20)
+            .with_prefetch(false);
+        c.validate();
+        assert_eq!(c.object_size, 256);
+        assert_eq!(c.local_budget, 1 << 20);
+        assert!(!c.prefetch.enabled);
+    }
+}

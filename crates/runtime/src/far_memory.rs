@@ -1,0 +1,645 @@
+//! The far-memory object runtime (AIFM stand-in).
+//!
+//! [`FarMemory`] owns the object state table, the region allocator, the
+//! simulated link, and the evacuator's CLOCK. It is a *metadata* runtime:
+//! object payloads live in the host process (the simulator's flat heap), so
+//! localize/evict operations move bookkeeping and charge cycles/bytes rather
+//! than copying data. See DESIGN.md §2 for why this preserves the paper's
+//! measured quantities.
+//!
+//! Lifecycle of an object (matching AIFM's semantics as used in §3.2–3.3):
+//!
+//! * freshly allocated objects are local and dirty (they have no remote copy
+//!   yet);
+//! * the evacuator keeps resident bytes under the local budget, skipping
+//!   pinned and in-flight objects, writing dirty victims back over the link;
+//! * a slow-path guard localizes a remote object synchronously; the chunk
+//!   locality-invariant guard additionally pins it for the duration of a
+//!   chunk; the prefetcher localizes asynchronously, overlapping latency
+//!   with execution.
+
+use crate::alloc::{AllocError, RegionAllocator};
+use crate::config::FarMemoryConfig;
+use crate::ptr::{ObjId, TfmPtr};
+use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
+use crate::stats::RuntimeStats;
+use std::collections::VecDeque;
+use tfm_net::{Link, TransferStats};
+
+/// The far-memory runtime.
+#[derive(Clone, Debug)]
+pub struct FarMemory {
+    cfg: FarMemoryConfig,
+    log2_obj: u32,
+    table: StateTable,
+    alloc: RegionAllocator,
+    link: Link,
+    clock: VecDeque<ObjId>,
+    resident_bytes: u64,
+    stats: RuntimeStats,
+    /// AIFM's runtime stride prefetcher: a small table of concurrent
+    /// streams (AIFM keeps per-data-structure prefetcher state; several
+    /// interleaved scans are the common case, e.g. CSR walks).
+    streams: Vec<StrideStream>,
+    stream_victim: usize,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct StrideStream {
+    last: u64,
+    dir: i64,
+    run: u32,
+}
+
+/// Number of concurrent miss streams the runtime prefetcher tracks.
+const STRIDE_STREAMS: usize = 8;
+
+impl FarMemory {
+    /// Creates a runtime from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`FarMemoryConfig::validate`]).
+    pub fn new(cfg: FarMemoryConfig) -> Self {
+        cfg.validate();
+        FarMemory {
+            log2_obj: cfg.log2_object_size(),
+            table: StateTable::new(cfg.num_objects()),
+            alloc: RegionAllocator::new(cfg.heap_size, cfg.object_size),
+            link: Link::new(cfg.link),
+            clock: VecDeque::new(),
+            resident_bytes: 0,
+            stats: RuntimeStats::default(),
+            streams: Vec::new(),
+            stream_victim: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FarMemoryConfig {
+        &self.cfg
+    }
+
+    /// Object size in bytes.
+    #[inline]
+    pub fn object_size(&self) -> u64 {
+        self.cfg.object_size
+    }
+
+    /// log2(object size): the pointer→object shift used by guards.
+    #[inline]
+    pub fn log2_object_size(&self) -> u32 {
+        self.log2_obj
+    }
+
+    /// The object containing a far-heap byte offset.
+    #[inline]
+    pub fn obj_of_offset(&self, offset: u64) -> ObjId {
+        ObjId(offset >> self.log2_obj)
+    }
+
+    /// Shared access to the state table (what the fast-path guard reads).
+    #[inline]
+    pub fn table(&self) -> &StateTable {
+        &self.table
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Link transfer ledger (bytes moved — the I/O amplification metric).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.link.stats()
+    }
+
+    /// Bytes currently resident locally.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Clears all counters (runtime + link) and the link's occupancy
+    /// horizon. Used by benchmarks to exclude setup traffic.
+    pub fn reset_stats(&mut self) {
+        self.stats = RuntimeStats::default();
+        self.link.reset_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation.
+    // ------------------------------------------------------------------
+
+    /// Allocates far memory; newly covered objects become resident and
+    /// dirty. Charges eviction traffic to the link as needed.
+    ///
+    /// # Errors
+    /// Propagates allocator failures.
+    pub fn allocate(&mut self, size: u64, now: u64) -> Result<TfmPtr, AllocError> {
+        let ptr = self.alloc.alloc(size)?;
+        let rounded = self.alloc.size_of(ptr).expect("fresh allocation");
+        let first = self.obj_of_offset(ptr.offset());
+        let last = self.obj_of_offset(ptr.offset() + rounded - 1);
+        for o in first.0..=last.0 {
+            let o = ObjId(o);
+            if !self.table.is_present(o) && !self.table.is_inflight(o) {
+                self.ensure_capacity(self.cfg.object_size, now);
+                self.table.set(o, PRESENT | DIRTY | HOT);
+                self.resident_bytes += self.cfg.object_size;
+                self.clock.push_back(o);
+            } else {
+                self.table.set(o, DIRTY | HOT);
+            }
+        }
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
+        self.stats.allocations += 1;
+        Ok(ptr)
+    }
+
+    /// Frees an allocation. Residency of the covered objects is untouched
+    /// (they are reclaimed by the evacuator like any other cold object).
+    ///
+    /// # Panics
+    /// Panics on invalid or double free.
+    pub fn free(&mut self, ptr: TfmPtr) {
+        self.alloc.free(ptr);
+        self.stats.frees += 1;
+    }
+
+    /// The allocator (for size queries and accounting).
+    pub fn allocator(&self) -> &RegionAllocator {
+        &self.alloc
+    }
+
+    // ------------------------------------------------------------------
+    // Guard back-ends.
+    // ------------------------------------------------------------------
+
+    /// Fast-path bookkeeping after a successful safety check: sets the CLOCK
+    /// reference bit (and the dirty bit for writes). Free of simulated
+    /// cycles — the guard cost is charged by the execution engine.
+    #[inline]
+    pub fn fast_touch(&mut self, o: ObjId, write: bool) {
+        self.table.set(o, if write { HOT | DIRTY } else { HOT });
+    }
+
+    /// Slow-path localization: makes `o` resident, returning the simulated
+    /// cycles the calling thread stalls (0 if the object was already
+    /// resident or a prefetch had completed).
+    ///
+    /// Every localization also feeds AIFM's runtime stride prefetcher
+    /// (§4.3: "we use AIFM's existing stride prefetcher"): after two
+    /// consecutive unit-stride object localizations, the runtime keeps
+    /// `prefetch.depth` objects in flight ahead of the stream — with no
+    /// compiler involvement. This is what lets even naive-guarded
+    /// sequential scans (e.g. CSR walks whose short inner loops the cost
+    /// model declines to chunk) overlap fetch latency.
+    pub fn localize(&mut self, o: ObjId, write: bool, now: u64) -> u64 {
+        let size = self.cfg.object_size;
+        let mark = if write { HOT | DIRTY } else { HOT };
+        if self.table.is_present(o) {
+            self.table.set(o, mark);
+            return 0;
+        }
+        let stall = if self.table.is_inflight(o) {
+            // A prefetch is outstanding; wait for it if it has not landed.
+            let ready = self.table.ready_cycle(o);
+            self.table.clear(o, INFLIGHT);
+            self.table.set(o, PRESENT | mark);
+            if ready > now {
+                self.stats.prefetch_late += 1;
+                ready - now
+            } else {
+                self.stats.prefetch_hits += 1;
+                0
+            }
+        } else {
+            // Demand fetch.
+            self.ensure_capacity(size, now);
+            let done = self.link.transfer(size, now);
+            self.table.set(o, PRESENT | mark);
+            self.resident_bytes += size;
+            self.stats.peak_resident_bytes =
+                self.stats.peak_resident_bytes.max(self.resident_bytes);
+            self.clock.push_back(o);
+            self.stats.remote_fetches += 1;
+            done - now
+        };
+        self.stride_detect(o, now + stall);
+        stall
+    }
+
+    /// Runtime stride detection: called on every slow-path localization.
+    /// Matches the object against the stream table; a stream that advances
+    /// by ±1 twice in a row starts prefetching `depth` objects ahead.
+    fn stride_detect(&mut self, o: ObjId, now: u64) {
+        let mut fire: Option<i64> = None;
+        let mut matched = false;
+        for st in &mut self.streams {
+            let delta = o.0 as i64 - st.last as i64;
+            if delta == 1 || delta == -1 {
+                st.run = if delta == st.dir { st.run + 1 } else { 1 };
+                st.dir = delta;
+                st.last = o.0;
+                if st.run >= 2 {
+                    fire = Some(delta);
+                }
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            let fresh = StrideStream {
+                last: o.0,
+                dir: 0,
+                run: 0,
+            };
+            if self.streams.len() < STRIDE_STREAMS {
+                self.streams.push(fresh);
+            } else {
+                self.streams[self.stream_victim] = fresh;
+                self.stream_victim = (self.stream_victim + 1) % STRIDE_STREAMS;
+            }
+        }
+        if let Some(dir) = fire {
+            if self.cfg.prefetch.enabled {
+                let depth = self.prefetch_depth() as i64;
+                let max_obj = self.cfg.num_objects() as i64;
+                for k in 1..=depth {
+                    let t = o.0 as i64 + k * dir;
+                    if t < 0 || t >= max_obj {
+                        break;
+                    }
+                    self.prefetch(ObjId(t as u64), now);
+                }
+            }
+        }
+    }
+
+    /// Issues an asynchronous fetch for `o` if it is neither resident nor in
+    /// flight. Returns true if a fetch was issued.
+    pub fn prefetch(&mut self, o: ObjId, now: u64) -> bool {
+        if !self.cfg.prefetch.enabled
+            || o.index() >= self.table.len()
+            || self.table.is_present(o)
+            || self.table.is_inflight(o)
+        {
+            return false;
+        }
+        let size = self.cfg.object_size;
+        self.ensure_capacity(size, now);
+        let ready = self.link.transfer(size, now);
+        self.table.set(o, INFLIGHT);
+        self.table.set_ready_cycle(o, ready);
+        self.resident_bytes += size;
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
+        self.clock.push_back(o);
+        self.stats.prefetch_issued += 1;
+        true
+    }
+
+    /// Effective prefetcher look-ahead depth (0 when disabled). Capped at a
+    /// quarter of the local budget so aggressive look-ahead cannot evict the
+    /// very objects the application is using (tiny-budget thrash).
+    pub fn prefetch_depth(&self) -> u32 {
+        if !self.cfg.prefetch.enabled {
+            return 0;
+        }
+        let budget_objs = (self.cfg.local_budget / self.cfg.object_size / 4).max(1);
+        self.cfg.prefetch.depth.min(budget_objs as u32)
+    }
+
+    /// Pins an object (chunk locality invariant / deref scope): the
+    /// evacuator will skip it.
+    #[inline]
+    pub fn pin(&mut self, o: ObjId) {
+        self.table.pin(o);
+    }
+
+    /// Releases a pin.
+    #[inline]
+    pub fn unpin(&mut self, o: ObjId) {
+        self.table.unpin(o);
+    }
+
+    /// A collection point (§3.3: the slow-path guard "triggers a periodic
+    /// collection point to allow stale objects to be evacuated"): brings
+    /// residency back under budget.
+    pub fn collection_point(&mut self, now: u64) {
+        self.ensure_capacity(0, now);
+    }
+
+    /// Evicts cold objects until `resident + incoming ≤ budget`, or until
+    /// only pinned/in-flight objects remain (then records a budget overrun).
+    fn ensure_capacity(&mut self, incoming: u64, now: u64) {
+        let budget = self.cfg.local_budget;
+        if self.resident_bytes + incoming <= budget {
+            return;
+        }
+        // Bound the scan: each entry gets at most two visits per call (one
+        // to strip its HOT bit, one to evict).
+        let mut visits = self.clock.len().saturating_mul(2) + 1;
+        while self.resident_bytes + incoming > budget && visits > 0 {
+            visits -= 1;
+            let Some(o) = self.clock.pop_front() else {
+                break;
+            };
+            let e = self.table.entry(o);
+            if e & (PRESENT | INFLIGHT) == 0 {
+                continue; // stale queue entry
+            }
+            if self.table.pins(o) > 0 || e & INFLIGHT != 0 {
+                self.clock.push_back(o);
+                continue;
+            }
+            if e & HOT != 0 {
+                self.table.clear(o, HOT);
+                self.clock.push_back(o);
+                continue;
+            }
+            // Evict.
+            if e & DIRTY != 0 {
+                self.link.writeback(self.cfg.object_size, now);
+                self.stats.writebacks += 1;
+            }
+            self.table.clear(o, PRESENT | DIRTY | HOT);
+            self.resident_bytes -= self.cfg.object_size;
+            self.stats.evictions += 1;
+        }
+        if self.resident_bytes + incoming > budget {
+            self.stats.budget_overruns += 1;
+        }
+    }
+
+    /// Evacuates every resident, unpinned object (writing dirty ones back).
+    /// Benchmarks call this after setup to start from a cold far-memory
+    /// state, then [`FarMemory::reset_stats`].
+    pub fn evacuate_all(&mut self, now: u64) {
+        let mut visits = self.clock.len().saturating_mul(2) + 1;
+        while visits > 0 {
+            visits -= 1;
+            let Some(o) = self.clock.pop_front() else {
+                break;
+            };
+            let e = self.table.entry(o);
+            if e & (PRESENT | INFLIGHT) == 0 {
+                continue;
+            }
+            if self.table.pins(o) > 0 || e & INFLIGHT != 0 {
+                self.clock.push_back(o);
+                continue;
+            }
+            if e & DIRTY != 0 {
+                self.link.writeback(self.cfg.object_size, now);
+                self.stats.writebacks += 1;
+            }
+            self.table.clear(o, PRESENT | DIRTY | HOT);
+            self.resident_bytes -= self.cfg.object_size;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_net::LinkParams;
+
+    fn fm_with(budget_objs: u64) -> FarMemory {
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: budget_objs * 4096,
+            link: LinkParams::tcp_25g(),
+            prefetch: crate::config::PrefetchConfig::default(),
+        };
+        FarMemory::new(cfg)
+    }
+
+    #[test]
+    fn fresh_allocations_are_local_and_dirty() {
+        let mut fm = fm_with(16);
+        let p = fm.allocate(10_000, 0).unwrap();
+        let first = fm.obj_of_offset(p.offset());
+        assert!(fm.table().is_present(first));
+        assert!(fm.table().is_dirty(first));
+        assert_eq!(fm.resident_bytes(), 3 * 4096); // 10_000 → 3 objects
+        assert_eq!(fm.stats().allocations, 1);
+    }
+
+    #[test]
+    fn allocation_beyond_budget_triggers_eviction_with_writeback() {
+        let mut fm = fm_with(2);
+        let mut ptrs = Vec::new();
+        for _ in 0..4 {
+            ptrs.push(fm.allocate(4096, 0).unwrap());
+        }
+        assert!(fm.resident_bytes() <= 2 * 4096 + 4096); // budget honored per alloc
+        assert!(fm.stats().evictions >= 2);
+        // Evicted fresh objects are dirty → must be written back.
+        assert_eq!(fm.stats().writebacks, fm.stats().evictions);
+        assert!(fm.transfer_stats().bytes_written_back > 0);
+    }
+
+    #[test]
+    fn localize_charges_link_latency_then_fast() {
+        let mut fm = fm_with(8);
+        let p = fm.allocate(4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        assert!(!fm.table().is_present(o));
+        fm.reset_stats();
+
+        let stall = fm.localize(o, false, 0);
+        assert!(stall > 30_000, "remote fetch should cost ~35K cycles");
+        assert_eq!(fm.stats().remote_fetches, 1);
+        assert!(fm.table().is_safe(o));
+        // Second access: already present, no cost.
+        assert_eq!(fm.localize(o, false, stall), 0);
+        assert_eq!(fm.stats().remote_fetches, 1);
+    }
+
+    #[test]
+    fn write_localize_marks_dirty_eviction_writes_back() {
+        let mut fm = fm_with(1);
+        let p1 = fm.allocate(4096, 0).unwrap();
+        let p2 = fm.allocate(4096, 0).unwrap();
+        let (o1, o2) = (fm.obj_of_offset(p1.offset()), fm.obj_of_offset(p2.offset()));
+        fm.evacuate_all(0);
+        fm.reset_stats();
+
+        fm.localize(o1, true, 0);
+        assert!(fm.table().is_dirty(o1));
+        // Bringing in o2 with budget=1 must evict dirty o1 → writeback.
+        fm.localize(o2, false, 100_000);
+        assert!(!fm.table().is_present(o1));
+        assert_eq!(fm.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_skips_writeback() {
+        let mut fm = fm_with(1);
+        let p1 = fm.allocate(4096, 0).unwrap();
+        let p2 = fm.allocate(4096, 0).unwrap();
+        let (o1, o2) = (fm.obj_of_offset(p1.offset()), fm.obj_of_offset(p2.offset()));
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        fm.localize(o1, false, 0); // clean read
+        fm.localize(o2, false, 100_000);
+        assert_eq!(fm.stats().evictions, 1);
+        assert_eq!(fm.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn pinned_objects_survive_pressure() {
+        let mut fm = fm_with(1);
+        let p1 = fm.allocate(4096, 0).unwrap();
+        let p2 = fm.allocate(4096, 0).unwrap();
+        let (o1, o2) = (fm.obj_of_offset(p1.offset()), fm.obj_of_offset(p2.offset()));
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        fm.localize(o1, false, 0);
+        fm.pin(o1);
+        fm.localize(o2, false, 100_000);
+        assert!(fm.table().is_present(o1), "pinned object must not be evicted");
+        assert!(fm.stats().budget_overruns > 0);
+        fm.unpin(o1);
+        fm.collection_point(200_000);
+        assert!(fm.resident_bytes() <= 4096);
+    }
+
+    #[test]
+    fn prefetch_hides_latency_when_early() {
+        let mut fm = fm_with(8);
+        let p = fm.allocate(4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        fm.reset_stats();
+
+        assert!(fm.prefetch(o, 0));
+        assert!(fm.table().is_inflight(o));
+        assert!(!fm.table().is_safe(o));
+        // Access long after the fetch completed: free.
+        let stall = fm.localize(o, false, 1_000_000);
+        assert_eq!(stall, 0);
+        assert_eq!(fm.stats().prefetch_hits, 1);
+        assert_eq!(fm.stats().remote_fetches, 0);
+    }
+
+    #[test]
+    fn late_prefetch_charges_partial_stall() {
+        let mut fm = fm_with(8);
+        let p = fm.allocate(4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        assert!(fm.prefetch(o, 0));
+        // Access after 10K cycles; fetch needs ~35K → stall ~25K.
+        let stall = fm.localize(o, false, 10_000);
+        assert!(stall > 0 && stall < 35_000, "stall = {stall}");
+        assert_eq!(fm.stats().prefetch_late, 1);
+    }
+
+    #[test]
+    fn duplicate_prefetch_is_refused() {
+        let mut fm = fm_with(8);
+        let p = fm.allocate(4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        assert!(fm.prefetch(o, 0));
+        assert!(!fm.prefetch(o, 0), "already in flight");
+        fm.localize(o, false, 1_000_000);
+        assert!(!fm.prefetch(o, 1_000_000), "already present");
+    }
+
+    #[test]
+    fn prefetch_disabled_is_noop() {
+        let cfg = FarMemoryConfig::small().with_prefetch(false);
+        let mut fm = FarMemory::new(cfg);
+        let p = fm.allocate(4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        assert!(!fm.prefetch(o, 0));
+        assert_eq!(fm.prefetch_depth(), 0);
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_space() {
+        let mut fm = fm_with(16);
+        let p = fm.allocate(64, 0).unwrap();
+        fm.free(p);
+        let q = fm.allocate(64, 0).unwrap();
+        assert_eq!(p.offset(), q.offset());
+        assert_eq!(fm.stats().frees, 1);
+    }
+
+    #[test]
+    fn evacuator_skips_inflight_objects() {
+        let mut fm = fm_with(2);
+        let p = fm.allocate(4 * 4096, 0).unwrap();
+        let o0 = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        // Prefetch two objects (fills the budget), then demand-fetch a third:
+        // the in-flight ones must not be evicted mid-transfer.
+        assert!(fm.prefetch(o0, 0));
+        assert!(fm.prefetch(ObjId(o0.0 + 1), 0));
+        let _ = fm.localize(ObjId(o0.0 + 2), false, 10);
+        assert!(
+            fm.table().is_inflight(o0) || fm.table().is_present(o0),
+            "in-flight prefetch must survive pressure"
+        );
+        // Once landed, they are evictable again.
+        let _ = fm.localize(o0, false, 10_000_000);
+        fm.collection_point(10_000_001);
+        assert!(fm.resident_bytes() <= fm.config().local_budget + 4096);
+    }
+
+    #[test]
+    fn stride_prefetcher_detects_interleaved_streams() {
+        let mut fm = fm_with(64);
+        let p = fm.allocate(64 * 4096, 0).unwrap();
+        let base = fm.obj_of_offset(p.offset()).0;
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        // Two interleaved ascending miss streams (the CSR pattern).
+        let mut now = 0;
+        for k in 0..4u64 {
+            now += fm.localize(ObjId(base + k), false, now);
+            now += fm.localize(ObjId(base + 32 + k), false, now);
+        }
+        let s = fm.stats();
+        assert!(
+            s.prefetch_issued > 0,
+            "multi-stream detector must fire on interleaved scans: {s}"
+        );
+    }
+
+    #[test]
+    fn prefetch_depth_is_budget_capped() {
+        let fm = fm_with(4); // 4-object budget
+        assert!(fm.prefetch_depth() <= 1, "depth must shrink with the budget");
+        let roomy = FarMemory::new(FarMemoryConfig {
+            heap_size: 1 << 20,
+            local_budget: 256 * 4096,
+            object_size: 4096,
+            link: tfm_net::LinkParams::tcp_25g(),
+            prefetch: crate::config::PrefetchConfig::default(),
+        });
+        assert_eq!(roomy.prefetch_depth(), 8);
+    }
+
+    #[test]
+    fn small_allocations_share_an_object() {
+        let mut fm = fm_with(16);
+        let a = fm.allocate(64, 0).unwrap();
+        let b = fm.allocate(64, 0).unwrap();
+        assert_eq!(
+            fm.obj_of_offset(a.offset()),
+            fm.obj_of_offset(b.offset()),
+            "two 64B allocations should be grouped into one 4KB object"
+        );
+        assert_eq!(fm.resident_bytes(), 4096);
+    }
+}

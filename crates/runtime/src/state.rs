@@ -1,0 +1,246 @@
+//! The TrackFM object state table.
+//!
+//! §3.2: "TrackFM eliminates one of these operations by maintaining an
+//! object state table, an optimization that caches object metadata in a
+//! contiguous lookup table, allowing us to perform a simple index calculation
+//! rather than an indirect memory reference to derive object metadata. [...]
+//! The object state table contains metadata entries (8B each) for each
+//! object in the system."
+//!
+//! Each entry is one `u64`: status flags in the high bits, a pin count, and
+//! the asynchronous-fetch ready cycle in the low bits. The compiler-injected
+//! fast-path guard (Fig. 4) tests a single mask against this entry.
+
+use crate::ptr::ObjId;
+
+/// Object is resident in local memory.
+pub const PRESENT: u64 = 1 << 63;
+/// Object has local modifications not yet written back.
+pub const DIRTY: u64 = 1 << 62;
+/// CLOCK reference bit, set on access, cleared by the evacuator's hand.
+pub const HOT: u64 = 1 << 61;
+/// An asynchronous fetch (prefetch) is outstanding for this object.
+pub const INFLIGHT: u64 = 1 << 60;
+/// The evacuator has selected this object (kept for fidelity with AIFM's
+/// metadata; the single-threaded simulator sets and clears it within one
+/// collection point).
+pub const EVACUATING: u64 = 1 << 59;
+
+const PIN_SHIFT: u32 = 48;
+const PIN_MASK: u64 = 0xFF << PIN_SHIFT;
+const PAYLOAD_MASK: u64 = (1 << PIN_SHIFT) - 1;
+
+/// Mask of the bits that must be *exactly* `PRESENT` for the fast path: the
+/// object is local, no fetch is racing it, and the evacuator has not claimed
+/// it. This is the "is object safe (localized)?" test of Fig. 4 line 6.
+pub const SAFETY_MASK: u64 = PRESENT | INFLIGHT | EVACUATING;
+
+/// The contiguous metadata table: one 8-byte entry per object.
+#[derive(Clone, Debug)]
+pub struct StateTable {
+    entries: Vec<u64>,
+}
+
+impl StateTable {
+    /// Creates a table for `num_objects` objects, all remote/clean.
+    pub fn new(num_objects: u64) -> Self {
+        StateTable {
+            entries: vec![0; num_objects as usize],
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table size in bytes (8 B per entry) — the overhead discussed in §3.2
+    /// ("a 32 GB remote heap [...] would need 2^23 entries [...] thus
+    /// consuming 64 MB for the full table").
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 8
+    }
+
+    /// The raw entry.
+    #[inline]
+    pub fn entry(&self, o: ObjId) -> u64 {
+        self.entries[o.index()]
+    }
+
+    /// The single-load fast-path test (Fig. 4): safe iff present and neither
+    /// in-flight nor being evacuated.
+    #[inline]
+    pub fn is_safe(&self, o: ObjId) -> bool {
+        self.entries[o.index()] & SAFETY_MASK == PRESENT
+    }
+
+    /// True if the object is resident.
+    #[inline]
+    pub fn is_present(&self, o: ObjId) -> bool {
+        self.entries[o.index()] & PRESENT != 0
+    }
+
+    /// True if the object has unwritten local modifications.
+    #[inline]
+    pub fn is_dirty(&self, o: ObjId) -> bool {
+        self.entries[o.index()] & DIRTY != 0
+    }
+
+    /// True if the CLOCK reference bit is set.
+    #[inline]
+    pub fn is_hot(&self, o: ObjId) -> bool {
+        self.entries[o.index()] & HOT != 0
+    }
+
+    /// True if an async fetch is outstanding.
+    #[inline]
+    pub fn is_inflight(&self, o: ObjId) -> bool {
+        self.entries[o.index()] & INFLIGHT != 0
+    }
+
+    /// Sets flag bits.
+    #[inline]
+    pub fn set(&mut self, o: ObjId, flags: u64) {
+        self.entries[o.index()] |= flags;
+    }
+
+    /// Clears flag bits.
+    #[inline]
+    pub fn clear(&mut self, o: ObjId, flags: u64) {
+        self.entries[o.index()] &= !flags;
+    }
+
+    /// Pin count (objects with pins are never evacuated; this is how the
+    /// DerefScope / chunk locality invariant is enforced).
+    #[inline]
+    pub fn pins(&self, o: ObjId) -> u32 {
+        ((self.entries[o.index()] & PIN_MASK) >> PIN_SHIFT) as u32
+    }
+
+    /// Increments the pin count.
+    ///
+    /// # Panics
+    /// Panics if the 8-bit pin count would overflow.
+    #[inline]
+    pub fn pin(&mut self, o: ObjId) {
+        let e = &mut self.entries[o.index()];
+        let pins = (*e & PIN_MASK) >> PIN_SHIFT;
+        assert!(pins < 0xFF, "pin count overflow on {o}");
+        *e = (*e & !PIN_MASK) | ((pins + 1) << PIN_SHIFT);
+    }
+
+    /// Decrements the pin count.
+    ///
+    /// # Panics
+    /// Panics on unpin of an unpinned object.
+    #[inline]
+    pub fn unpin(&mut self, o: ObjId) {
+        let e = &mut self.entries[o.index()];
+        let pins = (*e & PIN_MASK) >> PIN_SHIFT;
+        assert!(pins > 0, "unpin of unpinned {o}");
+        *e = (*e & !PIN_MASK) | ((pins - 1) << PIN_SHIFT);
+    }
+
+    /// Stores the ready-cycle payload for an in-flight fetch (low 48 bits).
+    #[inline]
+    pub fn set_ready_cycle(&mut self, o: ObjId, cycle: u64) {
+        debug_assert!(cycle <= PAYLOAD_MASK, "simulated time overflowed 48 bits");
+        let e = &mut self.entries[o.index()];
+        *e = (*e & !PAYLOAD_MASK) | (cycle & PAYLOAD_MASK);
+    }
+
+    /// Reads the ready-cycle payload.
+    #[inline]
+    pub fn ready_cycle(&self, o: ObjId) -> u64 {
+        self.entries[o.index()] & PAYLOAD_MASK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_all_remote() {
+        let t = StateTable::new(16);
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
+        assert_eq!(t.size_bytes(), 128);
+        for i in 0..16 {
+            let o = ObjId(i);
+            assert!(!t.is_present(o));
+            assert!(!t.is_safe(o));
+            assert_eq!(t.pins(o), 0);
+        }
+    }
+
+    #[test]
+    fn table_overhead_matches_paper_example() {
+        // 32 GB heap / 4 KB objects = 2^23 entries = 64 MB of table.
+        let t = StateTable::new((32 * (1u64 << 30)) >> 12);
+        assert_eq!(t.len() as u64, 1 << 23);
+        assert_eq!(t.size_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn safety_requires_present_and_quiescent() {
+        let mut t = StateTable::new(4);
+        let o = ObjId(1);
+        t.set(o, PRESENT);
+        assert!(t.is_safe(o));
+        t.set(o, INFLIGHT);
+        assert!(!t.is_safe(o));
+        t.clear(o, INFLIGHT);
+        t.set(o, EVACUATING);
+        assert!(!t.is_safe(o));
+        t.clear(o, EVACUATING);
+        assert!(t.is_safe(o));
+        // Dirty/hot do not affect safety.
+        t.set(o, DIRTY | HOT);
+        assert!(t.is_safe(o));
+    }
+
+    #[test]
+    fn pin_counting() {
+        let mut t = StateTable::new(2);
+        let o = ObjId(0);
+        t.pin(o);
+        t.pin(o);
+        assert_eq!(t.pins(o), 2);
+        t.unpin(o);
+        assert_eq!(t.pins(o), 1);
+        t.unpin(o);
+        assert_eq!(t.pins(o), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of unpinned")]
+    fn unpin_underflow_panics() {
+        let mut t = StateTable::new(1);
+        t.unpin(ObjId(0));
+    }
+
+    #[test]
+    fn ready_cycle_payload_is_independent_of_flags() {
+        let mut t = StateTable::new(1);
+        let o = ObjId(0);
+        t.set(o, INFLIGHT | DIRTY);
+        t.pin(o);
+        t.set_ready_cycle(o, 123_456_789);
+        assert_eq!(t.ready_cycle(o), 123_456_789);
+        assert!(t.is_inflight(o));
+        assert!(t.is_dirty(o));
+        assert_eq!(t.pins(o), 1);
+        t.set_ready_cycle(o, 7);
+        assert_eq!(t.ready_cycle(o), 7);
+        assert_eq!(t.pins(o), 1);
+    }
+}

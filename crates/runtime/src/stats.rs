@@ -1,0 +1,64 @@
+//! Runtime event counters.
+
+use std::fmt;
+
+/// Counters maintained by the far-memory runtime.
+///
+/// Guard-path counters (fast/slow path hits) belong to the execution engine;
+/// these are the runtime-internal events: fetches, prefetch outcomes,
+/// evacuations.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RuntimeStats {
+    /// Synchronous (demand) remote fetches.
+    pub remote_fetches: u64,
+    /// Asynchronous fetches issued by the prefetcher.
+    pub prefetch_issued: u64,
+    /// Prefetches that completed before first use (fully hidden latency).
+    pub prefetch_hits: u64,
+    /// Prefetches still in flight at first use (partially hidden latency).
+    pub prefetch_late: u64,
+    /// Objects evacuated to the remote node.
+    pub evictions: u64,
+    /// Evacuations that had to write dirty data back.
+    pub writebacks: u64,
+    /// Times the evacuator could not reach the budget because every resident
+    /// object was pinned or in flight.
+    pub budget_overruns: u64,
+    /// Successful allocations.
+    pub allocations: u64,
+    /// Frees.
+    pub frees: u64,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: u64,
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetches: {}, prefetch: {} issued / {} hit / {} late, evictions: {} ({} dirty), peak resident: {} B",
+            self.remote_fetches,
+            self.prefetch_issued,
+            self.prefetch_hits,
+            self.prefetch_late,
+            self.evictions,
+            self.writebacks,
+            self.peak_resident_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed_and_displays() {
+        let s = RuntimeStats::default();
+        assert_eq!(s.remote_fetches, 0);
+        assert_eq!(s.evictions, 0);
+        let text = s.to_string();
+        assert!(text.contains("fetches: 0"));
+        assert!(text.contains("evictions: 0"));
+    }
+}

@@ -1,0 +1,1007 @@
+//! The register-machine interpreter.
+//!
+//! Executes [`tfm_ir`] modules against a [`MemorySystem`], charging
+//! [`CostModel`] cycles per operation. Data lives in host byte buffers
+//! (heap / globals / stack); residency and network costs are delegated to
+//! the memory system (see DESIGN.md §2 for why this split preserves the
+//! paper's measured quantities).
+//!
+//! Integer values are stored sign-extended to 64 bits; unsigned operations
+//! mask to the operand width first. `f64` values are stored as raw bits.
+
+use crate::memsys::{MemorySystem, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+use crate::stats::{ExecStats, RunResult};
+use crate::trap::Trap;
+use std::collections::HashMap;
+use tfm_analysis::profile::Profile;
+use tfm_ir::{
+    BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type,
+    Value,
+};
+use trackfm::CostModel;
+
+/// Default simulated stack size (1 MiB).
+const STACK_SIZE: usize = 1 << 20;
+
+#[derive(Default)]
+struct ProfileCollector {
+    /// Per function: block execution counts.
+    blocks: HashMap<u32, Vec<u64>>,
+    /// `(func, from, to) → traversals`.
+    edges: HashMap<(u32, u32, u32), u64>,
+}
+
+/// The interpreter.
+pub struct Machine<'m, M: MemorySystem> {
+    module: &'m Module,
+    /// The memory system (exposed for test assertions).
+    pub mem: M,
+    cost: CostModel,
+    heap: Vec<u8>,
+    globals: Vec<u8>,
+    global_offsets: Vec<u64>,
+    stack: Vec<u8>,
+    stack_top: u64,
+    clock: u64,
+    stats: ExecStats,
+    profiler: Option<ProfileCollector>,
+    fuel: u64,
+}
+
+impl<'m, M: MemorySystem> Machine<'m, M> {
+    /// Creates a machine with `heap_size` bytes of far-heap backing store.
+    /// Globals are laid out and initialized immediately.
+    pub fn new(module: &'m Module, mem: M, cost: CostModel, heap_size: u64) -> Self {
+        let mut global_offsets = Vec::new();
+        let mut gsize = 0u64;
+        for (_, g) in module.globals() {
+            gsize = gsize.next_multiple_of(16);
+            global_offsets.push(gsize);
+            gsize += g.size;
+        }
+        let mut globals = vec![0u8; gsize as usize];
+        for ((_, g), &off) in module.globals().zip(&global_offsets) {
+            if let Some(init) = &g.init {
+                globals[off as usize..off as usize + init.len()].copy_from_slice(init);
+            }
+        }
+        Machine {
+            module,
+            mem,
+            cost,
+            heap: vec![0; heap_size as usize],
+            globals,
+            global_offsets,
+            stack: vec![0; STACK_SIZE],
+            stack_top: 0,
+            clock: 0,
+            stats: ExecStats::default(),
+            profiler: None,
+            fuel: u64::MAX,
+        }
+    }
+
+    /// Limits the number of interpreted instructions (runaway protection in
+    /// tests).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Enables profile collection (block & edge counts).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(ProfileCollector::default());
+    }
+
+    /// Extracts the collected profile in [`tfm_analysis`] form.
+    pub fn take_profile(&mut self) -> Profile {
+        let mut p = Profile::new();
+        if let Some(col) = self.profiler.take() {
+            for (fidx, counts) in col.blocks {
+                let name = &self.module.function(FuncId(fidx)).name;
+                for (b, &n) in counts.iter().enumerate() {
+                    if n > 0 {
+                        p.block_counts
+                            .insert((name.clone(), Block::from_index(b)), n);
+                    }
+                }
+            }
+            for ((fidx, from, to), n) in col.edges {
+                let name = &self.module.function(FuncId(fidx)).name;
+                p.edge_counts
+                    .insert((name.clone(), Block(from), Block(to)), n);
+            }
+        }
+        p
+    }
+
+    /// Current simulated cycle.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    // ------------------------------------------------------------------
+    // Setup-phase API (used by benchmark harnesses; charges no CPU cycles).
+    // ------------------------------------------------------------------
+
+    /// Allocates memory during setup.
+    ///
+    /// # Panics
+    /// Panics on allocation failure (setup sizing is the harness's job).
+    pub fn setup_alloc(&mut self, size: u64) -> u64 {
+        self.mem
+            .alloc(size, self.clock)
+            .expect("setup allocation failed — heap too small for workload")
+    }
+
+    /// Writes raw bytes during setup, updating residency bookkeeping
+    /// (objects/pages become dirty) without charging CPU cycles.
+    ///
+    /// # Panics
+    /// Panics on out-of-range addresses.
+    pub fn setup_write(&mut self, ptr: u64, bytes: &[u8]) {
+        let mut scratch = ExecStats::default();
+        self.mem
+            .access_range(ptr, bytes.len() as u64, true, self.clock, &mut scratch)
+            .expect("setup write out of range");
+        let addr = self.mem.canonical(ptr);
+        let dst = self
+            .resolve(addr, bytes.len() as u64)
+            .expect("setup write out of range");
+        dst[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Writes a slice of `u64`s during setup.
+    pub fn setup_write_u64s(&mut self, ptr: u64, vals: &[u64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.setup_write(ptr, &bytes);
+    }
+
+    /// Writes a slice of `f64`s during setup.
+    pub fn setup_write_f64s(&mut self, ptr: u64, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.setup_write(ptr, &bytes);
+    }
+
+    /// Writes a slice of `u32`s during setup.
+    pub fn setup_write_u32s(&mut self, ptr: u64, vals: &[u32]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 4);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.setup_write(ptr, &bytes);
+    }
+
+    /// Ends the setup phase: optionally evacuates everything (cold start),
+    /// then clears all counters and rewinds the clock.
+    pub fn finish_setup(&mut self, cold_start: bool) {
+        if cold_start {
+            self.mem.evacuate_all(self.clock);
+        }
+        self.mem.reset_stats();
+        self.clock = 0;
+        self.stats = ExecStats::default();
+    }
+
+    /// Reads a `u64` from memory without charging cycles (checksums).
+    ///
+    /// # Panics
+    /// Panics on out-of-range addresses.
+    pub fn peek_u64(&mut self, ptr: u64) -> u64 {
+        let addr = self.mem.canonical(ptr);
+        let b = self.resolve(addr, 8).expect("peek out of range");
+        u64::from_le_bytes(b[..8].try_into().unwrap())
+    }
+
+    /// Reads an `f64` from memory without charging cycles.
+    ///
+    /// # Panics
+    /// Panics on out-of-range addresses.
+    pub fn peek_f64(&mut self, ptr: u64) -> f64 {
+        f64::from_bits(self.peek_u64(ptr))
+    }
+
+    // ------------------------------------------------------------------
+    // Execution.
+    // ------------------------------------------------------------------
+
+    /// Runs `func` with `args` (raw 64-bit values) to completion.
+    ///
+    /// # Errors
+    /// Returns the [`Trap`] that aborted execution, if any.
+    ///
+    /// # Panics
+    /// Panics if the function does not exist.
+    pub fn run(&mut self, func: &str, args: &[u64]) -> Result<RunResult, Trap> {
+        let fid = self
+            .module
+            .find_function(func)
+            .unwrap_or_else(|| panic!("no function named `{func}`"));
+        let ret = self.exec_function(fid, args)?;
+        let mut stats = self.stats;
+        stats.cycles = self.clock;
+        let summary = self.mem.summary();
+        Ok(RunResult {
+            ret,
+            stats,
+            runtime: summary.runtime,
+            pager: summary.pager,
+            transfers: summary.transfers,
+        })
+    }
+
+    fn exec_function(&mut self, fid: FuncId, args: &[u64]) -> Result<u64, Trap> {
+        let module = self.module;
+        let f = module.function(fid);
+        assert_eq!(
+            args.len(),
+            f.sig.params.len(),
+            "argument count mismatch calling `{}`",
+            f.name
+        );
+        let mut regs = vec![0u64; f.num_insts()];
+        regs[..args.len()].copy_from_slice(args);
+        let saved_stack = self.stack_top;
+        let mut block = f.entry_block();
+        self.profile_block(fid, block, f);
+        'blocks: loop {
+            let insts = f.block_insts(block);
+            for &v in insts {
+                self.stats.instructions += 1;
+                if self.stats.instructions > self.fuel {
+                    return Err(Trap::FuelExhausted);
+                }
+                match f.kind(v) {
+                    InstKind::Nop | InstKind::Param(_) | InstKind::Phi(_) => {}
+                    InstKind::ConstInt(c) => regs[v.index()] = *c as u64,
+                    InstKind::ConstFloat(c) => regs[v.index()] = c.to_bits(),
+                    InstKind::Binary(op, a, b) => {
+                        self.clock += self.cost.alu;
+                        let ty = f.ty(v).unwrap_or(Type::I64);
+                        regs[v.index()] =
+                            exec_binop(*op, regs[a.index()], regs[b.index()], ty)?;
+                    }
+                    InstKind::Icmp(op, a, b) => {
+                        self.clock += self.cost.alu;
+                        let ty = f.ty(*a).unwrap_or(Type::I64);
+                        regs[v.index()] =
+                            exec_icmp(*op, regs[a.index()], regs[b.index()], ty) as u64;
+                    }
+                    InstKind::Fcmp(op, a, b) => {
+                        self.clock += self.cost.alu;
+                        let (x, y) = (
+                            f64::from_bits(regs[a.index()]),
+                            f64::from_bits(regs[b.index()]),
+                        );
+                        regs[v.index()] = exec_fcmp(*op, x, y) as u64;
+                    }
+                    InstKind::Cast(op, a) => {
+                        self.clock += self.cost.alu;
+                        let from_ty = f.ty(*a).unwrap_or(Type::I64);
+                        let to_ty = f.ty(v).unwrap_or(Type::I64);
+                        regs[v.index()] = exec_cast(*op, regs[a.index()], from_ty, to_ty);
+                    }
+                    InstKind::Alloca { size, align } => {
+                        let top = self
+                            .stack_top
+                            .next_multiple_of((*align).max(1) as u64);
+                        if top + *size as u64 > self.stack.len() as u64 {
+                            return Err(Trap::StackOverflow);
+                        }
+                        regs[v.index()] = STACK_BASE + top;
+                        self.stack_top = top + *size as u64;
+                    }
+                    InstKind::Load { ptr } => {
+                        let addr = regs[ptr.index()];
+                        let ty = f.ty(v).unwrap_or(Type::I64);
+                        let size = ty.size() as u64;
+                        self.stats.loads += 1;
+                        let extra =
+                            self.mem
+                                .data_access(addr, size, false, self.clock, &mut self.stats)?;
+                        self.clock += self.cost.load_store + extra;
+                        let addr = self.mem.canonical(addr);
+                        regs[v.index()] = self.read_mem(addr, ty)?;
+                    }
+                    InstKind::Store { ptr, val } => {
+                        let addr = regs[ptr.index()];
+                        let ty = f.ty(*val).unwrap_or(Type::I64);
+                        let size = ty.size() as u64;
+                        self.stats.stores += 1;
+                        let extra =
+                            self.mem
+                                .data_access(addr, size, true, self.clock, &mut self.stats)?;
+                        self.clock += self.cost.load_store + extra;
+                        let addr = self.mem.canonical(addr);
+                        self.write_mem(addr, regs[val.index()], ty)?;
+                    }
+                    InstKind::Gep {
+                        base,
+                        index,
+                        scale,
+                        disp,
+                    } => {
+                        self.clock += self.cost.alu;
+                        regs[v.index()] = regs[base.index()]
+                            .wrapping_add((regs[index.index()] as i64).wrapping_mul(*scale as i64)
+                                as u64)
+                            .wrapping_add(*disp as u64);
+                    }
+                    InstKind::Call { func, args } => {
+                        self.clock += self.cost.call_overhead;
+                        let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
+                        regs[v.index()] = self.exec_function(*func, &vals)?;
+                    }
+                    InstKind::IntrinsicCall { intr, args } => {
+                        let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
+                        regs[v.index()] = self.exec_intrinsic(*intr, &vals)?;
+                    }
+                    InstKind::GlobalAddr(g) => {
+                        regs[v.index()] = GLOBAL_BASE + self.global_offsets[g.index()];
+                    }
+                    InstKind::Select { cond, tval, fval } => {
+                        self.clock += self.cost.alu;
+                        regs[v.index()] = if regs[cond.index()] != 0 {
+                            regs[tval.index()]
+                        } else {
+                            regs[fval.index()]
+                        };
+                    }
+                    InstKind::Br(target) => {
+                        self.clock += self.cost.branch;
+                        let target = *target;
+                        self.take_edge(f, fid, block, target, &mut regs);
+                        block = target;
+                        continue 'blocks;
+                    }
+                    InstKind::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        self.clock += self.cost.branch;
+                        let target = if regs[cond.index()] != 0 {
+                            *then_bb
+                        } else {
+                            *else_bb
+                        };
+                        self.take_edge(f, fid, block, target, &mut regs);
+                        block = target;
+                        continue 'blocks;
+                    }
+                    InstKind::Ret(val) => {
+                        self.clock += self.cost.branch;
+                        self.stack_top = saved_stack;
+                        return Ok(val.map(|v| regs[v.index()]).unwrap_or(0));
+                    }
+                    InstKind::Unreachable => return Err(Trap::Unreachable),
+                }
+            }
+            unreachable!("block fell through without a terminator (verifier bug)");
+        }
+    }
+
+    /// Evaluates the target block's phis against the edge being taken, then
+    /// records profiling.
+    fn take_edge(&mut self, f: &Function, fid: FuncId, from: Block, to: Block, regs: &mut [u64]) {
+        // Phis evaluate in parallel: read all incoming values first.
+        let insts = f.block_insts(to);
+        let mut updates: Vec<(Value, u64)> = Vec::new();
+        for &v in insts {
+            match f.kind(v) {
+                InstKind::Phi(incs) => {
+                    if let Some((_, iv)) = incs.iter().find(|(p, _)| *p == from) {
+                        updates.push((v, regs[iv.index()]));
+                    }
+                }
+                InstKind::Param(_) => continue,
+                _ => break,
+            }
+        }
+        for (v, val) in updates {
+            regs[v.index()] = val;
+        }
+        if let Some(col) = &mut self.profiler {
+            *col.edges.entry((fid.0, from.0, to.0)).or_insert(0) += 1;
+        }
+        self.profile_block(fid, to, f);
+    }
+
+    fn profile_block(&mut self, fid: FuncId, b: Block, f: &Function) {
+        if let Some(col) = &mut self.profiler {
+            let counts = col
+                .blocks
+                .entry(fid.0)
+                .or_insert_with(|| vec![0; f.num_blocks()]);
+            if counts.len() < f.num_blocks() {
+                counts.resize(f.num_blocks(), 0);
+            }
+            counts[b.index()] += 1;
+        }
+    }
+
+    fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[u64]) -> Result<u64, Trap> {
+        match intr {
+            Intrinsic::Malloc | Intrinsic::TfmAlloc => {
+                self.clock += self.cost.alloc_cycles;
+                // Plain `malloc` surviving the libc transform is a pruned,
+                // always-local allocation (§5); `tfm.alloc` is remotable.
+                if intr == Intrinsic::Malloc {
+                    self.mem.alloc_local(args[0], self.clock)
+                } else {
+                    self.mem.alloc(args[0], self.clock)
+                }
+            }
+            Intrinsic::Calloc | Intrinsic::TfmCalloc => {
+                self.clock += self.cost.alloc_cycles;
+                let bytes = args[0].saturating_mul(args[1]);
+                let ptr = if intr == Intrinsic::Calloc {
+                    self.mem.alloc_local(bytes, self.clock)?
+                } else {
+                    self.mem.alloc(bytes, self.clock)?
+                };
+                self.clock += bytes / self.cost.memcpy_bytes_per_cycle.max(1);
+                let addr = self.mem.canonical(ptr);
+                let dst = self.resolve(addr, bytes)?;
+                dst[..bytes as usize].fill(0);
+                Ok(ptr)
+            }
+            Intrinsic::Realloc | Intrinsic::TfmRealloc => {
+                self.clock += self.cost.alloc_cycles;
+                let (old, new_size) = (args[0], args[1]);
+                let old_size = self
+                    .mem
+                    .alloc_size(old)
+                    .ok_or(Trap::OutOfBounds { addr: old, size: 0 })?;
+                let new = self.mem.alloc(new_size, self.clock)?;
+                let n = old_size.min(new_size);
+                self.copy_bytes(new, old, n)?;
+                self.mem.free(old, self.clock)?;
+                Ok(new)
+            }
+            Intrinsic::Free | Intrinsic::TfmFree => {
+                self.clock += self.cost.alloc_cycles;
+                self.mem.free(args[0], self.clock)?;
+                Ok(0)
+            }
+            Intrinsic::RuntimeInit => {
+                self.clock += self.cost.runtime_init_cycles;
+                Ok(0)
+            }
+            Intrinsic::GuardRead | Intrinsic::GuardWrite => {
+                let write = intr == Intrinsic::GuardWrite;
+                let (c, out) = self.mem.guard(args[0], write, self.clock, &mut self.stats)?;
+                self.clock += c;
+                Ok(out)
+            }
+            Intrinsic::ChunkBegin => {
+                let (c, h) = self.mem.chunk_begin(args[0], args[1] as i64, self.clock);
+                self.clock += c;
+                Ok(h)
+            }
+            Intrinsic::ChunkDeref => {
+                let (c, out) =
+                    self.mem
+                        .chunk_deref(args[0], args[1], self.clock, &mut self.stats)?;
+                self.clock += c;
+                Ok(out)
+            }
+            Intrinsic::ChunkEnd => {
+                let c = self.mem.chunk_end(args[0], self.clock)?;
+                self.clock += c;
+                Ok(0)
+            }
+            Intrinsic::Prefetch => {
+                self.clock += self.cost.alu;
+                self.mem.prefetch_hint(args[0], self.clock);
+                Ok(0)
+            }
+            Intrinsic::Memcpy => {
+                let (dst, src, n) = (args[0], args[1], args[2]);
+                self.copy_bytes(dst, src, n)?;
+                Ok(0)
+            }
+            Intrinsic::Memset => {
+                let (dst, byte, n) = (args[0], args[1], args[2]);
+                let extra = self
+                    .mem
+                    .access_range(dst, n, true, self.clock, &mut self.stats)?;
+                self.clock += extra + n / self.cost.memcpy_bytes_per_cycle.max(1);
+                let addr = self.mem.canonical(dst);
+                let d = self.resolve(addr, n)?;
+                d[..n as usize].fill(byte as u8);
+                Ok(0)
+            }
+        }
+    }
+
+    fn copy_bytes(&mut self, dst: u64, src: u64, n: u64) -> Result<(), Trap> {
+        if n == 0 {
+            return Ok(());
+        }
+        let e1 = self
+            .mem
+            .access_range(src, n, false, self.clock, &mut self.stats)?;
+        let e2 = self
+            .mem
+            .access_range(dst, n, true, self.clock + e1, &mut self.stats)?;
+        self.clock += e1 + e2 + n / self.cost.memcpy_bytes_per_cycle.max(1);
+        let saddr = self.mem.canonical(src);
+        let daddr = self.mem.canonical(dst);
+        let tmp = self.resolve(saddr, n)?[..n as usize].to_vec();
+        self.resolve(daddr, n)?[..n as usize].copy_from_slice(&tmp);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw byte access.
+    // ------------------------------------------------------------------
+
+    fn resolve(&mut self, addr: u64, size: u64) -> Result<&mut [u8], Trap> {
+        let end = addr.wrapping_add(size);
+        if addr >= HEAP_BASE && end <= HEAP_BASE + self.heap.len() as u64 {
+            let off = (addr - HEAP_BASE) as usize;
+            Ok(&mut self.heap[off..])
+        } else if addr >= GLOBAL_BASE && end <= GLOBAL_BASE + self.globals.len() as u64 {
+            let off = (addr - GLOBAL_BASE) as usize;
+            Ok(&mut self.globals[off..])
+        } else if addr >= STACK_BASE && end <= STACK_BASE + self.stack.len() as u64 {
+            let off = (addr - STACK_BASE) as usize;
+            Ok(&mut self.stack[off..])
+        } else {
+            Err(Trap::OutOfBounds { addr, size })
+        }
+    }
+
+    fn read_mem(&mut self, addr: u64, ty: Type) -> Result<u64, Trap> {
+        let size = ty.size() as usize;
+        let b = self.resolve(addr, size as u64)?;
+        Ok(match ty {
+            Type::I8 => b[0] as i8 as i64 as u64,
+            Type::I16 => i16::from_le_bytes(b[..2].try_into().unwrap()) as i64 as u64,
+            Type::I32 => i32::from_le_bytes(b[..4].try_into().unwrap()) as i64 as u64,
+            Type::I64 | Type::F64 | Type::Ptr => {
+                u64::from_le_bytes(b[..8].try_into().unwrap())
+            }
+        })
+    }
+
+    fn write_mem(&mut self, addr: u64, val: u64, ty: Type) -> Result<(), Trap> {
+        let size = ty.size() as usize;
+        let b = self.resolve(addr, size as u64)?;
+        match ty {
+            Type::I8 => b[0] = val as u8,
+            Type::I16 => b[..2].copy_from_slice(&(val as u16).to_le_bytes()),
+            Type::I32 => b[..4].copy_from_slice(&(val as u32).to_le_bytes()),
+            Type::I64 | Type::F64 | Type::Ptr => {
+                b[..8].copy_from_slice(&val.to_le_bytes())
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scalar operation semantics.
+// ----------------------------------------------------------------------
+
+#[inline]
+fn mask_unsigned(v: u64, ty: Type) -> u64 {
+    match ty {
+        Type::I8 => v & 0xFF,
+        Type::I16 => v & 0xFFFF,
+        Type::I32 => v & 0xFFFF_FFFF,
+        _ => v,
+    }
+}
+
+#[inline]
+fn sext(v: u64, ty: Type) -> u64 {
+    match ty {
+        Type::I8 => v as u8 as i8 as i64 as u64,
+        Type::I16 => v as u16 as i16 as i64 as u64,
+        Type::I32 => v as u32 as i32 as i64 as u64,
+        _ => v,
+    }
+}
+
+fn exec_binop(op: BinOp, a: u64, b: u64, ty: Type) -> Result<u64, Trap> {
+    if op.is_float() {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        let r = match op {
+            BinOp::Fadd => x + y,
+            BinOp::Fsub => x - y,
+            BinOp::Fmul => x * y,
+            BinOp::Fdiv => x / y,
+            _ => unreachable!(),
+        };
+        return Ok(r.to_bits());
+    }
+    let (sa, sb) = (a as i64, b as i64);
+    let (ua, ub) = (mask_unsigned(a, ty), mask_unsigned(b, ty));
+    let r = match op {
+        BinOp::Add => sa.wrapping_add(sb) as u64,
+        BinOp::Sub => sa.wrapping_sub(sb) as u64,
+        BinOp::Mul => sa.wrapping_mul(sb) as u64,
+        BinOp::Sdiv => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        BinOp::Udiv => {
+            if ub == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ua / ub
+        }
+        BinOp::Srem => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        BinOp::Urem => {
+            if ub == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ua % ub
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => (sa.wrapping_shl(b as u32 & 63)) as u64,
+        BinOp::Lshr => ua.wrapping_shr(b as u32 & 63),
+        BinOp::Ashr => (sa >> (b as u32 & 63).min(63)) as u64,
+        _ => unreachable!(),
+    };
+    Ok(sext(r, ty))
+}
+
+fn exec_icmp(op: CmpOp, a: u64, b: u64, ty: Type) -> bool {
+    let (sa, sb) = (a as i64, b as i64);
+    let (ua, ub) = (mask_unsigned(a, ty), mask_unsigned(b, ty));
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Slt => sa < sb,
+        CmpOp::Sle => sa <= sb,
+        CmpOp::Sgt => sa > sb,
+        CmpOp::Sge => sa >= sb,
+        CmpOp::Ult => ua < ub,
+        CmpOp::Ule => ua <= ub,
+        CmpOp::Ugt => ua > ub,
+        CmpOp::Uge => ua >= ub,
+    }
+}
+
+fn exec_fcmp(op: FCmpOp, x: f64, y: f64) -> bool {
+    match op {
+        FCmpOp::Oeq => x == y,
+        FCmpOp::One => x != y && !x.is_nan() && !y.is_nan(),
+        FCmpOp::Olt => x < y,
+        FCmpOp::Ole => x <= y,
+        FCmpOp::Ogt => x > y,
+        FCmpOp::Oge => x >= y,
+    }
+}
+
+fn exec_cast(op: CastOp, v: u64, from: Type, to: Type) -> u64 {
+    match op {
+        CastOp::Zext => mask_unsigned(v, from),
+        CastOp::Sext => sext(v, from),
+        CastOp::Trunc => sext(v, to),
+        CastOp::IntToPtr | CastOp::PtrToInt | CastOp::Bitcast => v,
+        CastOp::SiToFp => ((v as i64) as f64).to_bits(),
+        CastOp::FpToSi => {
+            let f = f64::from_bits(v);
+            if f.is_nan() {
+                0
+            } else {
+                sext((f as i64) as u64, to)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memsys::LocalMem;
+    use tfm_ir::{FunctionBuilder, Module, Signature};
+
+    fn machine(m: &Module) -> Machine<'_, LocalMem> {
+        Machine::new(m, LocalMem::new(1 << 20), CostModel::default(), 1 << 20)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "f",
+            Signature::new(vec![Type::I64, Type::I64], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let s = b.binop(BinOp::Mul, b.param(0), b.param(1));
+            let c = b.iconst(Type::I64, 5);
+            let r = b.binop(BinOp::Add, s, c);
+            b.ret(Some(r));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        let r = mach.run("f", &[6, 7]).unwrap();
+        assert_eq!(r.ret, 47);
+        assert!(r.stats.cycles > 0);
+        assert!(r.stats.instructions >= 4);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "sum",
+            Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let arr = b.param(0);
+            let n = b.param(1);
+            let zero = b.iconst(Type::I64, 0);
+            let pre = b.current_block();
+            let header = b.create_block();
+            let body = b.create_block();
+            let exit = b.create_block();
+            b.br(header);
+            b.switch_to_block(header);
+            let i = b.phi(Type::I64, &[(pre, zero)]);
+            let acc = b.phi(Type::I64, &[(pre, zero)]);
+            let c = b.icmp(CmpOp::Slt, i, n);
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let addr = b.gep(arr, i, 8, 0);
+            let x = b.load(Type::I64, addr);
+            let acc2 = b.binop(BinOp::Add, acc, x);
+            let one = b.iconst(Type::I64, 1);
+            let i2 = b.binop(BinOp::Add, i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.add_phi_incoming(acc, body, acc2);
+            b.br(header);
+            b.switch_to_block(exit);
+            b.ret(Some(acc));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        let ptr = mach.setup_alloc(80);
+        mach.setup_write_u64s(ptr, &(1..=10).collect::<Vec<u64>>());
+        mach.finish_setup(false);
+        let r = mach.run("sum", &[ptr, 10]).unwrap();
+        assert_eq!(r.ret, 55);
+        assert_eq!(r.stats.loads, 10);
+    }
+
+    #[test]
+    fn float_kernel() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::F64], Some(Type::F64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let x = b.param(0);
+            let half = b.fconst(0.5);
+            let y = b.binop(BinOp::Fmul, x, half);
+            let z = b.binop(BinOp::Fadd, y, half);
+            b.ret(Some(z));
+        }
+        let mut mach = machine(&m);
+        let r = mach.run("f", &[3.0f64.to_bits()]).unwrap();
+        assert_eq!(f64::from_bits(r.ret), 2.0);
+    }
+
+    #[test]
+    fn narrow_integer_semantics() {
+        // i8 arithmetic wraps; unsigned compare masks.
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let a = b.iconst(Type::I8, -1); // 0xFF
+            let c = b.iconst(Type::I8, 1);
+            let ult = b.icmp(CmpOp::Ult, c, a); // 1 <u 255 → 1
+            b.ret(Some(ult));
+        }
+        let mut mach = machine(&m);
+        assert_eq!(mach.run("f", &[]).unwrap().ret, 1);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let x = b.param(0);
+            let z = b.iconst(Type::I64, 0);
+            let d = b.binop(BinOp::Sdiv, x, z);
+            b.ret(Some(d));
+        }
+        let mut mach = machine(&m);
+        assert_eq!(mach.run("f", &[5]).unwrap_err(), Trap::DivByZero);
+    }
+
+    #[test]
+    fn calls_and_stack_discipline() {
+        let mut m = Module::new("t");
+        let callee = m.declare_function("sq", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(callee));
+            let slot = b.alloca(8, 8);
+            let x = b.param(0);
+            b.store(slot, x);
+            let y = b.load(Type::I64, slot);
+            let r = b.binop(BinOp::Mul, y, y);
+            b.ret(Some(r));
+        }
+        let caller = m.declare_function("f", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(caller));
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 100);
+            b.counted_loop(zero, n, 1, |b, i| {
+                let _ = b.call(callee, vec![i], Some(Type::I64));
+            });
+            let four = b.iconst(Type::I64, 4);
+            let r = b.call(callee, vec![four], Some(Type::I64));
+            b.ret(Some(r));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        let r = mach.run("f", &[]).unwrap();
+        assert_eq!(r.ret, 16);
+    }
+
+    #[test]
+    fn globals_are_initialized_and_writable() {
+        let mut m = Module::new("t");
+        let g = m.add_global("counter", 16, Some(vec![7, 0, 0, 0, 0, 0, 0, 0]));
+        let id = m.declare_function("f", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let addr = b.global_addr(g);
+            let x = b.load(Type::I64, addr);
+            let one = b.iconst(Type::I64, 1);
+            let y = b.binop(BinOp::Add, x, one);
+            b.store(addr, y);
+            let z = b.load(Type::I64, addr);
+            b.ret(Some(z));
+        }
+        let mut mach = machine(&m);
+        assert_eq!(mach.run("f", &[]).unwrap().ret, 8);
+    }
+
+    #[test]
+    fn fuel_limit_catches_infinite_loops() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![], None));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let spin = b.create_block();
+            b.br(spin);
+            b.switch_to_block(spin);
+            b.br(spin);
+        }
+        let mut mach = machine(&m);
+        mach.set_fuel(10_000);
+        assert_eq!(mach.run("f", &[]).unwrap_err(), Trap::FuelExhausted);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let x = b.load(Type::I64, p);
+            b.ret(Some(x));
+        }
+        let mut mach = machine(&m);
+        let err = mach.run("f", &[0xdead]).unwrap_err();
+        assert!(matches!(err, Trap::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn memcpy_and_memset_move_data() {
+        let mut m = Module::new("t");
+        let id = m.declare_function(
+            "f",
+            Signature::new(vec![Type::Ptr, Type::Ptr], Some(Type::I64)),
+        );
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let dst = b.param(0);
+            let src = b.param(1);
+            let n = b.iconst(Type::I64, 64);
+            b.intrinsic(Intrinsic::Memcpy, vec![dst, src, n]);
+            let x = b.load(Type::I64, dst);
+            b.ret(Some(x));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        let a = mach.setup_alloc(64);
+        let bptr = mach.setup_alloc(64);
+        mach.setup_write_u64s(bptr, &[0x1122334455667788, 2, 3, 4, 5, 6, 7, 8]);
+        mach.finish_setup(false);
+        let r = mach.run("f", &[a, bptr]).unwrap();
+        assert_eq!(r.ret, 0x1122334455667788);
+    }
+
+    #[test]
+    fn profiling_counts_blocks_and_edges() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let n = b.param(0);
+            let zero = b.iconst(Type::I64, 0);
+            b.counted_loop(zero, n, 1, |_b, _i| {});
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        mach.enable_profiling();
+        mach.run("f", &[25]).unwrap();
+        let prof = mach.take_profile();
+        // Header (bb1) executes 26 times: 25 iterations + exit check.
+        assert_eq!(prof.block_count("f", Block(1)), 26);
+    }
+}
+
+#[cfg(test)]
+mod recursion_tests {
+    use super::*;
+    use crate::memsys::LocalMem;
+    use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature};
+
+    /// Recursive fib(n): exercises nested frames, per-frame registers and
+    /// stack discipline across deep call chains.
+    #[test]
+    fn recursive_fibonacci() {
+        let mut m = Module::new("t");
+        let fib = m.declare_function("fib", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(fib));
+            let n = b.param(0);
+            let base = b.create_block();
+            let rec = b.create_block();
+            let two = b.iconst(Type::I64, 2);
+            let c = b.icmp(CmpOp::Slt, n, two);
+            b.cond_br(c, base, rec);
+            b.switch_to_block(base);
+            b.ret(Some(n));
+            b.switch_to_block(rec);
+            let one = b.iconst(Type::I64, 1);
+            let n1 = b.binop(BinOp::Sub, n, one);
+            let n2 = b.binop(BinOp::Sub, n, two);
+            let f1 = b.call(fib, vec![n1], Some(Type::I64));
+            let f2 = b.call(fib, vec![n2], Some(Type::I64));
+            let s = b.binop(BinOp::Add, f1, f2);
+            b.ret(Some(s));
+        }
+        m.verify().unwrap();
+        let mut mach = Machine::new(&m, LocalMem::new(1 << 16), CostModel::default(), 1 << 16);
+        let r = mach.run("fib", &[20]).unwrap();
+        assert_eq!(r.ret, 6765);
+        // The call overhead must have been charged for every invocation.
+        assert!(r.stats.cycles > 6765);
+    }
+}

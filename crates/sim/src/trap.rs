@@ -1,0 +1,74 @@
+//! Execution faults.
+
+use std::fmt;
+
+/// A simulated hardware/runtime fault that aborts execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// A load/store dereferenced a non-canonical (TrackFM) pointer without a
+    /// guard — the general-protection fault of §3.1. Seeing this means the
+    /// compiler failed to guard an access.
+    NonCanonicalAccess {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Address outside every mapped region.
+    OutOfBounds {
+        /// The faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// The simulated stack overflowed.
+    StackOverflow,
+    /// `unreachable` was executed.
+    Unreachable,
+    /// The far heap (or local heap) is exhausted.
+    AllocFailure,
+    /// An invalid chunk handle was used.
+    BadChunkHandle {
+        /// The offending handle value.
+        handle: u64,
+    },
+    /// Interpreter budget exceeded (runaway program).
+    FuelExhausted,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NonCanonicalAccess { addr } => write!(
+                f,
+                "general protection fault: unguarded access to non-canonical address {addr:#x}"
+            ),
+            Trap::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::Unreachable => write!(f, "reached `unreachable`"),
+            Trap::AllocFailure => write!(f, "allocation failure"),
+            Trap::BadChunkHandle { handle } => write!(f, "invalid chunk handle {handle}"),
+            Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trap::NonCanonicalAccess {
+            addr: 0x1000_0000_0000_0040,
+        };
+        assert!(t.to_string().contains("general protection fault"));
+        assert!(t.to_string().contains("0x1000000000000040"));
+        assert!(Trap::DivByZero.to_string().contains("division"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Object-size autotuning — the paper's §3.2/§5 future-work feature,
+//! implemented.
+//!
+//! "While the choice of object size is currently selected by us, the small
+//! search space suggests that an autotuning approach is feasible.
+//! Furthermore, if we are correct that only the powers of two from 6 (cache
+//! line) to 12 (base page size) need to be considered, an exhaustive search
+//! involving recompilation and a short-term execution would simply expand
+//! the short compile times." (§3.2)
+//!
+//! [`autotune_object_size`] does exactly that: for each candidate power of
+//! two it recompiles the application (object size feeds the chunking cost
+//! model) and executes a short probe run, picking the size with the fewest
+//! simulated cycles.
+
+use crate::runner::{execute_with_profile, RunConfig};
+use crate::spec::WorkloadSpec;
+use tfm_analysis::profile::Profile;
+
+/// Candidate object sizes: powers of two from the cache line to the base
+/// page, per §3.2.
+pub const CANDIDATE_SIZES: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// The outcome of an autotuning search.
+#[derive(Clone, Debug)]
+pub struct AutotuneReport {
+    /// The winning object size.
+    pub chosen: u64,
+    /// `(object size, simulated cycles)` for every candidate, in search
+    /// order.
+    pub trials: Vec<(u64, u64)>,
+}
+
+impl AutotuneReport {
+    /// Speedup of the best size over the worst.
+    pub fn best_over_worst(&self) -> f64 {
+        let best = self.trials.iter().map(|(_, c)| *c).min().unwrap_or(1);
+        let worst = self.trials.iter().map(|(_, c)| *c).max().unwrap_or(1);
+        worst as f64 / best as f64
+    }
+}
+
+/// Exhaustively searches [`CANDIDATE_SIZES`], recompiling and running the
+/// probe workload for each, and returns the size minimizing simulated
+/// cycles. `base` supplies everything else (system, budget fraction,
+/// compiler options); callers typically pass a scaled-down probe spec, as
+/// the paper suggests ("a short-term execution").
+pub fn autotune_object_size(
+    spec: &WorkloadSpec,
+    base: &RunConfig,
+    profile: Option<&Profile>,
+) -> AutotuneReport {
+    let mut trials = Vec::with_capacity(CANDIDATE_SIZES.len());
+    for &size in &CANDIDATE_SIZES {
+        let cfg = (*base).with_object_size(size);
+        let out = execute_with_profile(spec, &cfg, profile);
+        trials.push((size, out.result.stats.cycles));
+    }
+    let chosen = trials
+        .iter()
+        .min_by_key(|(_, c)| *c)
+        .map(|(s, _)| *s)
+        .expect("candidate list is non-empty");
+    AutotuneReport { chosen, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashmap::{hashmap, HashmapParams};
+    use crate::stream::{sum, StreamParams};
+
+    #[test]
+    fn picks_large_objects_for_stream() {
+        let spec = sum(&StreamParams { elems: 64 << 10 });
+        let report = autotune_object_size(&spec, &RunConfig::trackfm(0.25), None);
+        assert!(
+            report.chosen >= 1024,
+            "sequential scans want large objects, chose {}",
+            report.chosen
+        );
+        assert_eq!(report.trials.len(), CANDIDATE_SIZES.len());
+        assert!(report.best_over_worst() > 1.0);
+    }
+
+    #[test]
+    fn picks_small_objects_for_zipf_hashmap() {
+        let spec = hashmap(&HashmapParams {
+            keys: 8_000,
+            lookups: 16_000,
+            skew: 1.02,
+            seed: 3,
+        });
+        let report = autotune_object_size(&spec, &RunConfig::trackfm(0.15), None);
+        assert!(
+            report.chosen <= 512,
+            "fine-grained random access wants small objects, chose {}",
+            report.chosen
+        );
+    }
+}

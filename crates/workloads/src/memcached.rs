@@ -1,0 +1,269 @@
+//! A memcached-like key-value store — the paper's Fig. 16 workload.
+//!
+//! §4.5: memcached 1.2.7 transformed by TrackFM, USR-style small key/value
+//! pairs, 100M Zipfian `get`s with skew swept from 1.0 to 1.3. The store
+//! here has the same shape: a hash index mapping keys to slab slots, and a
+//! slab area holding 64-byte values that each `get` reads in full. Access
+//! granularity is small and spatially scattered, so Fastswap's 4 KB pages
+//! amplify I/O (66× in the paper) while TrackFM's small objects keep it low.
+
+use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use crate::zipf::zipf_trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
+
+/// Value payload size (bytes); USR-style small objects.
+pub const VALUE_BYTES: usize = 64;
+const VALUE_WORDS: usize = VALUE_BYTES / 8;
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Key-value store parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct MemcachedParams {
+    /// Number of stored keys.
+    pub keys: usize,
+    /// Number of `get` operations.
+    pub gets: usize,
+    /// Zipf skew (paper sweeps 1.0–1.3; use e.g. 1.01).
+    pub skew: f64,
+    /// Trace RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MemcachedParams {
+    fn default() -> Self {
+        MemcachedParams {
+            keys: 100_000, // 1.6 MiB index + 6.4 MiB slab
+            gets: 300_000,
+            skew: 1.01,
+            seed: 17,
+        }
+    }
+}
+
+fn hash_slot(key: u64, mask: u64) -> u64 {
+    (key.wrapping_mul(HASH_MULT) >> 32) & mask
+}
+
+fn word_of(slab_idx: u64, w: u64) -> u64 {
+    (slab_idx * VALUE_WORDS as u64 + w).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+struct Store {
+    index: Vec<u64>,
+    slab: Vec<u64>,
+    mask: u64,
+}
+
+/// Host-side store construction: key `rank+1` lives in slab slot `rank`
+/// (hash-ordered placement scatters index entries, not slab entries; the
+/// slab is written in insertion order, like a real slab allocator — the §5
+/// "lesson" about batched small allocations limiting I/O-amplification
+/// mitigation applies to the index, not the values).
+fn build(p: &MemcachedParams) -> Store {
+    let capacity = (p.keys * 2).next_power_of_two() as u64;
+    let mask = capacity - 1;
+    let mut index = vec![0u64; (capacity * 2) as usize];
+    let mut slab = vec![0u64; p.keys * VALUE_WORDS];
+    for rank in 0..p.keys as u64 {
+        let key = rank + 1;
+        let mut h = hash_slot(key, mask);
+        loop {
+            let i = (h * 2) as usize;
+            if index[i] == 0 {
+                index[i] = key;
+                index[i + 1] = rank + 1; // slab idx + 1 (0 = empty)
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+        for w in 0..VALUE_WORDS as u64 {
+            slab[(rank * VALUE_WORDS as u64 + w) as usize] = word_of(rank, w);
+        }
+    }
+    Store { index, slab, mask }
+}
+
+fn reference(s: &Store, trace: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    for &key in trace {
+        let mut h = hash_slot(key, s.mask);
+        loop {
+            let i = (h * 2) as usize;
+            if s.index[i] == key {
+                let slab_idx = s.index[i + 1] - 1;
+                for w in 0..VALUE_WORDS as u64 {
+                    sum ^= s.slab[(slab_idx * VALUE_WORDS as u64 + w) as usize];
+                }
+                sum = sum.wrapping_add(1);
+                break;
+            }
+            if s.index[i] == 0 {
+                break;
+            }
+            h = (h + 1) & s.mask;
+        }
+    }
+    sum
+}
+
+/// Builds the key-value store workload.
+///
+/// `main(index, mask, slab, trace, n) -> i64` performs `n` `get`s and
+/// returns a checksum over the values read.
+pub fn memcached(p: &MemcachedParams) -> WorkloadSpec {
+    let store = build(p);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let trace: Vec<u64> = zipf_trace(p.keys as u64, p.skew, p.gets, &mut rng)
+        .into_iter()
+        .map(|r| r + 1)
+        .collect();
+    let expected = reference(&store, &trace);
+
+    let mut m = Module::new("memcached");
+    let id = m.declare_function(
+        "main",
+        Signature::new(
+            vec![Type::Ptr, Type::I64, Type::Ptr, Type::Ptr, Type::I64],
+            Some(Type::I64),
+        ),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let index = b.param(0);
+        let mask_v = b.param(1);
+        let slab = b.param(2);
+        let trace_p = b.param(3);
+        let n = b.param(4);
+        let zero = b.iconst(Type::I64, 0);
+        let sum = b.alloca(8, 8);
+        b.store(sum, zero);
+
+        b.counted_loop(zero, n, 1, |b, t| {
+            let kaddr = b.gep(trace_p, t, 8, 0);
+            let key = b.load(Type::I64, kaddr);
+            let mult = b.iconst(Type::I64, HASH_MULT as i64);
+            let hm = b.binop(BinOp::Mul, key, mult);
+            let c32 = b.iconst(Type::I64, 32);
+            let hs = b.binop(BinOp::Lshr, hm, c32);
+            let h0 = b.binop(BinOp::And, hs, mask_v);
+
+            let pre = b.current_block();
+            let probe = b.create_block();
+            let check_empty = b.create_block();
+            let found = b.create_block();
+            let next = b.create_block();
+            let done = b.create_block();
+
+            b.br(probe);
+            b.switch_to_block(probe);
+            let h = b.phi(Type::I64, &[(pre, h0)]);
+            let slot = b.gep(index, h, 16, 0);
+            let skey = b.load(Type::I64, slot);
+            let hit = b.icmp(CmpOp::Eq, skey, key);
+            b.cond_br(hit, found, check_empty);
+
+            b.switch_to_block(check_empty);
+            let zz = b.iconst(Type::I64, 0);
+            let empty = b.icmp(CmpOp::Eq, skey, zz);
+            b.cond_br(empty, done, next);
+
+            b.switch_to_block(next);
+            let one = b.iconst(Type::I64, 1);
+            let h1 = b.binop(BinOp::Add, h, one);
+            let h2 = b.binop(BinOp::And, h1, mask_v);
+            b.add_phi_incoming(h, next, h2);
+            b.br(probe);
+
+            // Read the whole 64-byte value from the slab.
+            b.switch_to_block(found);
+            let iaddr = b.gep(index, h, 16, 8);
+            let slabp1 = b.load(Type::I64, iaddr);
+            let one2 = b.iconst(Type::I64, 1);
+            let slab_idx = b.binop(BinOp::Sub, slabp1, one2);
+            let vwords = b.iconst(Type::I64, VALUE_WORDS as i64);
+            let base_w = b.binop(BinOp::Mul, slab_idx, vwords);
+            let vbase = b.gep(slab, base_w, 8, 0);
+            let z2 = b.iconst(Type::I64, 0);
+            b.counted_loop(z2, vwords, 1, |b, w| {
+                let wa = b.gep(vbase, w, 8, 0);
+                let wv = b.load(Type::I64, wa);
+                let s = b.load(Type::I64, sum);
+                let s2 = b.binop(BinOp::Xor, s, wv);
+                b.store(sum, s2);
+            });
+            let s = b.load(Type::I64, sum);
+            let s2 = b.binop(BinOp::Add, s, one2);
+            b.store(sum, s2);
+            b.br(done);
+
+            b.switch_to_block(done);
+        });
+
+        let out = b.load(Type::I64, sum);
+        b.ret(Some(out));
+    }
+    m.verify().expect("memcached is well-formed");
+
+    WorkloadSpec {
+        name: format!("memcached/{}k-{}", p.keys / 1000, p.skew),
+        module: m,
+        inputs: vec![
+            InputData::U64(store.index),
+            InputData::U64(store.slab),
+            InputData::U64(trace),
+        ],
+        args: vec![
+            ArgSpec::Input(0),
+            ArgSpec::Const(store.mask as i64),
+            ArgSpec::Input(1),
+            ArgSpec::Input(2),
+            ArgSpec::Const(p.gets as i64),
+        ],
+        expected: Some(expected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, RunConfig};
+
+    fn small() -> MemcachedParams {
+        MemcachedParams {
+            keys: 2_000,
+            gets: 5_000,
+            skew: 1.05,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn gets_are_semantically_preserved() {
+        let spec = memcached(&small());
+        execute(&spec, &RunConfig::local());
+        execute(&spec, &RunConfig::trackfm(0.2).with_object_size(64));
+        execute(&spec, &RunConfig::fastswap(0.2));
+    }
+
+    #[test]
+    fn skew_reduces_fastswap_misses() {
+        // Higher skew → more temporal locality → fewer major faults; the
+        // Fig. 16a convergence mechanism.
+        let mild = memcached(&MemcachedParams {
+            skew: 1.01,
+            ..small()
+        });
+        let sharp = memcached(&MemcachedParams {
+            skew: 1.3,
+            ..small()
+        });
+        let f_mild = execute(&mild, &RunConfig::fastswap(0.15));
+        let f_sharp = execute(&sharp, &RunConfig::fastswap(0.15));
+        assert!(
+            f_sharp.result.pager.unwrap().major_faults
+                < f_mild.result.pager.unwrap().major_faults
+        );
+    }
+}

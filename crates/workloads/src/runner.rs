@@ -1,0 +1,289 @@
+//! Executes [`WorkloadSpec`]s under each of the paper's four systems.
+//!
+//! The flow mirrors the paper's methodology: build the program once, run the
+//! *untransformed* binary on the local-only and Fastswap systems, run the
+//! *TrackFM-compiled* binary on the TrackFM and AIFM systems, always with
+//! warm-start residency (what in-app initialization leaves behind under the
+//! budget) and counters reset after setup.
+
+use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use tfm_analysis::profile::Profile;
+use tfm_fastswap::PagerConfig;
+use tfm_ir::Module;
+use tfm_net::LinkParams;
+use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
+use trackfm::{CompileReport, CompilerOptions, CostModel, TrackFmCompiler};
+
+/// Which far-memory system executes the workload.
+#[derive(Copy, Clone, Debug)]
+pub enum SystemKind {
+    /// All memory local (normalization baseline).
+    Local,
+    /// Fastswap: kernel paging, untransformed binary.
+    Fastswap,
+    /// TrackFM: compiler-transformed binary on the object runtime.
+    TrackFm,
+    /// AIFM: the same runtime with library-integration costs.
+    Aifm,
+    /// The §5 hybrid: compiler-chunked streams on the object runtime,
+    /// guard-free raw accesses with kernel-style faults.
+    Hybrid,
+}
+
+/// One experimental configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct RunConfig {
+    /// The system under test.
+    pub system: SystemKind,
+    /// Local memory as a fraction of the working set (the usual x-axis).
+    pub local_fraction: f64,
+    /// AIFM object size (TrackFM/AIFM systems).
+    pub object_size: u64,
+    /// Enable prefetching (TrackFM/AIFM systems).
+    pub prefetch: bool,
+    /// Prefetcher look-ahead depth in objects (TrackFM/AIFM systems).
+    pub prefetch_depth: u32,
+    /// Compiler options used when the system needs a transformed binary.
+    pub compiler: CompilerOptions,
+    /// The cycle cost model.
+    pub cost: CostModel,
+}
+
+impl RunConfig {
+    /// A TrackFM configuration with default compiler settings.
+    pub fn trackfm(local_fraction: f64) -> Self {
+        RunConfig {
+            system: SystemKind::TrackFm,
+            local_fraction,
+            object_size: 4096,
+            prefetch: true,
+            prefetch_depth: PrefetchConfig::default().depth,
+            compiler: CompilerOptions::default(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A Fastswap configuration.
+    pub fn fastswap(local_fraction: f64) -> Self {
+        RunConfig {
+            system: SystemKind::Fastswap,
+            ..Self::trackfm(local_fraction)
+        }
+    }
+
+    /// An AIFM configuration.
+    pub fn aifm(local_fraction: f64) -> Self {
+        RunConfig {
+            system: SystemKind::Aifm,
+            ..Self::trackfm(local_fraction)
+        }
+    }
+
+    /// The §5 hybrid compiler+kernel configuration (chunk streams, no
+    /// guards).
+    pub fn hybrid(local_fraction: f64) -> Self {
+        let mut cfg = RunConfig {
+            system: SystemKind::Hybrid,
+            ..Self::trackfm(local_fraction)
+        };
+        cfg.compiler.guards = false;
+        cfg
+    }
+
+    /// The local-only baseline.
+    pub fn local() -> Self {
+        RunConfig {
+            system: SystemKind::Local,
+            ..Self::trackfm(1.0)
+        }
+    }
+
+    /// Sets the object size (and keeps the compiler's view consistent).
+    pub fn with_object_size(mut self, object_size: u64) -> Self {
+        self.object_size = object_size;
+        self.compiler.object_size = object_size;
+        self
+    }
+
+    /// Toggles prefetching (compiler hints + runtime).
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self.compiler.prefetch = on;
+        self
+    }
+}
+
+/// The outcome of one run: results plus (for transformed binaries) the
+/// compile report.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The execution result.
+    pub result: RunResult,
+    /// Compiler report, when a transformed binary ran.
+    pub report: Option<CompileReport>,
+}
+
+fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
+    FarMemoryConfig {
+        heap_size: spec.heap_size(cfg.object_size),
+        object_size: cfg.object_size,
+        local_budget: spec.local_budget(cfg.local_fraction, cfg.object_size),
+        link: LinkParams::tcp_25g(),
+        prefetch: PrefetchConfig {
+            enabled: cfg.prefetch,
+            depth: cfg.prefetch_depth,
+        },
+    }
+}
+
+/// Runs `spec` under `cfg`, returning the result and any compile report.
+///
+/// # Panics
+/// Panics if execution traps — workloads in this suite are expected to run
+/// to completion under every system; a trap is a bug worth surfacing loudly.
+pub fn execute(spec: &WorkloadSpec, cfg: &RunConfig) -> Outcome {
+    execute_with_profile(spec, cfg, None)
+}
+
+/// [`execute`], with an optional profile for the compiler's
+/// profile-guided chunking filter.
+///
+/// # Panics
+/// See [`execute`].
+pub fn execute_with_profile(
+    spec: &WorkloadSpec,
+    cfg: &RunConfig,
+    profile: Option<&Profile>,
+) -> Outcome {
+    let heap = spec.heap_size(cfg.object_size);
+    match cfg.system {
+        SystemKind::Local => {
+            let (result, _) = run_machine(spec, &spec.module, LocalMem::new(heap), cfg, heap, false);
+            Outcome {
+                result,
+                report: None,
+            }
+        }
+        SystemKind::Fastswap => {
+            let pcfg = PagerConfig {
+                local_budget: spec.local_budget(cfg.local_fraction, 4096),
+                ..PagerConfig::default()
+            };
+            let (result, _) =
+                run_machine(spec, &spec.module, FastswapMem::new(heap, pcfg), cfg, heap, false);
+            Outcome {
+                result,
+                report: None,
+            }
+        }
+        SystemKind::TrackFm | SystemKind::Aifm => {
+            let mut module = spec.module.clone();
+            let compiler = TrackFmCompiler::new(cfg.compiler);
+            let report = compiler.compile(&mut module, profile);
+            let fm_cfg = far_config(spec, cfg);
+            let mem = match cfg.system {
+                SystemKind::TrackFm => TrackFmMem::new(fm_cfg, cfg.cost),
+                _ => TrackFmMem::new_aifm(fm_cfg, cfg.cost),
+            };
+            let (result, _) = run_machine(spec, &module, mem, cfg, heap, false);
+            Outcome {
+                result,
+                report: Some(report),
+            }
+        }
+        SystemKind::Hybrid => {
+            let mut module = spec.module.clone();
+            let mut copts = cfg.compiler;
+            copts.guards = false;
+            let compiler = TrackFmCompiler::new(copts);
+            let report = compiler.compile(&mut module, profile);
+            let mem = HybridMem::new(far_config(spec, cfg), cfg.cost);
+            let (result, _) = run_machine(spec, &module, mem, cfg, heap, false);
+            Outcome {
+                result,
+                report: Some(report),
+            }
+        }
+    }
+}
+
+/// Collects an execution profile by running the unmodified program under
+/// local memory with profiling enabled (the NOELLE profiling stage).
+///
+/// # Panics
+/// Panics if the profiling run traps.
+pub fn collect_profile(spec: &WorkloadSpec) -> Profile {
+    let heap = spec.heap_size(4096);
+    let mem = LocalMem::new(heap);
+    let cfg = RunConfig::local();
+    let mut machine = Machine::new(&spec.module, mem, cfg.cost, heap);
+    machine.enable_profiling();
+    let args = setup(spec, &mut machine, false);
+    let r = machine
+        .run("main", &args)
+        .unwrap_or_else(|t| panic!("{}: profiling run trapped: {t}", spec.name));
+    check_expected(spec, r.ret);
+    machine.take_profile()
+}
+
+/// Runs with a *warm* start: setup fills inputs through the memory system
+/// under the configured budget, so the state at t=0 is exactly what in-app
+/// initialization would leave behind — the most recently written
+/// budget-worth resident, everything else already evacuated (with a remote
+/// copy). At a 100% budget nothing is remote, matching the paper's
+/// local-only-converged right-hand side of every sweep.
+fn run_machine<M: MemorySystem>(
+    spec: &WorkloadSpec,
+    module: &Module,
+    mem: M,
+    cfg: &RunConfig,
+    heap: u64,
+    cold: bool,
+) -> (RunResult, ()) {
+    let mut machine = Machine::new(module, mem, cfg.cost, heap);
+    let args = setup(spec, &mut machine, cold);
+    let r = machine
+        .run("main", &args)
+        .unwrap_or_else(|t| panic!("{}: execution trapped: {t}", spec.name));
+    check_expected(spec, r.ret);
+    (r, ())
+}
+
+fn check_expected(spec: &WorkloadSpec, ret: u64) {
+    if let Some(want) = spec.expected {
+        assert_eq!(
+            ret, want,
+            "{}: wrong result — transformation or runtime broke semantics",
+            spec.name
+        );
+    }
+}
+
+/// Allocates and fills the spec's inputs; returns `main`'s argument list.
+pub fn setup<M: MemorySystem>(
+    spec: &WorkloadSpec,
+    machine: &mut Machine<'_, M>,
+    cold: bool,
+) -> Vec<u64> {
+    let mut ptrs = Vec::with_capacity(spec.inputs.len());
+    for input in &spec.inputs {
+        let ptr = machine.setup_alloc(input.byte_len().max(1));
+        match input {
+            InputData::U64(v) => machine.setup_write_u64s(ptr, v),
+            InputData::F64(v) => machine.setup_write_f64s(ptr, v),
+            InputData::U32(v) => machine.setup_write_u32s(ptr, v),
+            InputData::Bytes(v) => machine.setup_write(ptr, v),
+            InputData::Zeroed(n) => machine.setup_write(ptr, &vec![0u8; *n as usize]),
+        }
+        ptrs.push(ptr);
+    }
+    machine.finish_setup(cold);
+    spec.args
+        .iter()
+        .map(|a| match a {
+            ArgSpec::Input(i) => ptrs[*i],
+            ArgSpec::Const(c) => *c as u64,
+        })
+        .collect()
+}

@@ -1,0 +1,139 @@
+//! Zipfian workload generation.
+//!
+//! The paper drives its hashmap (§4.3) and memcached (§4.5) experiments with
+//! Zipfian key distributions (skew 1.02 for the hashmap, 1.0–1.3 swept for
+//! memcached). This is the standard bounded-Zipf sampler of Gray et al.
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+//! the same construction YCSB uses.
+
+use rand::Rng;
+
+/// A bounded Zipf(θ) sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfGen {
+    /// Creates a sampler over `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `theta <= 0`, or `theta == 1` (the harmonic
+    /// singularity; use 1.0001 instead, as YCSB does).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty universe");
+        assert!(theta > 0.0, "skew must be positive");
+        assert!(
+            (theta - 1.0).abs() > 1e-9,
+            "theta == 1 is singular; use e.g. 1.0001"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGen {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank =
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The number of items.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Kept for introspection: ζ(2, θ), used by the eta correction.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Generates a trace of `len` Zipf-distributed ranks.
+pub fn zipf_trace(n: u64, theta: f64, len: usize, rng: &mut impl Rng) -> Vec<u64> {
+    let gen = ZipfGen::new(n, theta);
+    (0..len).map(|_| gen.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = ZipfGen::new(1000, 1.02);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = zipf_trace(100_000, 1.2, 50_000, &mut rng);
+        let hot = trace.iter().filter(|&&r| r < 100).count() as f64 / trace.len() as f64;
+        assert!(hot > 0.4, "top 0.1% of keys should draw >40% of accesses, got {hot}");
+        // Rank 0 must be the single hottest.
+        let r0 = trace.iter().filter(|&&r| r == 0).count();
+        let r500 = trace.iter().filter(|&&r| r == 500).count();
+        assert!(r0 > r500);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mild = zipf_trace(10_000, 1.01, 20_000, &mut rng);
+        let sharp = zipf_trace(10_000, 1.3, 20_000, &mut rng);
+        let mass = |t: &[u64]| t.iter().filter(|&&r| r < 10).count();
+        assert!(mass(&sharp) > mass(&mild));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn theta_one_rejected() {
+        ZipfGen::new(10, 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = ZipfGen::new(64, 1.1);
+        assert_eq!(g.universe(), 64);
+        assert!((g.theta() - 1.1).abs() < 1e-12);
+        assert!(g.zeta2() > 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Object-size autotuning (the paper's §3.2 future-work idea, implemented):
+//! exhaustively recompile + probe each candidate object size and pick the
+//! winner, for two workloads with opposite preferences.
+//!
+//! ```sh
+//! cargo run --release --example autotune_objects
+//! ```
+
+use trackfm_suite::workloads::autotune::autotune_object_size;
+use trackfm_suite::workloads::hashmap::{hashmap, HashmapParams};
+use trackfm_suite::workloads::runner::RunConfig;
+use trackfm_suite::workloads::stream::{sum, StreamParams};
+
+fn main() {
+    let stream_spec = sum(&StreamParams { elems: 512 << 10 });
+    let map_spec = hashmap(&HashmapParams {
+        keys: 50_000,
+        lookups: 100_000,
+        skew: 1.02,
+        seed: 1,
+    });
+
+    for (name, spec, frac) in [
+        ("STREAM sum (sequential)", &stream_spec, 0.25),
+        ("Zipf hashmap (random, fine-grained)", &map_spec, 0.15),
+    ] {
+        println!("\nautotuning `{name}` at {:.0}% local memory:", frac * 100.0);
+        let report = autotune_object_size(spec, &RunConfig::trackfm(frac), None);
+        for (size, cycles) in &report.trials {
+            let marker = if *size == report.chosen { "  <== chosen" } else { "" };
+            println!("  {size:>5} B objects: {cycles:>12} cycles{marker}");
+        }
+        println!(
+            "  best-over-worst: {:.2}x — \"the small search space suggests that an\n\
+             \u{20}  autotuning approach is feasible\" (§3.2), and indeed it is.",
+            report.best_over_worst()
+        );
+    }
+}

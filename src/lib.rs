@@ -1,0 +1,28 @@
+//! # trackfm-suite
+//!
+//! Umbrella crate for the TrackFM far-memory reproduction. Re-exports the
+//! workspace crates under one roof so the examples and integration tests can
+//! use a single dependency:
+//!
+//! * [`ir`] — SSA intermediate representation (LLVM stand-in);
+//! * [`analysis`] — CFG/dominators/loops/alias/induction-variable analyses
+//!   (NOELLE stand-in);
+//! * [`compiler`] — the TrackFM pass pipeline (guards, loop chunking, libc
+//!   transform, cost model);
+//! * [`runtime`] — the AIFM-like far-memory object runtime;
+//! * [`fastswap`] — the kernel-paging baseline simulator;
+//! * [`net`] — the cycle-accounted network link model;
+//! * [`sim`] — the execution engine (interpreter + memory-system bindings);
+//! * [`workloads`] — the paper's benchmark programs as IR builders.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture and the
+//! paper-to-code mapping.
+
+pub use tfm_analysis as analysis;
+pub use tfm_fastswap as fastswap;
+pub use tfm_ir as ir;
+pub use tfm_net as net;
+pub use tfm_runtime as runtime;
+pub use tfm_sim as sim;
+pub use tfm_workloads as workloads;
+pub use trackfm as compiler;

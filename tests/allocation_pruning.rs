@@ -1,0 +1,142 @@
+//! End-to-end tests of allocation pruning (§5 future work, implemented):
+//! small constant-size allocations stay on libc `malloc`, permanently local
+//! and guard-free, while large allocations remain remotable.
+
+use trackfm_suite::compiler::{CompilerOptions, CostModel, TrackFmCompiler};
+use trackfm_suite::ir::{BinOp, FunctionBuilder, InstKind, Intrinsic, Module, Signature, Type};
+use trackfm_suite::net::LinkParams;
+use trackfm_suite::runtime::{FarMemoryConfig, PrefetchConfig};
+use trackfm_suite::sim::{Machine, TrackFmMem};
+
+/// A program with a tiny hot accumulator buffer (malloc(64)) and a large
+/// cold array (malloc(64 KiB)): the classic MaPHeA-style placement case.
+fn program(iters: i64) -> Module {
+    let mut m = Module::new("prune");
+    let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let small = b.malloc_const(64);
+        let big = b.malloc_const(64 << 10);
+        let zero = b.iconst(Type::I64, 0);
+        b.store(small, zero);
+        let n = b.iconst(Type::I64, iters);
+        b.counted_loop(zero, n, 1, |b, i| {
+            // Hot: bump the accumulator through the small buffer.
+            let acc = b.load(Type::I64, small);
+            let mask = b.iconst(Type::I64, 0x1FFF);
+            let idx = b.binop(BinOp::And, i, mask);
+            let slot = b.gep(big, idx, 8, 0);
+            b.store(slot, acc);
+            let x = b.load(Type::I64, slot);
+            let one = b.iconst(Type::I64, 1);
+            let acc2 = b.binop(BinOp::Add, x, one);
+            b.store(small, acc2);
+        });
+        let out = b.load(Type::I64, small);
+        b.intrinsic(Intrinsic::Free, vec![small]);
+        b.intrinsic(Intrinsic::Free, vec![big]);
+        b.ret(Some(out));
+    }
+    m.verify().unwrap();
+    m
+}
+
+fn run(m: &Module) -> (u64, u64, u64) {
+    let cfg = FarMemoryConfig {
+        heap_size: 1 << 20,
+        object_size: 4096,
+        local_budget: 16 << 10, // 4 objects: real pressure on the big array
+        link: LinkParams::tcp_25g(),
+        prefetch: PrefetchConfig::default(),
+    };
+    let mem = TrackFmMem::new(cfg, CostModel::default());
+    let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 20);
+    let r = machine.run("main", &[]).expect("clean run");
+    (r.ret, r.stats.cycles, r.stats.total_guards())
+}
+
+#[test]
+fn pruning_keeps_small_allocations_local_and_guard_free() {
+    let iters = 20_000;
+    let mut plain = program(iters);
+    let plain_report = TrackFmCompiler::default().compile(&mut plain, None);
+
+    let mut pruned = program(iters);
+    let compiler = TrackFmCompiler::new(CompilerOptions {
+        prune_local_allocations: true,
+        ..Default::default()
+    });
+    let pruned_report = compiler.compile(&mut pruned, None);
+
+    // Compiler-level effects.
+    assert_eq!(plain_report.pruned_local_sites, 0);
+    assert_eq!(pruned_report.pruned_local_sites, 1, "malloc(64) stays local");
+    assert!(
+        pruned_report.total_guards() < plain_report.total_guards(),
+        "accesses through the pruned allocation need no guards: {} vs {}",
+        pruned_report.total_guards(),
+        plain_report.total_guards()
+    );
+    // The pruned module still routes the big allocation through TrackFM.
+    let f = pruned.function(pruned.find_function("main").unwrap());
+    let mut kinds = (0, 0);
+    for v in f.live_insts() {
+        match f.kind(v) {
+            InstKind::IntrinsicCall {
+                intr: Intrinsic::Malloc,
+                ..
+            } => kinds.0 += 1,
+            InstKind::IntrinsicCall {
+                intr: Intrinsic::TfmAlloc,
+                ..
+            } => kinds.1 += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(kinds, (1, 1), "one local malloc, one remotable tfm.alloc");
+
+    // Runtime effects: identical result, fewer cycles.
+    let (r1, c1, _) = run(&plain);
+    let (r2, c2, _) = run(&pruned);
+    assert_eq!(r1, r2, "pruning must not change semantics");
+    assert_eq!(r1, iters as u64);
+    assert!(
+        c2 < c1,
+        "pruned accumulator should be cheaper: {c2} vs {c1}"
+    );
+}
+
+#[test]
+fn pruned_allocations_survive_memory_pressure() {
+    // The small buffer's object is pinned: even at a 4-object budget with
+    // the big array streaming through, the accumulator never faults.
+    let mut pruned = program(50_000);
+    let compiler = TrackFmCompiler::new(CompilerOptions {
+        prune_local_allocations: true,
+        ..Default::default()
+    });
+    compiler.compile(&mut pruned, None);
+    let (ret, _, _) = run(&pruned);
+    assert_eq!(ret, 50_000);
+}
+
+#[test]
+fn dynamic_size_allocations_are_never_pruned() {
+    let mut m = Module::new("dyn");
+    let id = m.declare_function("main", Signature::new(vec![Type::I64], Some(Type::I64)));
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let n = b.param(0); // size unknown at compile time
+        let p = b.intrinsic(Intrinsic::Malloc, vec![n]);
+        let x = b.load(Type::I64, p);
+        b.ret(Some(x));
+    }
+    m.verify().unwrap();
+    let compiler = TrackFmCompiler::new(CompilerOptions {
+        prune_local_allocations: true,
+        ..Default::default()
+    });
+    let report = compiler.compile(&mut m, None);
+    assert_eq!(report.pruned_local_sites, 0);
+    assert_eq!(report.total_guards(), 1, "dynamic allocation stays guarded");
+}

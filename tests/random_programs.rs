@@ -1,0 +1,241 @@
+//! Randomized compiler-correctness properties.
+//!
+//! A generator builds arbitrary (but well-formed) programs — straight-line
+//! integer arithmetic, a diamond branch, loads/stores through a scratch
+//! buffer — then checks, for every generated program:
+//!
+//! * the verifier accepts it;
+//! * `print → parse → print` is a fixpoint and preserves behaviour;
+//! * the O1 pipeline (fold/CSE/RLE/LICM/simplify-cfg/DCE) preserves
+//!   behaviour;
+//! * the full TrackFM transformation preserves behaviour under far memory.
+
+use proptest::prelude::*;
+use trackfm_suite::compiler::{CostModel, TrackFmCompiler};
+use trackfm_suite::ir::{parse_module, BinOp, CmpOp, FunctionBuilder, Module, Signature, Type, Value};
+use trackfm_suite::runtime::FarMemoryConfig;
+use trackfm_suite::sim::{LocalMem, Machine, TrackFmMem};
+
+/// One generated operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Bin(u8, u8, u8),
+    Cmp(u8, u8, u8),
+    StoreLoad(u8, u8), // store value, heap slot index
+    StackSlot(u8, u8), // store value, stack slot index (mem2reg fodder)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Bin(o, a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Op::StoreLoad(v, s)),
+        (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Op::StackSlot(v, s)),
+    ]
+}
+
+const BINOPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Lshr,
+    BinOp::Ashr,
+];
+const CMPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Slt,
+    CmpOp::Sle,
+    CmpOp::Ugt,
+    CmpOp::Uge,
+];
+
+/// Builds a program from the op list: computes over two params plus a
+/// 16-slot heap scratch buffer, ends with a diamond on the running value.
+fn build(ops: &[Op], seed: i64) -> Module {
+    let mut m = Module::new("rand");
+    let id = m.declare_function(
+        "main",
+        Signature::new(vec![Type::I64, Type::I64, Type::Ptr], Some(Type::I64)),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let scratch = b.param(2);
+        let slots: Vec<Value> = (0..4).map(|_| b.alloca(8, 8)).collect();
+        let mut vals: Vec<Value> = vec![b.param(0), b.param(1)];
+        let c = b.iconst(Type::I64, seed);
+        for &sl in &slots {
+            b.store(sl, c);
+        }
+        vals.push(c);
+        for op in ops {
+            let pick = |n: u8, len: usize| n as usize % len;
+            let v = match op {
+                Op::Bin(o, x, y) => {
+                    let a = vals[pick(*x, vals.len())];
+                    let bb = vals[pick(*y, vals.len())];
+                    b.binop(BINOPS[pick(*o, BINOPS.len())], a, bb)
+                }
+                Op::Cmp(o, x, y) => {
+                    let a = vals[pick(*x, vals.len())];
+                    let bb = vals[pick(*y, vals.len())];
+                    b.icmp(CMPS[pick(*o, CMPS.len())], a, bb)
+                }
+                Op::StoreLoad(x, s) => {
+                    let v = vals[pick(*x, vals.len())];
+                    let slot = b.iconst(Type::I64, (s % 16) as i64);
+                    let addr = b.gep(scratch, slot, 8, 0);
+                    b.store(addr, v);
+                    b.load(Type::I64, addr)
+                }
+                Op::StackSlot(x, s) => {
+                    let v = vals[pick(*x, vals.len())];
+                    let sl = slots[(*s % 4) as usize];
+                    b.store(sl, v);
+                    b.load(Type::I64, sl)
+                }
+            };
+            vals.push(v);
+        }
+        let last = *vals.last().unwrap();
+        // Diamond on the last value.
+        let t = b.create_block();
+        let e = b.create_block();
+        let j = b.create_block();
+        let zero = b.iconst(Type::I64, 0);
+        let cnd = b.icmp(CmpOp::Sgt, last, zero);
+        b.cond_br(cnd, t, e);
+        b.switch_to_block(t);
+        let tv = b.binop(BinOp::Xor, last, vals[0]);
+        b.br(j);
+        b.switch_to_block(e);
+        let ev = b.binop(BinOp::Add, last, vals[1]);
+        b.br(j);
+        b.switch_to_block(j);
+        let phi = b.phi(Type::I64, &[(t, tv), (e, ev)]);
+        b.ret(Some(phi));
+    }
+    m
+}
+
+fn run_local(m: &Module, a: u64, b: u64) -> u64 {
+    let mut machine = Machine::new(m, LocalMem::new(1 << 16), CostModel::default(), 1 << 16);
+    let scratch = machine.setup_alloc(128);
+    machine.setup_write_u64s(scratch, &[0; 16]);
+    machine.finish_setup(false);
+    machine.run("main", &[a, b, scratch]).expect("clean run").ret
+}
+
+fn run_trackfm(m: &Module, a: u64, b: u64) -> u64 {
+    let cfg = FarMemoryConfig {
+        heap_size: 1 << 16,
+        object_size: 64,
+        local_budget: 256, // heavy pressure: 4 objects
+        link: trackfm_suite::net::LinkParams::tcp_25g(),
+        prefetch: trackfm_suite::runtime::PrefetchConfig::default(),
+    };
+    let mem = TrackFmMem::new(cfg, CostModel::default());
+    let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 16);
+    let scratch = machine.setup_alloc(128);
+    machine.setup_write_u64s(scratch, &[0; 16]);
+    machine.finish_setup(true); // cold: everything remote at t=0
+    machine.run("main", &[a, b, scratch]).expect("clean run").ret
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_verify_roundtrip_optimize_and_remote(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in any::<i64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let m = build(&ops, seed);
+        prop_assert!(m.verify().is_ok(), "generated program must verify");
+        let want = run_local(&m, a, b);
+
+        // Parser round-trip preserves behaviour and is a print fixpoint.
+        let text1 = m.to_string();
+        let parsed = parse_module(&text1).expect("printer output parses");
+        parsed.verify().expect("parsed module verifies");
+        prop_assert_eq!(run_local(&parsed, a, b), want);
+        let text2 = parsed.to_string();
+        let reparsed = parse_module(&text2).expect("reparse");
+        prop_assert_eq!(reparsed.to_string(), text2, "print is a parse fixpoint");
+
+        // O1 preserves behaviour.
+        let mut opt = m.clone();
+        trackfm_suite::compiler::passes::o1::run(&mut opt);
+        opt.verify().expect("optimized module verifies");
+        prop_assert_eq!(run_local(&opt, a, b), want, "O1 changed behaviour");
+
+        // The far-memory transformation preserves behaviour under pressure.
+        let mut far = m.clone();
+        TrackFmCompiler::default().compile(&mut far, None);
+        prop_assert_eq!(run_trackfm(&far, a, b), want, "TrackFM changed behaviour");
+
+        // And O1 + TrackFM together.
+        let mut both = m.clone();
+        let compiler = TrackFmCompiler::new(trackfm_suite::compiler::CompilerOptions {
+            o1: true,
+            ..Default::default()
+        });
+        compiler.compile(&mut both, None);
+        prop_assert_eq!(run_trackfm(&both, a, b), want, "O1+TrackFM changed behaviour");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The static trip-count analysis must agree with the interpreter:
+    /// for random (init, bound, step) counted loops, `static_trip_count`
+    /// equals the number of body executions observed by the profiler.
+    #[test]
+    fn static_trip_count_matches_execution(
+        init in -50i64..50,
+        bound in -50i64..200,
+        step in 1i64..9,
+    ) {
+        use trackfm_suite::analysis::dom::DomTree;
+        use trackfm_suite::analysis::induction::{basic_ivs, static_trip_count};
+        use trackfm_suite::analysis::loops::LoopForest;
+
+        let mut m = Module::new("tc");
+        let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let i0 = b.iconst(Type::I64, init);
+            let n = b.iconst(Type::I64, bound);
+            b.counted_loop(i0, n, step, |_b, _i| {});
+            let z = b.iconst(Type::I64, 0);
+            b.ret(Some(z));
+        }
+        m.verify().unwrap();
+
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        prop_assert_eq!(forest.loops.len(), 1);
+        let ivs = basic_ivs(f, &forest.loops[0]);
+        let predicted = static_trip_count(f, &forest.loops[0], &ivs);
+
+        let mut machine = Machine::new(&m, LocalMem::new(1 << 12), CostModel::default(), 1 << 12);
+        machine.enable_profiling();
+        machine.run("main", &[]).unwrap();
+        let profile = machine.take_profile();
+        let body = forest.loops[0].latches[0];
+        let executed = profile.block_count("main", body);
+
+        match predicted {
+            Some(t) => prop_assert_eq!(t, executed, "static vs dynamic trip count"),
+            None => prop_assert_eq!(executed, 0, "analysis only bails on zero-trip loops"),
+        }
+    }
+}

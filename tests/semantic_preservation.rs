@@ -1,0 +1,178 @@
+//! The central correctness property of a far-memory compiler: the
+//! transformed program, on any memory system, at any object size, under any
+//! memory pressure, computes exactly what the original program computes.
+//!
+//! Each workload spec carries a host-computed `expected` checksum; the
+//! runner asserts it on every execution, so these tests "only" need to
+//! exercise the configuration space. Property-based tests randomize the
+//! parameters.
+
+use proptest::prelude::*;
+use trackfm_suite::compiler::ChunkingMode;
+use trackfm_suite::workloads::runner::{collect_profile, execute, execute_with_profile, RunConfig};
+use trackfm_suite::workloads::{analytics, hashmap, kmeans, memcached, nas, stream};
+
+fn all_systems(frac: f64, object_size: u64) -> Vec<RunConfig> {
+    vec![
+        RunConfig::local(),
+        RunConfig::fastswap(frac),
+        RunConfig::trackfm(frac).with_object_size(object_size),
+        RunConfig::aifm(frac).with_object_size(object_size),
+    ]
+}
+
+#[test]
+fn every_workload_preserves_semantics_on_every_system() {
+    let specs = vec![
+        stream::sum(&stream::StreamParams { elems: 32 << 10 }),
+        stream::copy(&stream::StreamParams { elems: 32 << 10 }),
+        stream::strided_sum(2_000, 64),
+        kmeans::kmeans(&kmeans::KmeansParams {
+            points: 1_500,
+            dims: 8,
+            k: 4,
+            iters: 2,
+        }),
+        hashmap::hashmap(&hashmap::HashmapParams {
+            keys: 3_000,
+            lookups: 6_000,
+            skew: 1.02,
+            seed: 5,
+        }),
+        analytics::analytics(&analytics::AnalyticsParams {
+            rows: 8_000,
+            groups: 600,
+        }),
+        memcached::memcached(&memcached::MemcachedParams {
+            keys: 2_000,
+            gets: 4_000,
+            skew: 1.1,
+            seed: 6,
+        }),
+    ]
+    .into_iter()
+    .chain(nas::all(&nas::NasParams { shrink: 25 }))
+    .collect::<Vec<_>>();
+
+    for spec in &specs {
+        for cfg in all_systems(0.3, 1024) {
+            // `execute` panics if the checksum deviates from the host oracle.
+            let out = execute(spec, &cfg);
+            assert!(out.result.stats.instructions > 0, "{} ran nothing", spec.name);
+        }
+    }
+}
+
+#[test]
+fn all_chunking_modes_preserve_semantics() {
+    let spec = stream::copy(&stream::StreamParams { elems: 32 << 10 });
+    let profile = collect_profile(&spec);
+    for mode in [ChunkingMode::Off, ChunkingMode::AllLoops, ChunkingMode::CostModel] {
+        for o1 in [false, true] {
+            let mut cfg = RunConfig::trackfm(0.25);
+            cfg.compiler.chunking = mode;
+            cfg.compiler.o1 = o1;
+            execute_with_profile(&spec, &cfg, Some(&profile));
+        }
+    }
+}
+
+/// The O1 pipeline (mem2reg + scalar passes) on the alloca-heavy workloads:
+/// every checksum must survive SSA promotion, and the promotion must
+/// actually fire.
+#[test]
+fn o1_preserves_semantics_on_alloca_heavy_workloads() {
+    let specs = vec![
+        hashmap::hashmap(&hashmap::HashmapParams {
+            keys: 3_000,
+            lookups: 6_000,
+            skew: 1.02,
+            seed: 5,
+        }),
+        analytics::analytics(&analytics::AnalyticsParams {
+            rows: 8_000,
+            groups: 600,
+        }),
+        kmeans::kmeans(&kmeans::KmeansParams {
+            points: 1_000,
+            dims: 6,
+            k: 3,
+            iters: 2,
+        }),
+    ]
+    .into_iter()
+    .chain(nas::all(&nas::NasParams { shrink: 25 }))
+    .collect::<Vec<_>>();
+    let mut promoted_total = 0;
+    for spec in &specs {
+        let mut cfg = RunConfig::trackfm(0.3);
+        cfg.compiler.o1 = true;
+        let out = execute(spec, &cfg); // checksum asserted inside
+        promoted_total += out
+            .report
+            .unwrap()
+            .o1
+            .map(|o| o.promoted_slots)
+            .unwrap_or(0);
+        // Also under plain local memory for a second opinion.
+        let mut lcfg = RunConfig::local();
+        lcfg.compiler.o1 = true;
+        execute(spec, &lcfg);
+    }
+    assert!(promoted_total >= 5, "mem2reg should fire broadly: {promoted_total}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random element counts, local fractions and object sizes: the stream
+    /// checksum must hold everywhere (the runner asserts internally).
+    #[test]
+    fn stream_sum_is_exact_under_random_pressure(
+        elems in 1_000usize..40_000,
+        frac in 0.05f64..1.0,
+        os_shift in 6u32..13,
+    ) {
+        let spec = stream::sum(&stream::StreamParams { elems });
+        let object_size = 1u64 << os_shift;
+        for cfg in all_systems(frac, object_size) {
+            execute(&spec, &cfg);
+        }
+    }
+
+    /// Zipfian hashmap lookups with random skew/seed under random object
+    /// sizes: values read through far memory must match the host oracle.
+    #[test]
+    fn hashmap_lookups_are_exact(
+        keys in 500usize..4_000,
+        skew in 1.01f64..1.4,
+        seed in any::<u64>(),
+        frac in 0.1f64..1.0,
+    ) {
+        let spec = hashmap::hashmap(&hashmap::HashmapParams {
+            keys,
+            lookups: keys * 2,
+            skew,
+            seed,
+        });
+        for cfg in all_systems(frac, 256) {
+            execute(&spec, &cfg);
+        }
+    }
+
+    /// k-means (float-heavy, nested loops) with random shape: bit-exact
+    /// across systems and chunking policies.
+    #[test]
+    fn kmeans_is_bit_exact(
+        points in 200usize..1_500,
+        dims in 2usize..10,
+        k in 2usize..6,
+    ) {
+        let spec = kmeans::kmeans(&kmeans::KmeansParams { points, dims, k, iters: 2 });
+        execute(&spec, &RunConfig::local());
+        let mut all_loops = RunConfig::trackfm(0.4);
+        all_loops.compiler.chunking = ChunkingMode::AllLoops;
+        execute(&spec, &all_loops);
+        execute(&spec, &RunConfig::fastswap(0.4));
+    }
+}
