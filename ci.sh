@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+set -eux
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

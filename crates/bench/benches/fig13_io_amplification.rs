@@ -4,7 +4,7 @@
 //! Paper: Fastswap transfers 43× the working set, TrackFM only 2.3×,
 //! yielding an average 12× speedup.
 
-use tfm_bench::{f2, print_table, scale};
+use tfm_bench::{f2, merge_all, mib, print_table, scale};
 use tfm_workloads::hashmap::{hashmap, HashmapParams};
 use tfm_workloads::runner::{execute, RunConfig};
 
@@ -21,9 +21,13 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
+    let mut tfm_transfers = Vec::new();
+    let mut fsw_transfers = Vec::new();
     for f in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let tfm = execute(&spec, &RunConfig::trackfm(f).with_object_size(64));
         let fsw = execute(&spec, &RunConfig::fastswap(f));
+        tfm_transfers.extend(tfm.result.transfers);
+        fsw_transfers.extend(fsw.result.transfers);
         let t_tfm = tfm.result.seconds_2_4ghz();
         let t_fsw = fsw.result.seconds_2_4ghz();
         speedups.push(t_fsw / t_tfm);
@@ -45,6 +49,15 @@ fn main() {
             "fsw xWS",
         ],
         &rows,
+    );
+    let tfm_total = merge_all(tfm_transfers);
+    let fsw_total = merge_all(fsw_transfers);
+    println!(
+        "  sweep totals: TrackFM {} fetches / {} MiB moved, Fastswap {} fetches / {} MiB moved",
+        tfm_total.fetches,
+        mib(tfm_total.total_bytes()),
+        fsw_total.fetches,
+        mib(fsw_total.total_bytes()),
     );
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
     println!("  mean TrackFM speedup over Fastswap: {mean:.1}x (paper: ~12x; amplification 2.3x vs 43x)");

@@ -1,15 +1,37 @@
-//! Criterion micro-benchmarks of the *library itself* (real wall-clock, not
-//! simulated cycles): guard fast path, state-table lookup, Zipf sampling,
-//! allocator, and interpreter dispatch throughput.
+//! Micro-benchmarks of the *library itself* (real wall-clock, not simulated
+//! cycles): guard fast path, state-table lookup, Zipf sampling, allocator,
+//! and interpreter dispatch throughput.
+//!
+//! Hand-rolled harness (no criterion, so the workspace builds offline):
+//! each benchmark is warmed up, then timed over enough iterations for a
+//! stable ns/op, with the best-of-several-runs reported to suppress
+//! scheduling noise. Pass a substring argument to run a subset.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
 use tfm_ir::{BinOp, FunctionBuilder, Module, Signature, Type};
 use tfm_net::LinkParams;
 use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, PrefetchConfig, RegionAllocator};
 use tfm_sim::{ExecStats, LocalMem, Machine, MemorySystem, TrackFmMem};
-use tfm_workloads::ZipfGen;
+use tfm_telemetry::Telemetry;
+use tfm_workloads::{SplitMix64, ZipfGen};
 use trackfm::CostModel;
+
+/// Times `f` (which must run `iters` iterations) and reports the best
+/// per-iteration time over `runs` attempts, after one warmup.
+fn bench(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+    const RUNS: usize = 5;
+    f(iters / 10 + 1); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        f(iters);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt / iters as f64);
+    }
+    println!("  {name:<32} {:>10.1} ns/op", best * 1e9);
+}
 
 fn fm_config() -> FarMemoryConfig {
     FarMemoryConfig {
@@ -21,47 +43,77 @@ fn fm_config() -> FarMemoryConfig {
     }
 }
 
-fn bench_guard_fast_path(c: &mut Criterion) {
+fn bench_guard_fast_path(filter: &str) {
+    if !"guard_fast_path".contains(filter) {
+        return;
+    }
     let mut mem = TrackFmMem::new(fm_config(), CostModel::default());
     let ptr = mem.alloc(1 << 20, 0).unwrap();
     let mut stats = ExecStats::default();
-    c.bench_function("guard_fast_path", |b| {
-        b.iter(|| {
+    bench("guard_fast_path", 2_000_000, |iters| {
+        for _ in 0..iters {
             let (cycles, out) = mem
                 .guard(black_box(ptr + 64), false, 0, &mut stats)
                 .unwrap();
-            black_box((cycles, out))
-        })
+            black_box((cycles, out));
+        }
+    });
+    // The same fast path with a disabled telemetry handle attached: the
+    // acceptance bar for the telemetry layer is <5% regression here.
+    mem.set_telemetry(Telemetry::disabled());
+    bench("guard_fast_path_tel_disabled", 2_000_000, |iters| {
+        for _ in 0..iters {
+            let (cycles, out) = mem
+                .guard(black_box(ptr + 64), false, 0, &mut stats)
+                .unwrap();
+            black_box((cycles, out));
+        }
     });
 }
 
-fn bench_state_table_lookup(c: &mut Criterion) {
+fn bench_state_table_lookup(filter: &str) {
+    if !"state_table_is_safe".contains(filter) {
+        return;
+    }
     let fm = FarMemory::new(fm_config());
     let table = fm.table();
-    c.bench_function("state_table_is_safe", |b| {
-        b.iter(|| black_box(table.is_safe(black_box(ObjId(17)))))
+    bench("state_table_is_safe", 10_000_000, |iters| {
+        for _ in 0..iters {
+            black_box(table.is_safe(black_box(ObjId(17))));
+        }
     });
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("region_alloc_free_64B", |b| {
-        let mut a = RegionAllocator::new(64 << 20, 4096);
-        b.iter(|| {
+fn bench_allocator(filter: &str) {
+    if !"region_alloc_free_64B".contains(filter) {
+        return;
+    }
+    let mut a = RegionAllocator::new(64 << 20, 4096);
+    bench("region_alloc_free_64B", 2_000_000, |iters| {
+        for _ in 0..iters {
             let p = a.alloc(black_box(64)).unwrap();
             a.free(p);
-        })
+        }
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+fn bench_zipf(filter: &str) {
+    if !"zipf_sample".contains(filter) {
+        return;
+    }
     let gen = ZipfGen::new(1_000_000, 1.02);
-    let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("zipf_sample", |b| b.iter(|| black_box(gen.sample(&mut rng))));
+    let mut rng = SplitMix64::seed_from_u64(1);
+    bench("zipf_sample", 5_000_000, |iters| {
+        for _ in 0..iters {
+            black_box(gen.sample(&mut rng));
+        }
+    });
 }
 
-fn bench_interpreter_dispatch(c: &mut Criterion) {
+fn bench_interpreter_dispatch(filter: &str) {
+    if !"interpreter_10k_iters".contains(filter) {
+        return;
+    }
     // A tight arithmetic loop: measures instructions-per-second of the
     // interpreter core.
     let mut m = Module::new("spin");
@@ -77,21 +129,25 @@ fn bench_interpreter_dispatch(c: &mut Criterion) {
         b.ret(Some(zero));
     }
     m.verify().unwrap();
-    c.bench_function("interpreter_10k_iters", |b| {
-        b.iter(|| {
+    bench("interpreter_10k_iters", 200, |iters| {
+        for _ in 0..iters {
             let mem = LocalMem::new(1 << 16);
             let mut machine = Machine::new(&m, mem, CostModel::default(), 1 << 16);
-            black_box(machine.run("main", &[10_000]).unwrap().ret)
-        })
+            black_box(machine.run("main", &[10_000]).unwrap().ret);
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_guard_fast_path,
-    bench_state_table_lookup,
-    bench_allocator,
-    bench_zipf,
-    bench_interpreter_dispatch
-);
-criterion_main!(benches);
+fn main() {
+    // Skip flags like `--bench` that `cargo bench` appends.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    println!("guard_micro (best-of-5, wall clock):");
+    bench_guard_fast_path(&filter);
+    bench_state_table_lookup(&filter);
+    bench_allocator(&filter);
+    bench_zipf(&filter);
+    bench_interpreter_dispatch(&filter);
+}

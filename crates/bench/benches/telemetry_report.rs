@@ -1,0 +1,35 @@
+//! Unified run reports for one representative configuration of each
+//! far-memory system: the human rendering (subsystem counters, latency
+//! histograms, hottest guard sites) followed by the one-line summary.
+//!
+//! Pass `--json` (any argument containing "json") to dump the
+//! machine-readable form instead.
+
+use tfm_bench::{report_line, scale};
+use tfm_workloads::hashmap::{hashmap, HashmapParams};
+use tfm_workloads::runner::{execute_with_report, RunConfig};
+
+fn main() {
+    let json = std::env::args().any(|a| a.contains("json"));
+    let p = HashmapParams {
+        keys: 100_000 / scale(),
+        lookups: 50_000 / scale(),
+        ..HashmapParams::default()
+    };
+    let spec = hashmap(&p);
+    let configs = [
+        RunConfig::trackfm(0.25).with_object_size(64),
+        RunConfig::aifm(0.25).with_object_size(64),
+        RunConfig::fastswap(0.25),
+        RunConfig::hybrid(0.25),
+    ];
+    for cfg in configs {
+        let (_, rep) = execute_with_report(&spec, &cfg);
+        if json {
+            println!("{}", rep.to_json().to_string_pretty());
+        } else {
+            print!("{rep}");
+            println!("  {}\n", report_line(&rep));
+        }
+    }
+}

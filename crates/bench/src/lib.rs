@@ -11,6 +11,8 @@
 
 use std::fmt::Display;
 
+use tfm_telemetry::{MergeStats, RunReport};
+
 /// Paper clock rate: 2.4 GHz Xeon E5-2640v4.
 pub const CLOCK_HZ: f64 = 2.4e9;
 
@@ -80,6 +82,44 @@ pub fn mib(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / (1 << 20) as f64)
 }
 
+/// Folds per-run counter structs into one aggregate via [`MergeStats`]
+/// (counters add, high-water marks take the max). Replaces the hand-summed
+/// per-field accumulation the sweep benches used to do.
+pub fn merge_all<T: MergeStats + Default>(items: impl IntoIterator<Item = T>) -> T {
+    let mut acc = T::default();
+    for it in items {
+        acc.merge(&it);
+    }
+    acc
+}
+
+/// One compact summary line per [`RunReport`], for sweep benches that print
+/// many reports: cycles, stall share, slow-guard share, and the hottest
+/// guard site.
+pub fn report_line(rep: &RunReport) -> String {
+    let cycles = rep.field("exec", "cycles").unwrap_or(0);
+    let stall = rep.field("exec", "stall_cycles").unwrap_or(0);
+    let fast = rep.field("exec", "guards_fast").unwrap_or(0);
+    let slow = rep.field("exec", "guards_slow_local").unwrap_or(0)
+        + rep.field("exec", "guards_slow_remote").unwrap_or(0);
+    let total = fast + slow;
+    let hot = rep
+        .sites
+        .first()
+        .map(|s| format!(", hottest {} ({} stall)", s.label, s.stats.stall_cycles))
+        .unwrap_or_default();
+    format!(
+        "{} on {}: {} cycles ({:.1}% stalled), {}/{} slow guards{}",
+        rep.workload,
+        rep.system,
+        cycles,
+        if cycles > 0 { 100.0 * stall as f64 / cycles as f64 } else { 0.0 },
+        slow,
+        total,
+        hot
+    )
+}
+
 /// Geometric mean.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -108,5 +148,44 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn merge_all_folds_counters() {
+        use tfm_net::TransferStats;
+        let runs = vec![
+            TransferStats {
+                fetches: 1,
+                bytes_fetched: 100,
+                ..Default::default()
+            },
+            TransferStats {
+                fetches: 2,
+                bytes_fetched: 50,
+                writebacks: 4,
+                ..Default::default()
+            },
+        ];
+        let total = merge_all(runs);
+        assert_eq!(total.fetches, 3);
+        assert_eq!(total.bytes_fetched, 150);
+        assert_eq!(total.writebacks, 4);
+    }
+
+    #[test]
+    fn report_line_reads_exec_section() {
+        use tfm_sim::ExecStats;
+        let mut rep = RunReport::new("w", "trackfm");
+        rep.push_section(&ExecStats {
+            cycles: 1000,
+            stall_cycles: 250,
+            guards_fast: 9,
+            guards_slow_remote: 1,
+            ..Default::default()
+        });
+        let line = report_line(&rep);
+        assert!(line.contains("1000 cycles"), "{line}");
+        assert!(line.contains("25.0% stalled"), "{line}");
+        assert!(line.contains("1/10 slow guards"), "{line}");
     }
 }

@@ -58,5 +58,6 @@ pub mod pipeline;
 
 pub use cost::CostModel;
 pub use passes::chunking::{ChunkingMode, ChunkingOptions, ChunkingOutcome};
+pub use passes::guards::GuardSite;
 pub use passes::o1::O1Outcome;
 pub use pipeline::{CompileReport, CompilerOptions, TrackFmCompiler};

@@ -117,6 +117,45 @@ pub fn transform(module: &mut Module, func: FuncId, plan: &GuardPlan) -> (usize,
     (plan.loads.len(), plan.stores.len())
 }
 
+/// A guard site surviving in compiled output: the stable identity the
+/// execution engine's telemetry attributes guard costs to. `(func, value)`
+/// matches the `SiteKey` the interpreter derives at dispatch; `label` is
+/// the human-readable form for reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardSite {
+    /// Function index of the guard instruction.
+    pub func: u32,
+    /// Value index of the guard instruction within its function.
+    pub value: u32,
+    /// `"{function}:v{value}:{read|write|chunk}"`.
+    pub label: String,
+}
+
+/// Enumerates every guard and chunk-dereference intrinsic in `module`, in
+/// `(func, value)` order. Run after compilation: the result names every
+/// site run-time telemetry can attribute cycles to.
+pub fn collect_sites(module: &Module) -> Vec<GuardSite> {
+    let mut sites = Vec::new();
+    for (id, f) in module.functions() {
+        for v in f.live_insts() {
+            if let InstKind::IntrinsicCall { intr, .. } = f.kind(v) {
+                let tag = match intr {
+                    Intrinsic::GuardRead => "read",
+                    Intrinsic::GuardWrite => "write",
+                    Intrinsic::ChunkDeref => "chunk",
+                    _ => continue,
+                };
+                sites.push(GuardSite {
+                    func: id.0,
+                    value: v.index() as u32,
+                    label: format!("{}:v{}:{}", f.name, v.index(), tag),
+                });
+            }
+        }
+    }
+    sites
+}
+
 /// Convenience: analyze + transform every function of the module. Returns
 /// total `(read_guards, write_guards)`.
 pub fn run(module: &mut Module) -> (usize, usize) {
@@ -154,6 +193,13 @@ mod tests {
         let (r, w) = run(&mut m);
         assert_eq!((r, w), (1, 1));
         m.verify().unwrap();
+
+        // Both guards are enumerable as sites, labeled by kind.
+        let sites = collect_sites(&m);
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().any(|s| s.label.ends_with(":read")));
+        assert!(sites.iter().any(|s| s.label.ends_with(":write")));
+        assert!(sites.iter().all(|s| s.label.starts_with("main:v")));
 
         // The guarded load must now go through the guard's result.
         let f = m.function(id);

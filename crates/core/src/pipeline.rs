@@ -77,6 +77,9 @@ pub struct CompileReport {
     pub insts_after: usize,
     /// Wall-clock nanoseconds per pass, in execution order.
     pub pass_nanos: Vec<(&'static str, u128)>,
+    /// Every guard/chunk-deref site in the compiled output, for telemetry
+    /// attribution (see [`guards::collect_sites`]).
+    pub guard_sites: Vec<guards::GuardSite>,
 }
 
 impl CompileReport {
@@ -183,6 +186,7 @@ impl TrackFmCompiler {
             .pass_nanos
             .push(("libc-transform", t.elapsed().as_nanos()));
 
+        report.guard_sites = guards::collect_sites(module);
         report.insts_after = module.total_live_insts();
         module
             .verify()
@@ -258,6 +262,8 @@ mod tests {
         assert_eq!(report.read_guards, 1);
         assert_eq!(count_intr(&m, Intrinsic::GuardRead), 1);
         assert_eq!(count_intr(&m, Intrinsic::ChunkDeref), 0);
+        assert_eq!(report.guard_sites.len(), 1);
+        assert!(report.guard_sites[0].label.ends_with(":read"));
     }
 
     #[test]

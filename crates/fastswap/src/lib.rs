@@ -36,6 +36,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use tfm_net::{Link, LinkParams, TransferStats};
+use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
 
 /// The architected page size Fastswap is bound to.
 pub const PAGE_SIZE: u64 = 4096;
@@ -88,6 +89,30 @@ pub struct PagerStats {
     pub writebacks: u64,
 }
 
+impl StatGroup for PagerStats {
+    fn group_name(&self) -> &'static str {
+        "pager"
+    }
+
+    fn stat_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("major_faults", self.major_faults),
+            ("minor_faults", self.minor_faults),
+            ("reclaims", self.reclaims),
+            ("writebacks", self.writebacks),
+        ]
+    }
+}
+
+impl MergeStats for PagerStats {
+    fn merge(&mut self, other: &Self) {
+        self.major_faults += other.major_faults;
+        self.minor_faults += other.minor_faults;
+        self.reclaims += other.reclaims;
+        self.writebacks += other.writebacks;
+    }
+}
+
 /// The page-granularity far-memory pager.
 #[derive(Clone)]
 pub struct Pager {
@@ -100,6 +125,7 @@ pub struct Pager {
     resident_pages: u64,
     link: Link,
     stats: PagerStats,
+    tel: Telemetry,
 }
 
 impl Pager {
@@ -112,8 +138,17 @@ impl Pager {
             resident_pages: 0,
             link: Link::new(cfg.link),
             stats: PagerStats::default(),
+            tel: Telemetry::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a telemetry sink (shared with the link): fault, reclaim and
+    /// writeback events, fault-service latency, and page residency
+    /// lifetimes flow there.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.link.set_telemetry(tel.clone());
+        self.tel = tel;
     }
 
     /// The configuration.
@@ -172,9 +207,14 @@ impl Pager {
             let done = self.link.transfer(PAGE_SIZE, now + cycles);
             cycles += done.saturating_sub(now + cycles);
             self.stats.major_faults += 1;
+            if self.tel.is_enabled() {
+                self.tel.emit(now, EventKind::MajorFault, page);
+                self.tel.record_fetch_latency(cycles);
+            }
         } else {
             // Fresh page: the kernel just maps a zero page.
             self.stats.minor_faults += 1;
+            self.tel.emit(now, EventKind::MinorFault, page);
         }
         let meta = self.pages.entry(page).or_default();
         meta.resident = true;
@@ -182,6 +222,7 @@ impl Pager {
         meta.dirty = write || !had_remote_copy;
         self.resident_pages += 1;
         self.clock.push_back(page);
+        self.tel.note_resident(page, now);
         cycles
     }
 
@@ -218,6 +259,11 @@ impl Pager {
             if dirty {
                 self.link.writeback(PAGE_SIZE, now + cycles);
                 self.stats.writebacks += 1;
+                self.tel.emit(now + cycles, EventKind::Writeback, page);
+            }
+            if self.tel.is_enabled() {
+                self.tel.emit(now + cycles, EventKind::Eviction, page);
+                self.tel.note_evicted(page, now + cycles);
             }
         }
         cycles
@@ -243,6 +289,11 @@ impl Pager {
             if dirty {
                 self.link.writeback(PAGE_SIZE, now);
                 self.stats.writebacks += 1;
+                self.tel.emit(now, EventKind::Writeback, page);
+            }
+            if self.tel.is_enabled() {
+                self.tel.emit(now, EventKind::Eviction, page);
+                self.tel.note_evicted(page, now);
             }
         }
     }

@@ -781,48 +781,78 @@ bb0:
 #[cfg(test)]
 mod fuzz {
     use super::parse_module;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
+    /// Tiny deterministic PRNG (SplitMix64) — keeps the fuzz tests free of
+    /// external dependencies and reproducible from the seed alone.
+    struct Rng(u64);
 
-        /// The parser must never panic, only return `Err`, on arbitrary input.
-        #[test]
-        fn parser_never_panics_on_junk(s in ".{0,200}") {
-            let _ = parse_module(&s);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
 
-        /// Same for inputs that look almost like IR.
-        #[test]
-        fn parser_never_panics_on_irish_junk(
-            parts in prop::collection::vec(
-                prop_oneof![
-                    Just("; module x".to_string()),
-                    Just("func @f() {".to_string()),
-                    Just("func @g(i64 %0) -> ptr {".to_string()),
-                    Just("}".to_string()),
-                    Just("bb0:".to_string()),
-                    Just("bb1:".to_string()),
-                    Just("  %1 = iconst.i64 5".to_string()),
-                    Just("  %2 = add.i64 %1, %1".to_string()),
-                    Just("  %3 = gep %1, %2 x 8 + -8".to_string()),
-                    Just("  %4 = phi.i64 [bb0: %1]".to_string()),
-                    Just("  store %1, %2".to_string()),
-                    Just("  br bb9".to_string()),
-                    Just("  cond_br %1, bb0, bb1".to_string()),
-                    Just("  ret".to_string()),
-                    Just("  ret %7".to_string()),
-                    Just("  call malloc(%1)".to_string()),
-                    Just("  %5 = call @f9()".to_string()),
-                    Just("global @g0 \"x\" [8 bytes]".to_string()),
-                    Just("  %6 = alloca 8, align".to_string()),
-                    Just("  unreachable".to_string()),
-                ],
-                0..24,
-            )
-        ) {
-            let text = parts.join("\n");
-            let _ = parse_module(&text);
+        fn below(&mut self, bound: u64) -> u64 {
+            ((self.next() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// The parser must never panic, only return `Err`, on arbitrary input.
+    #[test]
+    fn parser_never_panics_on_junk() {
+        let mut rng = Rng(0xF00D);
+        for _ in 0..512 {
+            let len = rng.below(201) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII with occasional arbitrary
+                    // Unicode scalars.
+                    if rng.below(8) == 0 {
+                        char::from_u32(rng.below(0xD800) as u32).unwrap_or('?')
+                    } else {
+                        (0x20 + rng.below(95) as u8) as char
+                    }
+                })
+                .collect();
+            let _ = parse_module(&s);
+        }
+    }
+
+    /// Same for inputs that look almost like IR.
+    #[test]
+    fn parser_never_panics_on_irish_junk() {
+        const PARTS: &[&str] = &[
+            "; module x",
+            "func @f() {",
+            "func @g(i64 %0) -> ptr {",
+            "}",
+            "bb0:",
+            "bb1:",
+            "  %1 = iconst.i64 5",
+            "  %2 = add.i64 %1, %1",
+            "  %3 = gep %1, %2 x 8 + -8",
+            "  %4 = phi.i64 [bb0: %1]",
+            "  store %1, %2",
+            "  br bb9",
+            "  cond_br %1, bb0, bb1",
+            "  ret",
+            "  ret %7",
+            "  call malloc(%1)",
+            "  %5 = call @f9()",
+            "global @g0 \"x\" [8 bytes]",
+            "  %6 = alloca 8, align",
+            "  unreachable",
+        ];
+        let mut rng = Rng(0xBEEF);
+        for _ in 0..512 {
+            let n = rng.below(24) as usize;
+            let text: Vec<&str> = (0..n)
+                .map(|_| PARTS[rng.below(PARTS.len() as u64) as usize])
+                .collect();
+            let _ = parse_module(&text.join("\n"));
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
 use std::collections::VecDeque;
 use tfm_net::{Link, TransferStats};
+use tfm_telemetry::{EventKind, Telemetry};
 
 /// The far-memory runtime.
 #[derive(Clone, Debug)]
@@ -42,6 +43,7 @@ pub struct FarMemory {
     /// interleaved scans are the common case, e.g. CSR walks).
     streams: Vec<StrideStream>,
     stream_victim: usize,
+    tel: Telemetry,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -72,8 +74,16 @@ impl FarMemory {
             stats: RuntimeStats::default(),
             streams: Vec::new(),
             stream_victim: 0,
+            tel: Telemetry::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a telemetry sink (shared with the link): fetch/prefetch/
+    /// eviction events, fetch latency, and residency lifetimes flow there.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.link.set_telemetry(tel.clone());
+        self.tel = tel;
     }
 
     /// The configuration.
@@ -148,12 +158,14 @@ impl FarMemory {
                 self.table.set(o, PRESENT | DIRTY | HOT);
                 self.resident_bytes += self.cfg.object_size;
                 self.clock.push_back(o);
+                self.tel.note_resident(o.0, now);
             } else {
                 self.table.set(o, DIRTY | HOT);
             }
         }
         self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
         self.stats.allocations += 1;
+        self.tel.emit(now, EventKind::Alloc, size);
         Ok(ptr)
     }
 
@@ -162,9 +174,10 @@ impl FarMemory {
     ///
     /// # Panics
     /// Panics on invalid or double free.
-    pub fn free(&mut self, ptr: TfmPtr) {
+    pub fn free(&mut self, ptr: TfmPtr, now: u64) {
         self.alloc.free(ptr);
         self.stats.frees += 1;
+        self.tel.emit(now, EventKind::Free, ptr.offset());
     }
 
     /// The allocator (for size queries and accounting).
@@ -209,9 +222,11 @@ impl FarMemory {
             self.table.set(o, PRESENT | mark);
             if ready > now {
                 self.stats.prefetch_late += 1;
+                self.tel.emit(now, EventKind::PrefetchLate, o.0);
                 ready - now
             } else {
                 self.stats.prefetch_hits += 1;
+                self.tel.emit(now, EventKind::PrefetchHit, o.0);
                 0
             }
         } else {
@@ -224,6 +239,11 @@ impl FarMemory {
                 self.stats.peak_resident_bytes.max(self.resident_bytes);
             self.clock.push_back(o);
             self.stats.remote_fetches += 1;
+            if self.tel.is_enabled() {
+                self.tel.emit(now, EventKind::DemandFetch, o.0);
+                self.tel.record_fetch_latency(done - now);
+                self.tel.note_resident(o.0, now);
+            }
             done - now
         };
         self.stride_detect(o, now + stall);
@@ -296,6 +316,10 @@ impl FarMemory {
         self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.resident_bytes);
         self.clock.push_back(o);
         self.stats.prefetch_issued += 1;
+        if self.tel.is_enabled() {
+            self.tel.emit(now, EventKind::PrefetchIssue, o.0);
+            self.tel.note_resident(o.0, now);
+        }
         true
     }
 
@@ -362,10 +386,15 @@ impl FarMemory {
             if e & DIRTY != 0 {
                 self.link.writeback(self.cfg.object_size, now);
                 self.stats.writebacks += 1;
+                self.tel.emit(now, EventKind::Writeback, o.0);
             }
             self.table.clear(o, PRESENT | DIRTY | HOT);
             self.resident_bytes -= self.cfg.object_size;
             self.stats.evictions += 1;
+            if self.tel.is_enabled() {
+                self.tel.emit(now, EventKind::Eviction, o.0);
+                self.tel.note_evicted(o.0, now);
+            }
         }
         if self.resident_bytes + incoming > budget {
             self.stats.budget_overruns += 1;
@@ -393,10 +422,15 @@ impl FarMemory {
             if e & DIRTY != 0 {
                 self.link.writeback(self.cfg.object_size, now);
                 self.stats.writebacks += 1;
+                self.tel.emit(now, EventKind::Writeback, o.0);
             }
             self.table.clear(o, PRESENT | DIRTY | HOT);
             self.resident_bytes -= self.cfg.object_size;
             self.stats.evictions += 1;
+            if self.tel.is_enabled() {
+                self.tel.emit(now, EventKind::Eviction, o.0);
+                self.tel.note_evicted(o.0, now);
+            }
         }
     }
 }
@@ -568,7 +602,7 @@ mod tests {
     fn free_then_realloc_reuses_space() {
         let mut fm = fm_with(16);
         let p = fm.allocate(64, 0).unwrap();
-        fm.free(p);
+        fm.free(p, 0);
         let q = fm.allocate(64, 0).unwrap();
         assert_eq!(p.offset(), q.offset());
         assert_eq!(fm.stats().frees, 1);
@@ -628,6 +662,69 @@ mod tests {
             prefetch: crate::config::PrefetchConfig::default(),
         });
         assert_eq!(roomy.prefetch_depth(), 8);
+    }
+
+    #[test]
+    fn peak_resident_tracks_every_residency_increase() {
+        // Regression: the high-water mark must be updated on all three
+        // residency-increase paths — allocate, demand localize, prefetch.
+        // Allocation path.
+        let mut fm = fm_with(16);
+        let p = fm.allocate(3 * 4096, 0).unwrap();
+        assert_eq!(fm.stats().peak_resident_bytes, 3 * 4096);
+
+        // Demand-localize path: evacuate, then fetch objects back one by
+        // one; the peak must follow the refill.
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        fm.reset_stats();
+        assert_eq!(fm.stats().peak_resident_bytes, 0);
+        fm.localize(o, false, 0);
+        assert_eq!(fm.stats().peak_resident_bytes, 4096);
+        fm.localize(ObjId(o.0 + 1), false, 100_000);
+        assert_eq!(fm.stats().peak_resident_bytes, 2 * 4096);
+
+        // Prefetch path: in-flight bytes count against residency and the
+        // peak immediately.
+        fm.evacuate_all(200_000);
+        fm.reset_stats();
+        assert!(fm.prefetch(o, 200_000));
+        assert_eq!(fm.stats().peak_resident_bytes, 4096);
+
+        // The peak never decreases on eviction.
+        fm.localize(o, false, 10_000_000);
+        fm.evacuate_all(10_000_000);
+        assert_eq!(fm.resident_bytes(), 0);
+        assert_eq!(fm.stats().peak_resident_bytes, 4096);
+    }
+
+    #[test]
+    fn telemetry_sees_fetch_eviction_and_residency() {
+        use tfm_telemetry::{EventKind, Telemetry};
+        let mut fm = fm_with(8);
+        let tel = Telemetry::enabled();
+        fm.set_telemetry(tel.clone());
+        let p = fm.allocate(2 * 4096, 0).unwrap();
+        let o = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(1_000);
+        let stall = fm.localize(o, false, 2_000);
+        assert!(stall > 0);
+        fm.evacuate_all(500_000);
+
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.count(EventKind::Alloc), 1);
+        assert_eq!(snap.count(EventKind::DemandFetch), 1);
+        // 2 allocated objects evicted cold, then the re-fetched one again.
+        assert_eq!(snap.count(EventKind::Eviction), 3);
+        assert!(snap.count(EventKind::Writeback) >= 2, "fresh objects are dirty");
+        assert_eq!(snap.fetch_latency.count(), 1);
+        assert!(snap.fetch_latency.max() > 30_000);
+        // Residency lifetimes: all three evictions had a matching
+        // note_resident.
+        assert_eq!(snap.residency.count(), 3);
+        // The link recorded transfer sizes (fetch + writebacks).
+        assert!(snap.transfer_bytes.count() >= 3);
+        assert_eq!(snap.transfer_bytes.max(), 4096);
     }
 
     #[test]

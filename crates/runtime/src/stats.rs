@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use tfm_telemetry::{MergeStats, StatGroup};
+
 /// Counters maintained by the far-memory runtime.
 ///
 /// Guard-path counters (fast/slow path hits) belong to the execution engine;
@@ -36,15 +38,55 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fetches: {}, prefetch: {} issued / {} hit / {} late, evictions: {} ({} dirty), peak resident: {} B",
+            "fetches: {}, prefetch: {} issued / {} hit / {} late, evictions: {} ({} dirty), \
+             overruns: {}, allocs: {} / frees: {}, peak resident: {} B",
             self.remote_fetches,
             self.prefetch_issued,
             self.prefetch_hits,
             self.prefetch_late,
             self.evictions,
             self.writebacks,
+            self.budget_overruns,
+            self.allocations,
+            self.frees,
             self.peak_resident_bytes
         )
+    }
+}
+
+impl StatGroup for RuntimeStats {
+    fn group_name(&self) -> &'static str {
+        "runtime"
+    }
+
+    fn stat_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("remote_fetches", self.remote_fetches),
+            ("prefetch_issued", self.prefetch_issued),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_late", self.prefetch_late),
+            ("evictions", self.evictions),
+            ("writebacks", self.writebacks),
+            ("budget_overruns", self.budget_overruns),
+            ("allocations", self.allocations),
+            ("frees", self.frees),
+            ("peak_resident_bytes", self.peak_resident_bytes),
+        ]
+    }
+}
+
+impl MergeStats for RuntimeStats {
+    fn merge(&mut self, other: &Self) {
+        self.remote_fetches += other.remote_fetches;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_late += other.prefetch_late;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.budget_overruns += other.budget_overruns;
+        self.allocations += other.allocations;
+        self.frees += other.frees;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
     }
 }
 
@@ -60,5 +102,60 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("fetches: 0"));
         assert!(text.contains("evictions: 0"));
+    }
+
+    #[test]
+    fn display_includes_every_counter() {
+        // Regression: overruns/allocations/frees used to be silently
+        // dropped from the Display output.
+        let s = RuntimeStats {
+            budget_overruns: 7,
+            allocations: 8,
+            frees: 9,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("overruns: 7"), "{text}");
+        assert!(text.contains("allocs: 8"), "{text}");
+        assert!(text.contains("frees: 9"), "{text}");
+    }
+
+    #[test]
+    fn stat_fields_cover_every_display_counter() {
+        let s = RuntimeStats {
+            remote_fetches: 1,
+            prefetch_issued: 2,
+            prefetch_hits: 3,
+            prefetch_late: 4,
+            evictions: 5,
+            writebacks: 6,
+            budget_overruns: 7,
+            allocations: 8,
+            frees: 9,
+            peak_resident_bytes: 10,
+        };
+        let fields = s.stat_fields();
+        assert_eq!(fields.len(), 10);
+        let vals: Vec<u64> = fields.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_peak() {
+        let mut a = RuntimeStats {
+            remote_fetches: 1,
+            peak_resident_bytes: 100,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            remote_fetches: 2,
+            frees: 3,
+            peak_resident_bytes: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.remote_fetches, 3);
+        assert_eq!(a.frees, 3);
+        assert_eq!(a.peak_resident_bytes, 100, "peak is a high-water mark");
     }
 }

@@ -14,6 +14,7 @@ use crate::stats::{ExecStats, RunResult};
 use crate::trap::Trap;
 use std::collections::HashMap;
 use tfm_analysis::profile::Profile;
+use tfm_telemetry::{EventKind, SiteKey, Telemetry};
 use tfm_ir::{
     BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type,
     Value,
@@ -46,6 +47,7 @@ pub struct Machine<'m, M: MemorySystem> {
     stats: ExecStats,
     profiler: Option<ProfileCollector>,
     fuel: u64,
+    tel: Telemetry,
 }
 
 impl<'m, M: MemorySystem> Machine<'m, M> {
@@ -78,7 +80,16 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             stats: ExecStats::default(),
             profiler: None,
             fuel: u64::MAX,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: the machine attributes guard and chunk
+    /// events to their originating IR site, and forwards the handle to the
+    /// memory system for fetch/eviction/residency events.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.mem.set_telemetry(tel.clone());
+        self.tel = tel;
     }
 
     /// Limits the number of interpreted instructions (runaway protection in
@@ -344,7 +355,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     }
                     InstKind::IntrinsicCall { intr, args } => {
                         let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
-                        regs[v.index()] = self.exec_intrinsic(*intr, &vals)?;
+                        let site = SiteKey::new(fid.0, v.index() as u32);
+                        regs[v.index()] = self.exec_intrinsic(*intr, &vals, site)?;
                     }
                     InstKind::GlobalAddr(g) => {
                         regs[v.index()] = GLOBAL_BASE + self.global_offsets[g.index()];
@@ -430,7 +442,49 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         }
     }
 
-    fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[u64]) -> Result<u64, Trap> {
+    /// Classifies a guard/chunk outcome from the stat deltas around the
+    /// memory-system call, emits the matching event tagged with the site
+    /// key, and folds the cost into the per-site attribution table.
+    fn note_guard_site(&mut self, site: SiteKey, now: u64, cycles: u64, before: &ExecStats) {
+        let s = self.stats;
+        let stall = s.stall_cycles - before.stall_cycles;
+        let d_fast = s.guards_fast - before.guards_fast;
+        let d_local = s.guards_slow_local - before.guards_slow_local;
+        let d_remote = s.guards_slow_remote - before.guards_slow_remote;
+        let d_custody = s.custody_exits - before.custody_exits;
+        let d_boundary = s.boundary_checks - before.boundary_checks;
+        let d_locality = s.locality_guards - before.locality_guards;
+        let kind = if d_remote > 0 {
+            EventKind::GuardSlowRemote
+        } else if d_local > 0 {
+            EventKind::GuardSlowLocal
+        } else if d_locality > 0 {
+            EventKind::LocalityGuard
+        } else if d_boundary > 0 {
+            EventKind::BoundaryCheck
+        } else if d_custody > 0 {
+            EventKind::CustodyExit
+        } else {
+            // Includes transparent guards (LocalMem, Fastswap): the site
+            // was hit, nothing stalled.
+            EventKind::GuardFast
+        };
+        self.tel.emit(now, kind, site.0);
+        self.tel.record_stall(stall);
+        self.tel.record_site(site, |ss| {
+            ss.hits += 1;
+            // Chunk derefs fold into the same fast/slow split: boundary
+            // checks are the cheap path, locality guards the runtime call.
+            ss.fast += d_fast + d_boundary;
+            ss.slow_remote += d_remote + if stall > 0 { d_locality } else { 0 };
+            ss.slow_local += d_local + if stall > 0 { 0 } else { d_locality };
+            ss.custody_exits += d_custody;
+            ss.cycles += cycles;
+            ss.stall_cycles += stall;
+        });
+    }
+
+    fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[u64], site: SiteKey) -> Result<u64, Trap> {
         match intr {
             Intrinsic::Malloc | Intrinsic::TfmAlloc => {
                 self.clock += self.cost.alloc_cycles;
@@ -480,9 +534,18 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             }
             Intrinsic::GuardRead | Intrinsic::GuardWrite => {
                 let write = intr == Intrinsic::GuardWrite;
-                let (c, out) = self.mem.guard(args[0], write, self.clock, &mut self.stats)?;
-                self.clock += c;
-                Ok(out)
+                if self.tel.is_enabled() {
+                    let before = self.stats;
+                    let now = self.clock;
+                    let (c, out) = self.mem.guard(args[0], write, now, &mut self.stats)?;
+                    self.clock += c;
+                    self.note_guard_site(site, now, c, &before);
+                    Ok(out)
+                } else {
+                    let (c, out) = self.mem.guard(args[0], write, self.clock, &mut self.stats)?;
+                    self.clock += c;
+                    Ok(out)
+                }
             }
             Intrinsic::ChunkBegin => {
                 let (c, h) = self.mem.chunk_begin(args[0], args[1] as i64, self.clock);
@@ -490,11 +553,22 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                 Ok(h)
             }
             Intrinsic::ChunkDeref => {
-                let (c, out) =
-                    self.mem
-                        .chunk_deref(args[0], args[1], self.clock, &mut self.stats)?;
-                self.clock += c;
-                Ok(out)
+                if self.tel.is_enabled() {
+                    let before = self.stats;
+                    let now = self.clock;
+                    let (c, out) =
+                        self.mem
+                            .chunk_deref(args[0], args[1], now, &mut self.stats)?;
+                    self.clock += c;
+                    self.note_guard_site(site, now, c, &before);
+                    Ok(out)
+                } else {
+                    let (c, out) =
+                        self.mem
+                            .chunk_deref(args[0], args[1], self.clock, &mut self.stats)?;
+                    self.clock += c;
+                    Ok(out)
+                }
             }
             Intrinsic::ChunkEnd => {
                 let c = self.mem.chunk_end(args[0], self.clock)?;
@@ -943,6 +1017,53 @@ mod tests {
         mach.finish_setup(false);
         let r = mach.run("f", &[a, bptr]).unwrap();
         assert_eq!(r.ret, 0x1122334455667788);
+    }
+
+    #[test]
+    fn telemetry_attributes_guards_to_sites() {
+        use crate::memsys::TrackFmMem;
+        use tfm_net::LinkParams;
+        use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+        use trackfm::CostModel;
+
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let q = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let x = b.load(Type::I64, q);
+            b.ret(Some(x));
+        }
+        m.verify().unwrap();
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 8 * 4096,
+            link: LinkParams::tcp_25g(),
+            prefetch: PrefetchConfig::default(),
+        };
+        let mem = TrackFmMem::new(cfg, CostModel::default());
+        let mut mach = Machine::new(&m, mem, CostModel::default(), 1 << 20);
+        let tel = Telemetry::enabled();
+        mach.set_telemetry(tel.clone());
+        let ptr = mach.setup_alloc(4096);
+        mach.finish_setup(true); // cold start: the first guard fetches
+        mach.run("f", &[ptr]).unwrap();
+        mach.run("f", &[ptr]).unwrap(); // now resident: fast path
+
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.count(EventKind::GuardSlowRemote), 1);
+        assert_eq!(snap.count(EventKind::GuardFast), 1);
+        let sites: Vec<_> = snap.sites.iter().collect();
+        assert_eq!(sites.len(), 1, "one guard instruction, one site");
+        let (key, stats) = sites[0];
+        assert_eq!(key.func(), id.0);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.slow_remote, 1);
+        assert_eq!(stats.fast, 1);
+        assert!(stats.stall_cycles > 0, "the cold fetch stalls");
+        assert_eq!(snap.stall_per_access.count(), 2);
     }
 
     #[test]

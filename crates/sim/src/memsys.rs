@@ -18,6 +18,7 @@ use tfm_fastswap::{Pager, PagerConfig, PagerStats};
 use tfm_ir::{CHUNK_FLAG_PREFETCH, CHUNK_FLAG_WRITE};
 use tfm_net::TransferStats;
 use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, RegionAllocator, RuntimeStats, TfmPtr};
+use tfm_telemetry::Telemetry;
 use trackfm::CostModel;
 
 /// Base address of the canonical heap mapping.
@@ -145,6 +146,10 @@ pub trait MemorySystem {
 
     /// End-of-run counters.
     fn summary(&self) -> MemSummary;
+
+    /// Attaches a telemetry sink. Systems with nothing to report (e.g.
+    /// [`LocalMem`]) keep the default no-op.
+    fn set_telemetry(&mut self, _tel: Telemetry) {}
 }
 
 // ======================================================================
@@ -375,6 +380,10 @@ impl MemorySystem for FastswapMem {
             transfers: Some(self.pager.transfer_stats()),
         }
     }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        self.pager.set_telemetry(tel);
+    }
 }
 
 // ======================================================================
@@ -490,7 +499,7 @@ impl MemorySystem for TrackFmMem {
         Ok(HEAP_BASE + p.offset())
     }
 
-    fn free(&mut self, ptr: u64, _now: u64) -> Result<(), Trap> {
+    fn free(&mut self, ptr: u64, now: u64) -> Result<(), Trap> {
         // TrackFM's free performs its own custody check: pruned allocations
         // arrive as canonical pointers.
         let offset = if TfmPtr::is_tfm(ptr) {
@@ -512,7 +521,7 @@ impl MemorySystem for TrackFmMem {
                 self.fm.unpin(ObjId(o));
             }
         }
-        self.fm.free(TfmPtr::from_offset(offset));
+        self.fm.free(TfmPtr::from_offset(offset), now);
         Ok(())
     }
 
@@ -765,6 +774,10 @@ impl MemorySystem for TrackFmMem {
             transfers: Some(self.fm.transfer_stats()),
         }
     }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        self.fm.set_telemetry(tel);
+    }
 }
 
 // ======================================================================
@@ -916,6 +929,10 @@ impl MemorySystem for HybridMem {
 
     fn summary(&self) -> MemSummary {
         self.inner.summary()
+    }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        self.inner.set_telemetry(tel);
     }
 }
 

@@ -4,6 +4,7 @@ use std::fmt;
 use tfm_fastswap::PagerStats;
 use tfm_net::TransferStats;
 use tfm_runtime::RuntimeStats;
+use tfm_telemetry::{MergeStats, StatGroup};
 
 /// Counters accumulated while interpreting a program.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -60,6 +61,44 @@ impl fmt::Display for ExecStats {
             self.locality_guards,
             self.stall_cycles
         )
+    }
+}
+
+impl StatGroup for ExecStats {
+    fn group_name(&self) -> &'static str {
+        "exec"
+    }
+
+    fn stat_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cycles", self.cycles),
+            ("instructions", self.instructions),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("custody_exits", self.custody_exits),
+            ("guards_fast", self.guards_fast),
+            ("guards_slow_local", self.guards_slow_local),
+            ("guards_slow_remote", self.guards_slow_remote),
+            ("boundary_checks", self.boundary_checks),
+            ("locality_guards", self.locality_guards),
+            ("stall_cycles", self.stall_cycles),
+        ]
+    }
+}
+
+impl MergeStats for ExecStats {
+    fn merge(&mut self, other: &Self) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.custody_exits += other.custody_exits;
+        self.guards_fast += other.guards_fast;
+        self.guards_slow_local += other.guards_slow_local;
+        self.guards_slow_remote += other.guards_slow_remote;
+        self.boundary_checks += other.boundary_checks;
+        self.locality_guards += other.locality_guards;
+        self.stall_cycles += other.stall_cycles;
     }
 }
 

@@ -1,0 +1,251 @@
+//! Cycle-stamped event tracing.
+//!
+//! Events land in a fixed-capacity ring: recording never allocates after
+//! construction and never blocks — once the ring is full the oldest events
+//! are overwritten (and counted as dropped). Per-kind totals keep counting
+//! even for events the ring no longer retains.
+
+/// What happened. The `arg` of the carrying [`Event`] is kind-specific:
+/// a site key for guard events, an object/page id for memory events, a
+/// byte count for allocation events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Guard took the fast path (resident object, custody held).
+    GuardFast,
+    /// Guard slow path resolved locally (state-table hit, no transfer).
+    GuardSlowLocal,
+    /// Guard slow path fetched the object from remote memory.
+    GuardSlowRemote,
+    /// Custody check failed; the access left the cached object.
+    CustodyExit,
+    /// Chunked-loop boundary check executed.
+    BoundaryCheck,
+    /// Chunked-loop locality guard executed.
+    LocalityGuard,
+    /// Demand fetch issued by the runtime.
+    DemandFetch,
+    /// Prefetch issued by the stride prefetcher.
+    PrefetchIssue,
+    /// Access hit an already-completed prefetch.
+    PrefetchHit,
+    /// Access hit an in-flight prefetch and had to wait for it.
+    PrefetchLate,
+    /// Object or page evicted from local memory.
+    Eviction,
+    /// Dirty object or page written back to remote memory.
+    Writeback,
+    /// Page fault serviced without a transfer (kernel baseline).
+    MinorFault,
+    /// Page fault requiring a remote transfer (kernel baseline).
+    MajorFault,
+    /// Allocation.
+    Alloc,
+    /// Deallocation.
+    Free,
+}
+
+/// Number of event kinds.
+pub const EVENT_KINDS: usize = 16;
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::GuardFast,
+        EventKind::GuardSlowLocal,
+        EventKind::GuardSlowRemote,
+        EventKind::CustodyExit,
+        EventKind::BoundaryCheck,
+        EventKind::LocalityGuard,
+        EventKind::DemandFetch,
+        EventKind::PrefetchIssue,
+        EventKind::PrefetchHit,
+        EventKind::PrefetchLate,
+        EventKind::Eviction,
+        EventKind::Writeback,
+        EventKind::MinorFault,
+        EventKind::MajorFault,
+        EventKind::Alloc,
+        EventKind::Free,
+    ];
+
+    /// Stable snake_case name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::GuardFast => "guard_fast",
+            EventKind::GuardSlowLocal => "guard_slow_local",
+            EventKind::GuardSlowRemote => "guard_slow_remote",
+            EventKind::CustodyExit => "custody_exit",
+            EventKind::BoundaryCheck => "boundary_check",
+            EventKind::LocalityGuard => "locality_guard",
+            EventKind::DemandFetch => "demand_fetch",
+            EventKind::PrefetchIssue => "prefetch_issue",
+            EventKind::PrefetchHit => "prefetch_hit",
+            EventKind::PrefetchLate => "prefetch_late",
+            EventKind::Eviction => "eviction",
+            EventKind::Writeback => "writeback",
+            EventKind::MinorFault => "minor_fault",
+            EventKind::MajorFault => "major_fault",
+            EventKind::Alloc => "alloc",
+            EventKind::Free => "free",
+        }
+    }
+}
+
+/// One trace entry: when, what, and a kind-specific argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (site key, object id, byte count, ...).
+    pub arg: u64,
+}
+
+/// Fixed-capacity ring buffer of [`Event`]s.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest retained event (only meaningful once full).
+    head: usize,
+    dropped: u64,
+    counts: [u64; EVENT_KINDS],
+}
+
+impl EventRing {
+    /// A ring retaining at most `capacity` events. Capacity 0 disables
+    /// retention (counts still accumulate).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+            counts: [0; EVENT_KINDS],
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events overwritten (or not retained) because the ring was
+    /// full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed, retained or not.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total events of `kind` ever pushed, retained or not.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Records an event, overwriting the oldest one when full.
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        self.counts[e.kind as usize] += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.buf.len();
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Retained events as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            cycle,
+            kind: EventKind::GuardFast,
+            arg: cycle * 10,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_preserving_order() {
+        let mut r = EventRing::new(4);
+        for c in 0..4 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+
+        // Two more: 0 and 1 are overwritten.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4, 5]);
+        assert_eq!(r.total(), 6);
+        assert_eq!(r.count(EventKind::GuardFast), 6);
+        assert_eq!(r.count(EventKind::Eviction), 0);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let mut r = EventRing::new(3);
+        for c in 0..100 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 97);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_cover_all() {
+        let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), EVENT_KINDS);
+    }
+}

@@ -1,0 +1,238 @@
+//! The shared telemetry handle.
+//!
+//! [`Telemetry`] is a cheaply-clonable handle passed to every component of a
+//! run (machine, memory system, runtime, link, pager). All clones feed one
+//! shared sink, so the trace interleaves events from the whole stack on one
+//! cycle timeline. A disabled handle (`Telemetry::disabled()`, the default)
+//! is a `None` — every probe is a branch on `Option::is_some` and nothing
+//! else, which keeps the instrumented hot paths within noise of the
+//! un-instrumented ones.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::events::{Event, EventKind, EventRing};
+use crate::hist::Histogram;
+use crate::site::{SiteKey, SiteStats, SiteTable};
+
+/// Default trace-ring capacity for [`Telemetry::enabled`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// The shared sink behind a [`Telemetry`] handle.
+#[derive(Clone, Debug)]
+pub struct TelemetryInner {
+    /// The event trace ring.
+    pub ring: EventRing,
+    /// Demand-fetch completion latency (cycles).
+    pub fetch_latency: Histogram,
+    /// Stall cycles per guarded access (zero for fast paths).
+    pub stall_per_access: Histogram,
+    /// Object/page residency lifetime (cycles between localize and evict).
+    pub residency: Histogram,
+    /// Network transfer sizes (bytes, both directions).
+    pub transfer_bytes: Histogram,
+    /// Per-guard-site attribution.
+    pub sites: SiteTable,
+    /// When each currently-resident object/page became resident.
+    resident_since: HashMap<u64, u64>,
+}
+
+impl TelemetryInner {
+    fn new(ring_capacity: usize) -> Self {
+        Self {
+            ring: EventRing::new(ring_capacity),
+            fetch_latency: Histogram::new(),
+            stall_per_access: Histogram::new(),
+            residency: Histogram::new(),
+            transfer_bytes: Histogram::new(),
+            sites: SiteTable::new(),
+            resident_since: HashMap::new(),
+        }
+    }
+}
+
+/// A handle to a run's telemetry sink; `None` inside means disabled and
+/// every probe is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<TelemetryInner>>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (the default everywhere).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `capacity` trace events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(TelemetryInner::new(capacity)))),
+        }
+    }
+
+    /// True when probes record anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a cycle-stamped event.
+    #[inline]
+    pub fn emit(&self, cycle: u64, kind: EventKind, arg: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().ring.push(Event { cycle, kind, arg });
+        }
+    }
+
+    /// Records a demand-fetch latency sample.
+    #[inline]
+    pub fn record_fetch_latency(&self, cycles: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().fetch_latency.record(cycles);
+        }
+    }
+
+    /// Records the stall contribution of one guarded access.
+    #[inline]
+    pub fn record_stall(&self, cycles: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().stall_per_access.record(cycles);
+        }
+    }
+
+    /// Records one network transfer's size.
+    #[inline]
+    pub fn record_transfer(&self, bytes: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().transfer_bytes.record(bytes);
+        }
+    }
+
+    /// Marks `id` (object or page) resident as of `now`, for residency
+    /// lifetime accounting.
+    #[inline]
+    pub fn note_resident(&self, id: u64, now: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().resident_since.insert(id, now);
+        }
+    }
+
+    /// Marks `id` evicted at `now`, recording its residency lifetime.
+    #[inline]
+    pub fn note_evicted(&self, id: u64, now: u64) {
+        if let Some(i) = &self.inner {
+            let mut i = i.borrow_mut();
+            if let Some(since) = i.resident_since.remove(&id) {
+                i.residency.record(now.saturating_sub(since));
+            }
+        }
+    }
+
+    /// Updates a guard site's counters.
+    #[inline]
+    pub fn record_site(&self, key: SiteKey, f: impl FnOnce(&mut SiteStats)) {
+        if let Some(i) = &self.inner {
+            f(i.borrow_mut().sites.stats_mut(key));
+        }
+    }
+
+    /// A copy of the sink's current contents, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.inner.as_ref().map(|i| {
+            let i = i.borrow();
+            TelemetrySnapshot {
+                events: i.ring.to_vec(),
+                event_counts: EventKind::ALL
+                    .iter()
+                    .map(|&k| (k, i.ring.count(k)))
+                    .collect(),
+                events_dropped: i.ring.dropped(),
+                fetch_latency: i.fetch_latency.clone(),
+                stall_per_access: i.stall_per_access.clone(),
+                residency: i.residency.clone(),
+                transfer_bytes: i.transfer_bytes.clone(),
+                sites: i.sites.clone(),
+            }
+        })
+    }
+}
+
+/// An owned copy of everything a [`Telemetry`] sink collected.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Retained trace events, oldest first.
+    pub events: Vec<Event>,
+    /// Total emitted events per kind (including ones the ring dropped).
+    pub event_counts: Vec<(EventKind, u64)>,
+    /// Events not retained by the ring.
+    pub events_dropped: u64,
+    /// Demand-fetch completion latency (cycles).
+    pub fetch_latency: Histogram,
+    /// Stall cycles per guarded access.
+    pub stall_per_access: Histogram,
+    /// Residency lifetime (cycles).
+    pub residency: Histogram,
+    /// Transfer sizes (bytes).
+    pub transfer_bytes: Histogram,
+    /// Per-guard-site attribution.
+    pub sites: SiteTable,
+}
+
+impl TelemetrySnapshot {
+    /// Total events of `kind` emitted during the run.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.event_counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.emit(1, EventKind::GuardFast, 0);
+        t.record_fetch_latency(10);
+        t.record_site(SiteKey::new(0, 0), |s| s.hits += 1);
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::with_ring_capacity(8);
+        let u = t.clone();
+        t.emit(1, EventKind::DemandFetch, 42);
+        u.emit(2, EventKind::Eviction, 42);
+        u.record_fetch_latency(100);
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.count(EventKind::DemandFetch), 1);
+        assert_eq!(s.count(EventKind::Eviction), 1);
+        assert_eq!(s.fetch_latency.count(), 1);
+    }
+
+    #[test]
+    fn residency_lifetime_tracking() {
+        let t = Telemetry::enabled();
+        t.note_resident(7, 100);
+        t.note_evicted(7, 350);
+        // Evicting an unknown id records nothing.
+        t.note_evicted(99, 400);
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.residency.count(), 1);
+        assert_eq!(s.residency.max(), 250);
+    }
+}

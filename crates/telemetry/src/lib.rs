@@ -1,0 +1,41 @@
+//! # tfm-telemetry — the observability layer of the TrackFM reproduction
+//!
+//! Everything the evaluation needs to *attribute* cycles, in one
+//! dependency-free leaf crate:
+//!
+//! * [`Telemetry`] — a cheaply-clonable handle shared by the machine, the
+//!   memory systems, the runtime, the pager, and the link, so one run's
+//!   events interleave on a single cycle timeline. Disabled by default;
+//!   every probe on a disabled handle is a single branch.
+//! * [`EventRing`] / [`Event`] / [`EventKind`] — a fixed-capacity trace of
+//!   cycle-stamped events (guard fast/slow, custody exit, demand fetch,
+//!   prefetch issue/hit/late, eviction, writeback, page fault, alloc/free).
+//! * [`Histogram`] — log₂-bucketed distributions with p50/p90/p99
+//!   accessors, used for fetch latency, stall-per-access, residency
+//!   lifetime, and transfer sizes.
+//! * [`SiteTable`] / [`SiteKey`] — per-guard-site attribution: slow-path
+//!   and stall counters keyed by the originating IR instruction, the data
+//!   behind "top-N hottest guard sites".
+//! * [`RunReport`] — the unified record of a run: the four subsystem stat
+//!   structs (via [`StatGroup`]), the histograms, and the site table, with
+//!   human-readable and JSON renderers. [`Json`] is a minimal hand-rolled
+//!   tree/writer/parser so nothing here needs serde.
+//! * [`MergeStats`] — the common `merge` trait the bench harness uses for
+//!   multi-run aggregation.
+//!
+//! See `DESIGN.md` ("Telemetry & run reports") for how the pieces wire
+//! together.
+
+pub mod events;
+pub mod handle;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod site;
+
+pub use events::{Event, EventKind, EventRing, EVENT_KINDS};
+pub use handle::{Telemetry, TelemetryInner, TelemetrySnapshot, DEFAULT_RING_CAPACITY};
+pub use hist::{Histogram, BUCKETS};
+pub use json::Json;
+pub use report::{MergeStats, RunReport, SiteRow, StatGroup, StatSection, TOP_SITES};
+pub use site::{SiteKey, SiteStats, SiteTable};

@@ -15,9 +15,8 @@
 //! exactly as the paper describes for irregular structures.
 
 use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use crate::rng::SplitMix64;
 use crate::zipf::zipf_trace;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
 
 /// Hash-map workload parameters.
@@ -101,7 +100,7 @@ fn reference(slots: &[u64], mask: u64, trace: &[u64]) -> u64 {
 /// looked-up values.
 pub fn hashmap(p: &HashmapParams) -> WorkloadSpec {
     let (slots, mask) = build_table(p);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::seed_from_u64(p.seed);
     let trace: Vec<u64> = zipf_trace(p.keys as u64, p.skew, p.lookups, &mut rng)
         .into_iter()
         .map(|rank| rank + 1)

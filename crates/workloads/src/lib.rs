@@ -34,12 +34,14 @@ pub mod hashmap;
 pub mod kmeans;
 pub mod memcached;
 pub mod nas;
+pub mod rng;
 pub mod runner;
 pub mod spec;
 pub mod stream;
 pub mod zipf;
 
 pub use autotune::{autotune_object_size, AutotuneReport, CANDIDATE_SIZES};
+pub use rng::SplitMix64;
 pub use runner::{collect_profile, execute, execute_with_profile, Outcome, RunConfig, SystemKind};
 pub use spec::{ArgSpec, InputData, WorkloadSpec};
 pub use zipf::ZipfGen;

@@ -8,9 +8,8 @@
 //! amplify I/O (66× in the paper) while TrackFM's small objects keep it low.
 
 use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use crate::rng::SplitMix64;
 use crate::zipf::zipf_trace;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
 
 /// Value payload size (bytes); USR-style small objects.
@@ -114,7 +113,7 @@ fn reference(s: &Store, trace: &[u64]) -> u64 {
 /// returns a checksum over the values read.
 pub fn memcached(p: &MemcachedParams) -> WorkloadSpec {
     let store = build(p);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::seed_from_u64(p.seed);
     let trace: Vec<u64> = zipf_trace(p.keys as u64, p.skew, p.gets, &mut rng)
         .into_iter()
         .map(|r| r + 1)

@@ -12,7 +12,9 @@ use tfm_fastswap::PagerConfig;
 use tfm_ir::Module;
 use tfm_net::LinkParams;
 use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use std::collections::HashMap;
 use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
+use tfm_telemetry::{RunReport, SiteKey, Telemetry, TelemetrySnapshot};
 use trackfm::{CompileReport, CompilerOptions, CostModel, TrackFmCompiler};
 
 /// Which far-memory system executes the workload.
@@ -29,6 +31,19 @@ pub enum SystemKind {
     /// The §5 hybrid: compiler-chunked streams on the object runtime,
     /// guard-free raw accesses with kernel-style faults.
     Hybrid,
+}
+
+impl SystemKind {
+    /// Stable lowercase name (report/figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Local => "local",
+            SystemKind::Fastswap => "fastswap",
+            SystemKind::TrackFm => "trackfm",
+            SystemKind::Aifm => "aifm",
+            SystemKind::Hybrid => "hybrid",
+        }
+    }
 }
 
 /// One experimental configuration.
@@ -48,6 +63,9 @@ pub struct RunConfig {
     pub compiler: CompilerOptions,
     /// The cycle cost model.
     pub cost: CostModel,
+    /// Record telemetry (trace events, histograms, guard-site attribution)
+    /// during the measured phase. Off by default: the probes cost time.
+    pub telemetry: bool,
 }
 
 impl RunConfig {
@@ -61,6 +79,7 @@ impl RunConfig {
             prefetch_depth: PrefetchConfig::default().depth,
             compiler: CompilerOptions::default(),
             cost: CostModel::default(),
+            telemetry: false,
         }
     }
 
@@ -112,6 +131,12 @@ impl RunConfig {
         self.compiler.prefetch = on;
         self
     }
+
+    /// Toggles telemetry recording for the measured phase.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
 }
 
 /// The outcome of one run: results plus (for transformed binaries) the
@@ -122,6 +147,8 @@ pub struct Outcome {
     pub result: RunResult,
     /// Compiler report, when a transformed binary ran.
     pub report: Option<CompileReport>,
+    /// Telemetry snapshot, when [`RunConfig::telemetry`] was on.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
@@ -159,10 +186,12 @@ pub fn execute_with_profile(
     let heap = spec.heap_size(cfg.object_size);
     match cfg.system {
         SystemKind::Local => {
-            let (result, _) = run_machine(spec, &spec.module, LocalMem::new(heap), cfg, heap, false);
+            let (result, telemetry) =
+                run_machine(spec, &spec.module, LocalMem::new(heap), cfg, heap, false);
             Outcome {
                 result,
                 report: None,
+                telemetry,
             }
         }
         SystemKind::Fastswap => {
@@ -170,11 +199,12 @@ pub fn execute_with_profile(
                 local_budget: spec.local_budget(cfg.local_fraction, 4096),
                 ..PagerConfig::default()
             };
-            let (result, _) =
+            let (result, telemetry) =
                 run_machine(spec, &spec.module, FastswapMem::new(heap, pcfg), cfg, heap, false);
             Outcome {
                 result,
                 report: None,
+                telemetry,
             }
         }
         SystemKind::TrackFm | SystemKind::Aifm => {
@@ -186,10 +216,11 @@ pub fn execute_with_profile(
                 SystemKind::TrackFm => TrackFmMem::new(fm_cfg, cfg.cost),
                 _ => TrackFmMem::new_aifm(fm_cfg, cfg.cost),
             };
-            let (result, _) = run_machine(spec, &module, mem, cfg, heap, false);
+            let (result, telemetry) = run_machine(spec, &module, mem, cfg, heap, false);
             Outcome {
                 result,
                 report: Some(report),
+                telemetry,
             }
         }
         SystemKind::Hybrid => {
@@ -199,13 +230,61 @@ pub fn execute_with_profile(
             let compiler = TrackFmCompiler::new(copts);
             let report = compiler.compile(&mut module, profile);
             let mem = HybridMem::new(far_config(spec, cfg), cfg.cost);
-            let (result, _) = run_machine(spec, &module, mem, cfg, heap, false);
+            let (result, telemetry) = run_machine(spec, &module, mem, cfg, heap, false);
             Outcome {
                 result,
                 report: Some(report),
+                telemetry,
             }
         }
     }
+}
+
+/// [`execute`] with telemetry forced on, returning the outcome together
+/// with its assembled [`RunReport`].
+///
+/// # Panics
+/// See [`execute`].
+pub fn execute_with_report(spec: &WorkloadSpec, cfg: &RunConfig) -> (Outcome, RunReport) {
+    let cfg = cfg.with_telemetry(true);
+    let outcome = execute(spec, &cfg);
+    let report = build_report(spec, &cfg, &outcome);
+    (outcome, report)
+}
+
+/// Assembles the unified [`RunReport`] for one finished run: subsystem
+/// counter sections, telemetry histograms, the guard-site table (labeled
+/// via the compile report, when one exists), and event totals.
+pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> RunReport {
+    let mut rep = RunReport::new(&spec.name, cfg.system.name());
+    rep.push_meta("local_fraction", cfg.local_fraction);
+    rep.push_meta("object_size", cfg.object_size);
+    rep.push_meta("prefetch", cfg.prefetch);
+    rep.push_section(&outcome.result.stats);
+    if let Some(rt) = &outcome.result.runtime {
+        rep.push_section(rt);
+    }
+    if let Some(p) = &outcome.result.pager {
+        rep.push_section(p);
+    }
+    if let Some(t) = &outcome.result.transfers {
+        rep.push_section(t);
+    }
+    if let Some(snap) = &outcome.telemetry {
+        rep.push_histogram("fetch_latency_cycles", snap.fetch_latency.clone());
+        rep.push_histogram("stall_cycles_per_access", snap.stall_per_access.clone());
+        rep.push_histogram("residency_cycles", snap.residency.clone());
+        rep.push_histogram("transfer_bytes", snap.transfer_bytes.clone());
+        let labels: HashMap<SiteKey, &str> = outcome
+            .report
+            .iter()
+            .flat_map(|r| r.guard_sites.iter())
+            .map(|s| (SiteKey::new(s.func, s.value), s.label.as_str()))
+            .collect();
+        rep.set_sites(&snap.sites, |k| labels.get(&k).map(|l| l.to_string()));
+        rep.set_event_counts(|k| snap.count(k), snap.events_dropped);
+    }
+    rep
 }
 
 /// Collects an execution profile by running the unmodified program under
@@ -240,14 +319,22 @@ fn run_machine<M: MemorySystem>(
     cfg: &RunConfig,
     heap: u64,
     cold: bool,
-) -> (RunResult, ()) {
+) -> (RunResult, Option<TelemetrySnapshot>) {
     let mut machine = Machine::new(module, mem, cfg.cost, heap);
     let args = setup(spec, &mut machine, cold);
+    // Telemetry attaches only after setup: the report should describe the
+    // measured phase, not in-app initialization.
+    let tel = if cfg.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    machine.set_telemetry(tel.clone());
     let r = machine
         .run("main", &args)
         .unwrap_or_else(|t| panic!("{}: execution trapped: {t}", spec.name));
     check_expected(spec, r.ret);
-    (r, ())
+    (r, tel.snapshot())
 }
 
 fn check_expected(spec: &WorkloadSpec, ret: u64) {
@@ -286,4 +373,61 @@ pub fn setup<M: MemorySystem>(
             ArgSpec::Const(c) => *c as u64,
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{self, StreamParams};
+    use tfm_telemetry::Json;
+
+    #[test]
+    fn run_report_covers_stats_histograms_and_sites() {
+        let spec = stream::sum(&StreamParams { elems: 64 << 10 });
+        let cfg = RunConfig::trackfm(0.25);
+        let (outcome, rep) = execute_with_report(&spec, &cfg);
+
+        assert!(outcome.telemetry.is_some());
+        // All subsystem sections a TrackFM run produces.
+        assert!(rep.field("exec", "cycles").unwrap() > 0);
+        assert!(rep.field("runtime", "remote_fetches").is_some());
+        assert!(rep.field("transfer", "bytes_fetched").unwrap() > 0);
+        // The four distributions, with the fetch path exercised.
+        assert_eq!(rep.histograms.len(), 4);
+        assert!(rep.histogram("fetch_latency_cycles").unwrap().count() > 0);
+        assert!(rep.histogram("transfer_bytes").unwrap().count() > 0);
+        // Site attribution resolved through the compile report's labels.
+        assert!(!rep.sites.is_empty());
+        assert!(
+            rep.sites.iter().any(|s| s.label.contains(":v")),
+            "labels should come from the compiler: {:?}",
+            rep.sites.iter().map(|s| &s.label).collect::<Vec<_>>()
+        );
+        // Machine-readable form parses back.
+        let doc = Json::parse(&rep.to_json().to_string_pretty()).unwrap();
+        assert_eq!(doc.get("system").and_then(Json::as_str), Some("trackfm"));
+        assert!(!doc.get("guard_sites").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_reports_stay_lean() {
+        let spec = stream::sum(&StreamParams { elems: 16 << 10 });
+        let cfg = RunConfig::trackfm(0.5);
+        let outcome = execute(&spec, &cfg);
+        assert!(outcome.telemetry.is_none(), "telemetry must be opt-in");
+        let rep = build_report(&spec, &cfg, &outcome);
+        // Sections still present; histograms/sites need the snapshot.
+        assert!(rep.field("exec", "instructions").unwrap() > 0);
+        assert!(rep.histograms.is_empty());
+        assert!(rep.sites.is_empty());
+    }
+
+    #[test]
+    fn fastswap_report_carries_pager_section() {
+        let spec = stream::sum(&StreamParams { elems: 16 << 10 });
+        let cfg = RunConfig::fastswap(0.25);
+        let (_, rep) = execute_with_report(&spec, &cfg);
+        assert!(rep.field("pager", "major_faults").is_some());
+        assert!(rep.histogram("fetch_latency_cycles").is_some());
+    }
 }

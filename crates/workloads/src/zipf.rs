@@ -6,7 +6,7 @@
 //! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
 //! the same construction YCSB uses.
 
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// A bounded Zipf(θ) sampler over ranks `0..n`.
 #[derive(Clone, Debug)]
@@ -51,8 +51,8 @@ impl ZipfGen {
     }
 
     /// Draws a rank in `0..n`; rank 0 is the hottest item.
-    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
-        let u: f64 = rng.random();
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u: f64 = rng.next_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -82,7 +82,7 @@ impl ZipfGen {
 }
 
 /// Generates a trace of `len` Zipf-distributed ranks.
-pub fn zipf_trace(n: u64, theta: f64, len: usize, rng: &mut impl Rng) -> Vec<u64> {
+pub fn zipf_trace(n: u64, theta: f64, len: usize, rng: &mut SplitMix64) -> Vec<u64> {
     let gen = ZipfGen::new(n, theta);
     (0..len).map(|_| gen.sample(rng)).collect()
 }
@@ -90,12 +90,10 @@ pub fn zipf_trace(n: u64, theta: f64, len: usize, rng: &mut impl Rng) -> Vec<u64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_stay_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let g = ZipfGen::new(1000, 1.02);
         for _ in 0..10_000 {
             assert!(g.sample(&mut rng) < 1000);
@@ -104,7 +102,7 @@ mod tests {
 
     #[test]
     fn skew_concentrates_mass_on_low_ranks() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let trace = zipf_trace(100_000, 1.2, 50_000, &mut rng);
         let hot = trace.iter().filter(|&&r| r < 100).count() as f64 / trace.len() as f64;
         assert!(hot > 0.4, "top 0.1% of keys should draw >40% of accesses, got {hot}");
@@ -116,7 +114,7 @@ mod tests {
 
     #[test]
     fn higher_theta_is_more_skewed() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mild = zipf_trace(10_000, 1.01, 20_000, &mut rng);
         let sharp = zipf_trace(10_000, 1.3, 20_000, &mut rng);
         let mass = |t: &[u64]| t.iter().filter(|&&r| r < 10).count();

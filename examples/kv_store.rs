@@ -7,7 +7,7 @@
 //! ```
 
 use trackfm_suite::workloads::memcached::{memcached, MemcachedParams};
-use trackfm_suite::workloads::runner::{execute, RunConfig};
+use trackfm_suite::workloads::runner::{execute, execute_with_report, RunConfig};
 
 fn main() {
     let params = MemcachedParams {
@@ -50,6 +50,23 @@ fn main() {
             out.result.bytes_transferred() as f64 / (1 << 20) as f64,
         );
     }
+    // Where does TrackFM's remaining time go? Re-run the winner with
+    // telemetry on and let the run report attribute stalls to guard sites.
+    let (_, rep) = execute_with_report(&spec, &RunConfig::trackfm(frac).with_object_size(64));
+    let fetch = rep.histogram("fetch_latency_cycles").unwrap();
+    println!(
+        "\ntelemetry: demand-fetch latency p50={} p99={} cycles over {} fetches",
+        fetch.p50(),
+        fetch.p99(),
+        fetch.count()
+    );
+    if let Some(hot) = rep.sites.first() {
+        println!(
+            "hottest guard site: {} — {} hits, {} stall cycles",
+            hot.label, hot.stats.hits, hot.stats.stall_cycles
+        );
+    }
+
     println!(
         "\nEvery system returned the same checksum (verified against the host reference),\n\
          so recompiling for far memory changed performance — never results."

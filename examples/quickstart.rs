@@ -3,16 +3,17 @@
 //! This is the paper's core pitch end to end: take the Listing-1 sum loop
 //! (written with no far-memory awareness at all), pass it through the
 //! TrackFM compiler, and run it on a far-memory cluster where only 25% of
-//! the working set fits locally.
+//! the working set fits locally — then compare against kernel paging
+//! (Fastswap) and dump the unified telemetry run report, human and JSON.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use trackfm_suite::compiler::{CostModel, TrackFmCompiler};
+use trackfm_suite::compiler::TrackFmCompiler;
 use trackfm_suite::ir::{BinOp, CastOp, FunctionBuilder, Module, Signature, Type};
-use trackfm_suite::runtime::{FarMemoryConfig, PrefetchConfig};
-use trackfm_suite::sim::{Machine, TrackFmMem};
+use trackfm_suite::workloads::runner::{execute_with_report, RunConfig};
+use trackfm_suite::workloads::spec::{ArgSpec, InputData, WorkloadSpec};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -47,60 +48,64 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Recompile for far memory — this is ALL a user has to do.
     // ------------------------------------------------------------------
-    let report = TrackFmCompiler::default().compile(&mut module, None);
+    let report = TrackFmCompiler::default().compile(&mut module.clone(), None);
     println!("== compile report ==");
     println!(
-        "  guards inserted: {} | chunk streams: {} | code size x{:.2}",
+        "  guards inserted: {} | chunk streams: {} | code size x{:.2} | {} guard sites",
         report.total_guards(),
         report.chunking.streams,
-        report.code_size_ratio()
+        report.code_size_ratio(),
+        report.guard_sites.len()
     );
 
     // ------------------------------------------------------------------
     // 3. Run on the simulated far-memory cluster: 25% local memory.
+    //    The runner compiles, executes, checks semantics, and collects
+    //    telemetry into a unified run report.
     // ------------------------------------------------------------------
-    let working_set = (elems * 4) as u64;
-    let cfg = FarMemoryConfig {
-        heap_size: (working_set * 2).next_multiple_of(4096),
-        object_size: 4096,
-        local_budget: working_set / 4,
-        link: trackfm_suite::net::LinkParams::tcp_25g(),
-        prefetch: PrefetchConfig::default(),
-    };
-    let heap = cfg.heap_size;
-    let mem = TrackFmMem::new(cfg, CostModel::default());
-    let mut machine = Machine::new(&module, mem, CostModel::default(), heap);
-
     let data: Vec<u32> = (0..elems as u32).map(|i| i % 1000).collect();
     let expected: u64 = data.iter().map(|&v| v as u64).sum();
-    let arr = machine.setup_alloc(working_set);
-    machine.setup_write_u32s(arr, &data);
-    machine.finish_setup(false);
+    let spec = WorkloadSpec {
+        name: "quickstart-sum".into(),
+        module,
+        inputs: vec![InputData::U32(data)],
+        args: vec![ArgSpec::Input(0), ArgSpec::Const(elems as i64)],
+        expected: Some(expected),
+    };
+    let working_set = spec.working_set();
 
-    let result = machine.run("main", &[arr, elems as u64]).expect("runs clean");
-
+    let (tfm, tfm_report) = execute_with_report(&spec, &RunConfig::trackfm(0.25));
     println!("== run ==");
-    println!("  result: {} (expected {})", result.ret, expected);
-    assert_eq!(result.ret, expected, "far memory must not change semantics");
+    println!("  result: {} (expected {})", tfm.result.ret, expected);
     println!(
         "  simulated time: {:.2} ms at 2.4 GHz ({} cycles)",
-        result.seconds_2_4ghz() * 1e3,
-        result.stats.cycles
+        tfm.result.seconds_2_4ghz() * 1e3,
+        tfm.result.stats.cycles
     );
-    println!(
-        "  guards: {} fast / {} slow | chunk: {} boundary checks, {} crossings",
-        result.stats.guards_fast,
-        result.stats.slow_guards(),
-        result.stats.boundary_checks,
-        result.stats.locality_guards
-    );
-    if let Some(rt) = result.runtime {
-        println!("  runtime: {rt}");
-    }
     println!(
         "  network: {} bytes over the wire ({:.2}x working set)",
-        result.bytes_transferred(),
-        result.bytes_transferred() as f64 / working_set as f64
+        tfm.result.bytes_transferred(),
+        tfm.result.bytes_transferred() as f64 / working_set as f64
     );
+
+    // The same unmodified program under kernel paging, for contrast: the
+    // report's `pager` section replaces `runtime` (faults, not guards).
+    let (fsw, fsw_report) = execute_with_report(&spec, &RunConfig::fastswap(0.25));
+    println!(
+        "  vs fastswap: {:.2} ms, {} major faults",
+        fsw.result.seconds_2_4ghz() * 1e3,
+        fsw.result.pager.map(|p| p.major_faults).unwrap_or(0)
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The unified run report: every subsystem's counters, latency and
+    //    transfer distributions with p50/p90/p99, and the hottest guard
+    //    sites by stall cycles — human-readable, then machine-readable.
+    // ------------------------------------------------------------------
+    print!("\n{tfm_report}");
+    print!("\n{fsw_report}");
+    println!("\n== run report (JSON) ==");
+    println!("{}", tfm_report.to_json().to_string_pretty());
+
     println!("\nThe program was never modified — it was merely recompiled. (§1)");
 }

@@ -24,5 +24,6 @@ pub use tfm_ir as ir;
 pub use tfm_net as net;
 pub use tfm_runtime as runtime;
 pub use tfm_sim as sim;
+pub use tfm_telemetry as telemetry;
 pub use tfm_workloads as workloads;
 pub use trackfm as compiler;

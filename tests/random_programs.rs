@@ -10,11 +10,11 @@
 //!   behaviour;
 //! * the full TrackFM transformation preserves behaviour under far memory.
 
-use proptest::prelude::*;
 use trackfm_suite::compiler::{CostModel, TrackFmCompiler};
 use trackfm_suite::ir::{parse_module, BinOp, CmpOp, FunctionBuilder, Module, Signature, Type, Value};
 use trackfm_suite::runtime::FarMemoryConfig;
 use trackfm_suite::sim::{LocalMem, Machine, TrackFmMem};
+use trackfm_suite::workloads::SplitMix64;
 
 /// One generated operation.
 #[derive(Clone, Debug)]
@@ -25,13 +25,14 @@ enum Op {
     StackSlot(u8, u8), // store value, stack slot index (mem2reg fodder)
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Bin(o, a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Op::StoreLoad(v, s)),
-        (any::<u8>(), any::<u8>()).prop_map(|(v, s)| Op::StackSlot(v, s)),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    let b8 = |rng: &mut SplitMix64| rng.next_u64() as u8;
+    match rng.next_below(4) {
+        0 => Op::Bin(b8(rng), b8(rng), b8(rng)),
+        1 => Op::Cmp(b8(rng), b8(rng), b8(rng)),
+        2 => Op::StoreLoad(b8(rng), b8(rng)),
+        _ => Op::StackSlot(b8(rng), b8(rng)),
+    }
 }
 
 const BINOPS: [BinOp; 9] = [
@@ -146,39 +147,37 @@ fn run_trackfm(m: &Module, a: u64, b: u64) -> u64 {
     machine.run("main", &[a, b, scratch]).expect("clean run").ret
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_programs_verify_roundtrip_optimize_and_remote(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        seed in any::<i64>(),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
+#[test]
+fn random_programs_verify_roundtrip_optimize_and_remote() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0001);
+    for case in 0..64 {
+        let ops: Vec<Op> = (0..rng.next_range(1, 39)).map(|_| random_op(&mut rng)).collect();
+        let seed = rng.next_u64() as i64;
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let m = build(&ops, seed);
-        prop_assert!(m.verify().is_ok(), "generated program must verify");
+        assert!(m.verify().is_ok(), "case {case}: generated program must verify");
         let want = run_local(&m, a, b);
 
         // Parser round-trip preserves behaviour and is a print fixpoint.
         let text1 = m.to_string();
         let parsed = parse_module(&text1).expect("printer output parses");
         parsed.verify().expect("parsed module verifies");
-        prop_assert_eq!(run_local(&parsed, a, b), want);
+        assert_eq!(run_local(&parsed, a, b), want);
         let text2 = parsed.to_string();
         let reparsed = parse_module(&text2).expect("reparse");
-        prop_assert_eq!(reparsed.to_string(), text2, "print is a parse fixpoint");
+        assert_eq!(reparsed.to_string(), text2, "print is a parse fixpoint");
 
         // O1 preserves behaviour.
         let mut opt = m.clone();
         trackfm_suite::compiler::passes::o1::run(&mut opt);
         opt.verify().expect("optimized module verifies");
-        prop_assert_eq!(run_local(&opt, a, b), want, "O1 changed behaviour");
+        assert_eq!(run_local(&opt, a, b), want, "O1 changed behaviour");
 
         // The far-memory transformation preserves behaviour under pressure.
         let mut far = m.clone();
         TrackFmCompiler::default().compile(&mut far, None);
-        prop_assert_eq!(run_trackfm(&far, a, b), want, "TrackFM changed behaviour");
+        assert_eq!(run_trackfm(&far, a, b), want, "TrackFM changed behaviour");
 
         // And O1 + TrackFM together.
         let mut both = m.clone();
@@ -187,22 +186,20 @@ proptest! {
             ..Default::default()
         });
         compiler.compile(&mut both, None);
-        prop_assert_eq!(run_trackfm(&both, a, b), want, "O1+TrackFM changed behaviour");
+        assert_eq!(run_trackfm(&both, a, b), want, "O1+TrackFM changed behaviour");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The static trip-count analysis must agree with the interpreter:
-    /// for random (init, bound, step) counted loops, `static_trip_count`
-    /// equals the number of body executions observed by the profiler.
-    #[test]
-    fn static_trip_count_matches_execution(
-        init in -50i64..50,
-        bound in -50i64..200,
-        step in 1i64..9,
-    ) {
+/// The static trip-count analysis must agree with the interpreter:
+/// for random (init, bound, step) counted loops, `static_trip_count`
+/// equals the number of body executions observed by the profiler.
+#[test]
+fn static_trip_count_matches_execution() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0002);
+    for _ in 0..48 {
+        let init = rng.next_range(-50, 49);
+        let bound = rng.next_range(-50, 199);
+        let step = rng.next_range(1, 8);
         use trackfm_suite::analysis::dom::DomTree;
         use trackfm_suite::analysis::induction::{basic_ivs, static_trip_count};
         use trackfm_suite::analysis::loops::LoopForest;
@@ -222,7 +219,7 @@ proptest! {
         let f = m.function(id);
         let dt = DomTree::compute(f);
         let forest = LoopForest::compute(f, &dt);
-        prop_assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops.len(), 1);
         let ivs = basic_ivs(f, &forest.loops[0]);
         let predicted = static_trip_count(f, &forest.loops[0], &ivs);
 
@@ -234,8 +231,8 @@ proptest! {
         let executed = profile.block_count("main", body);
 
         match predicted {
-            Some(t) => prop_assert_eq!(t, executed, "static vs dynamic trip count"),
-            None => prop_assert_eq!(executed, 0, "analysis only bails on zero-trip loops"),
+            Some(t) => assert_eq!(t, executed, "static vs dynamic trip count"),
+            None => assert_eq!(executed, 0, "analysis only bails on zero-trip loops"),
         }
     }
 }

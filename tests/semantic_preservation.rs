@@ -7,10 +7,9 @@
 //! exercise the configuration space. Property-based tests randomize the
 //! parameters.
 
-use proptest::prelude::*;
 use trackfm_suite::compiler::ChunkingMode;
 use trackfm_suite::workloads::runner::{collect_profile, execute, execute_with_profile, RunConfig};
-use trackfm_suite::workloads::{analytics, hashmap, kmeans, memcached, nas, stream};
+use trackfm_suite::workloads::{analytics, hashmap, kmeans, memcached, nas, stream, SplitMix64};
 
 fn all_systems(frac: f64, object_size: u64) -> Vec<RunConfig> {
     vec![
@@ -122,33 +121,33 @@ fn o1_preserves_semantics_on_alloca_heavy_workloads() {
     assert!(promoted_total >= 5, "mem2reg should fire broadly: {promoted_total}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random element counts, local fractions and object sizes: the stream
-    /// checksum must hold everywhere (the runner asserts internally).
-    #[test]
-    fn stream_sum_is_exact_under_random_pressure(
-        elems in 1_000usize..40_000,
-        frac in 0.05f64..1.0,
-        os_shift in 6u32..13,
-    ) {
+/// Random element counts, local fractions and object sizes: the stream
+/// checksum must hold everywhere (the runner asserts internally).
+#[test]
+fn stream_sum_is_exact_under_random_pressure() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0003);
+    for _ in 0..12 {
+        let elems = rng.next_range(1_000, 39_999) as usize;
+        let frac = 0.05 + rng.next_f64() * 0.95;
+        let os_shift = rng.next_range(6, 12) as u32;
         let spec = stream::sum(&stream::StreamParams { elems });
         let object_size = 1u64 << os_shift;
         for cfg in all_systems(frac, object_size) {
             execute(&spec, &cfg);
         }
     }
+}
 
-    /// Zipfian hashmap lookups with random skew/seed under random object
-    /// sizes: values read through far memory must match the host oracle.
-    #[test]
-    fn hashmap_lookups_are_exact(
-        keys in 500usize..4_000,
-        skew in 1.01f64..1.4,
-        seed in any::<u64>(),
-        frac in 0.1f64..1.0,
-    ) {
+/// Zipfian hashmap lookups with random skew/seed under random object
+/// sizes: values read through far memory must match the host oracle.
+#[test]
+fn hashmap_lookups_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0004);
+    for _ in 0..12 {
+        let keys = rng.next_range(500, 3_999) as usize;
+        let skew = 1.01 + rng.next_f64() * 0.39;
+        let seed = rng.next_u64();
+        let frac = 0.1 + rng.next_f64() * 0.9;
         let spec = hashmap::hashmap(&hashmap::HashmapParams {
             keys,
             lookups: keys * 2,
@@ -159,15 +158,17 @@ proptest! {
             execute(&spec, &cfg);
         }
     }
+}
 
-    /// k-means (float-heavy, nested loops) with random shape: bit-exact
-    /// across systems and chunking policies.
-    #[test]
-    fn kmeans_is_bit_exact(
-        points in 200usize..1_500,
-        dims in 2usize..10,
-        k in 2usize..6,
-    ) {
+/// k-means (float-heavy, nested loops) with random shape: bit-exact
+/// across systems and chunking policies.
+#[test]
+fn kmeans_is_bit_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0005);
+    for _ in 0..12 {
+        let points = rng.next_range(200, 1_499) as usize;
+        let dims = rng.next_range(2, 9) as usize;
+        let k = rng.next_range(2, 5) as usize;
         let spec = kmeans::kmeans(&kmeans::KmeansParams { points, dims, k, iters: 2 });
         execute(&spec, &RunConfig::local());
         let mut all_loops = RunConfig::trackfm(0.4);
