@@ -4,4 +4,9 @@ set -eux
 
 cargo build --workspace --release
 cargo test -q --workspace
+# Chaos suite: seeded fault schedules (fixed seeds inside the tests) —
+# semantic preservation, determinism, and degradation/recovery under outage.
+cargo test -q --test chaos
+# Pay-for-use gate: the no-fault fast path asserts bit-identical costs.
+cargo bench -q -p tfm-bench --bench fault_overhead
 cargo clippy --workspace --all-targets -- -D warnings

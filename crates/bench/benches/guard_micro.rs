@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use tfm_ir::{BinOp, FunctionBuilder, Module, Signature, Type};
 use tfm_net::LinkParams;
-use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, PrefetchConfig, RegionAllocator};
+use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, RegionAllocator};
 use tfm_sim::{ExecStats, LocalMem, Machine, MemorySystem, TrackFmMem};
 use tfm_telemetry::Telemetry;
 use tfm_workloads::{SplitMix64, ZipfGen};
@@ -39,7 +39,7 @@ fn fm_config() -> FarMemoryConfig {
         object_size: 4096,
         local_budget: 16 << 20,
         link: LinkParams::tcp_25g(),
-        prefetch: PrefetchConfig::default(),
+        ..FarMemoryConfig::small()
     }
 }
 

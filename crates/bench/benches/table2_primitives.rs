@@ -4,7 +4,7 @@
 use tfm_bench::print_table;
 use tfm_fastswap::{Pager, PagerConfig, PAGE_SIZE};
 use tfm_net::LinkParams;
-use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use tfm_runtime::FarMemoryConfig;
 use tfm_sim::{ExecStats, MemorySystem, TrackFmMem};
 use trackfm::CostModel;
 
@@ -15,7 +15,7 @@ fn tfm_mem() -> TrackFmMem {
             object_size: 4096,
             local_budget: 1 << 20,
             link: LinkParams::tcp_25g(),
-            prefetch: PrefetchConfig::default(),
+            ..FarMemoryConfig::small()
         },
         CostModel::default(),
     )

@@ -35,7 +35,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use tfm_net::{Link, LinkParams, TransferStats};
+use tfm_net::{FaultPlan, Link, LinkParams, TransferStats};
 use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
 
 /// The architected page size Fastswap is bound to.
@@ -55,6 +55,9 @@ pub struct PagerConfig {
     pub reclaim_cycles: u64,
     /// RDMA backend parameters.
     pub link: LinkParams,
+    /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
+    /// flawless fabric).
+    pub faults: FaultPlan,
 }
 
 impl Default for PagerConfig {
@@ -64,6 +67,7 @@ impl Default for PagerConfig {
             kernel_fault_cycles: 1_300,
             reclaim_cycles: 400,
             link: LinkParams::rdma_25g(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -87,6 +91,10 @@ pub struct PagerStats {
     pub reclaims: u64,
     /// Reclaimed pages that were dirty (written back).
     pub writebacks: u64,
+    /// Major faults re-driven after the RDMA read faulted: each retry
+    /// charges another round of kernel fault handling on top of the link's
+    /// detection timeout.
+    pub fault_retries: u64,
 }
 
 impl StatGroup for PagerStats {
@@ -100,6 +108,7 @@ impl StatGroup for PagerStats {
             ("minor_faults", self.minor_faults),
             ("reclaims", self.reclaims),
             ("writebacks", self.writebacks),
+            ("fault_retries", self.fault_retries),
         ]
     }
 }
@@ -110,6 +119,7 @@ impl MergeStats for PagerStats {
         self.minor_faults += other.minor_faults;
         self.reclaims += other.reclaims;
         self.writebacks += other.writebacks;
+        self.fault_retries += other.fault_retries;
     }
 }
 
@@ -131,12 +141,14 @@ pub struct Pager {
 impl Pager {
     /// Creates a pager with an empty resident set.
     pub fn new(cfg: PagerConfig) -> Self {
+        let mut link = Link::new(cfg.link);
+        link.set_fault_plan(cfg.faults);
         Pager {
             pages: HashMap::new(),
             ever_evicted: HashMap::new(),
             clock: VecDeque::new(),
             resident_pages: 0,
-            link: Link::new(cfg.link),
+            link,
             stats: PagerStats::default(),
             tel: Telemetry::disabled(),
             cfg,
@@ -204,7 +216,25 @@ impl Pager {
         cycles += self.make_room(now + cycles);
         let had_remote_copy = self.ever_evicted.contains_key(&page);
         if had_remote_copy {
-            let done = self.link.transfer(PAGE_SIZE, now + cycles);
+            // The RDMA read can fault; the kernel re-drives the fault after
+            // the timeout, charging another round of fault handling each
+            // time (there is no backoff in the kernel fast path).
+            let mut attempt = 0u32;
+            let done = loop {
+                match self.link.try_transfer(PAGE_SIZE, now + cycles) {
+                    Ok(done) => break done,
+                    Err(f) => {
+                        attempt += 1;
+                        assert!(
+                            attempt < 10_000,
+                            "link permanently dead: {attempt} consecutive faults on one page fault"
+                        );
+                        self.stats.fault_retries += 1;
+                        self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
+                        cycles = f.detected_at.saturating_sub(now) + self.cfg.kernel_fault_cycles;
+                    }
+                }
+            };
             cycles += done.saturating_sub(now + cycles);
             self.stats.major_faults += 1;
             if self.tel.is_enabled() {
@@ -396,6 +426,53 @@ mod tests {
         }
         assert_eq!(p.stats().major_faults, 1);
         assert!(total < 40_000);
+    }
+
+    #[test]
+    fn default_config_has_no_fault_plan() {
+        assert_eq!(PagerConfig::default().faults, FaultPlan::none());
+        assert!(!PagerConfig::default().faults.is_active());
+    }
+
+    #[test]
+    fn major_faults_retry_and_charge_kernel_cost() {
+        let mk = || {
+            Pager::new(PagerConfig {
+                local_budget: 32 * PAGE_SIZE,
+                faults: FaultPlan::drops(0xFA57, 500_000), // 50% drops
+                ..PagerConfig::default()
+            })
+        };
+        let run = |p: &mut Pager| {
+            for i in 0..16u64 {
+                p.access(i * PAGE_SIZE, 8, true, 0);
+            }
+            p.evacuate_all(0);
+            p.reset_stats();
+            let mut now = 0;
+            for i in 0..16u64 {
+                now += p.access(i * PAGE_SIZE, 8, false, now);
+            }
+            (p.stats(), p.transfer_stats(), now)
+        };
+        let mut p = mk();
+        let (stats, transfer, elapsed) = run(&mut p);
+        assert_eq!(stats.major_faults, 16, "every page still lands");
+        assert!(stats.fault_retries > 0, "a 50% plan must force retries");
+        assert_eq!(transfer.faults, stats.fault_retries);
+        assert_eq!(transfer.bytes_fetched, 16 * PAGE_SIZE);
+        // Each retry costs at least a timeout + another kernel fault.
+        let flawless = {
+            let mut q = Pager::new(PagerConfig {
+                local_budget: 32 * PAGE_SIZE,
+                ..PagerConfig::default()
+            });
+            run(&mut q).2
+        };
+        assert!(elapsed > flawless, "{elapsed} vs {flawless}");
+        // Determinism: the same seed reproduces the exact same run.
+        let mut p2 = mk();
+        assert_eq!(run(&mut p2), (stats, transfer, elapsed));
     }
 
     #[test]

@@ -35,7 +35,12 @@
 
 use std::fmt;
 
-use tfm_telemetry::{MergeStats, StatGroup, Telemetry};
+use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
+
+mod fault;
+
+pub use fault::{FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, PPM};
+use fault::{Fate, FaultState};
 
 /// Parameters of a simulated link.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -83,7 +88,11 @@ impl LinkParams {
     #[inline]
     pub fn occupancy(&self, bytes: u64) -> u64 {
         // Round up: even a 1-byte message consumes a sliver of bandwidth.
-        (bytes * self.cycles_per_kib).div_ceil(1024)
+        // The intermediate product is taken in u128: `bytes *
+        // cycles_per_kib` overflows u64 once bytes exceeds ~2^53 (a dozen
+        // PiB at the 25 Gb/s calibration) — unrealistic for one message,
+        // but cheap to make impossible.
+        ((bytes as u128 * self.cycles_per_kib as u128).div_ceil(1024)) as u64
     }
 
     /// End-to-end cycles for a single transfer on an idle link.
@@ -104,6 +113,14 @@ pub struct TransferStats {
     pub writebacks: u64,
     /// Bytes written back to the remote node.
     pub bytes_written_back: u64,
+    /// Failed transfer attempts (drops and outage hits).
+    pub faults: u64,
+    /// Bytes whose bandwidth slot was burned by a failed attempt.
+    pub fault_wasted_bytes: u64,
+    /// Successful transfers that completed late (stalls and jitter).
+    pub delayed: u64,
+    /// Total extra completion latency injected into delayed transfers.
+    pub delay_cycles: u64,
 }
 
 impl TransferStats {
@@ -125,6 +142,10 @@ impl StatGroup for TransferStats {
             ("bytes_fetched", self.bytes_fetched),
             ("writebacks", self.writebacks),
             ("bytes_written_back", self.bytes_written_back),
+            ("faults", self.faults),
+            ("fault_wasted_bytes", self.fault_wasted_bytes),
+            ("delayed", self.delayed),
+            ("delay_cycles", self.delay_cycles),
         ]
     }
 }
@@ -135,6 +156,10 @@ impl MergeStats for TransferStats {
         self.bytes_fetched += other.bytes_fetched;
         self.writebacks += other.writebacks;
         self.bytes_written_back += other.bytes_written_back;
+        self.faults += other.faults;
+        self.fault_wasted_bytes += other.fault_wasted_bytes;
+        self.delayed += other.delayed;
+        self.delay_cycles += other.delay_cycles;
     }
 }
 
@@ -144,7 +169,15 @@ impl fmt::Display for TransferStats {
             f,
             "fetches: {} ({} B), writebacks: {} ({} B)",
             self.fetches, self.bytes_fetched, self.writebacks, self.bytes_written_back
-        )
+        )?;
+        if self.faults > 0 || self.delayed > 0 {
+            write!(
+                f,
+                ", faults: {} ({} B wasted), delayed: {} (+{} cyc)",
+                self.faults, self.fault_wasted_bytes, self.delayed, self.delay_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -155,7 +188,17 @@ pub struct Link {
     free_at: u64,
     stats: TransferStats,
     tel: Telemetry,
+    /// Present only when an active [`FaultPlan`] is attached; the flawless
+    /// fabric pays one `Option` branch per transfer and nothing else.
+    fault: Option<FaultState>,
+    health: LinkHealth,
 }
+
+/// Safety valve for the blocking [`Link::transfer`]/[`Link::writeback`]
+/// retry loops: a fault plan hostile enough to fail this many consecutive
+/// attempts means the link is permanently dead, which the simulation cannot
+/// make progress under.
+const MAX_BLIND_RETRIES: u32 = 10_000;
 
 impl Link {
     /// Creates an idle link.
@@ -165,6 +208,8 @@ impl Link {
             free_at: 0,
             stats: TransferStats::default(),
             tel: Telemetry::disabled(),
+            fault: None,
+            health: LinkHealth::default(),
         }
     }
 
@@ -173,33 +218,125 @@ impl Link {
         self.tel = tel;
     }
 
+    /// Attaches a fault plan. [`FaultPlan::none`] (or any inactive plan)
+    /// detaches fault injection entirely, restoring the flawless fabric.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan.is_active().then(|| FaultState::new(plan));
+    }
+
+    /// The attached fault plan ([`FaultPlan::none`] when fault injection is
+    /// detached).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault.as_ref().map(|f| f.plan).unwrap_or_default()
+    }
+
+    /// The link-health tracker (EWMA fault rate + degraded flag). Only
+    /// advances while a fault plan is attached.
+    pub fn health(&self) -> LinkHealth {
+        self.health
+    }
+
     /// The link parameters.
     pub fn params(&self) -> LinkParams {
         self.params
     }
 
+    /// One transfer attempt: decides its fate, burns the bandwidth slot
+    /// either way (a lost message still occupied the wire), and updates the
+    /// ledger and health tracker.
+    fn attempt(&mut self, bytes: u64, now: u64, writeback: bool) -> Result<u64, LinkFault> {
+        let start = now.max(self.free_at);
+        let fate = match &mut self.fault {
+            Some(f) => f.decide(start),
+            None => Fate::Deliver,
+        };
+        self.free_at = start + self.params.occupancy(bytes);
+        match fate {
+            Fate::Deliver | Fate::Slow(..) => {
+                if writeback {
+                    self.stats.writebacks += 1;
+                    self.stats.bytes_written_back += bytes;
+                } else {
+                    self.stats.fetches += 1;
+                    self.stats.bytes_fetched += bytes;
+                }
+                self.tel.record_transfer(bytes);
+                let mut done = self.free_at + self.params.base_latency;
+                if let Fate::Slow(kind, extra) = fate {
+                    self.stats.delayed += 1;
+                    self.stats.delay_cycles += extra;
+                    self.tel.emit(start, EventKind::FaultInjected, kind.code());
+                    done += extra;
+                }
+                if self.fault.is_some() {
+                    self.health.on_attempt(false);
+                }
+                Ok(done)
+            }
+            Fate::Fail(kind) => {
+                self.stats.faults += 1;
+                self.stats.fault_wasted_bytes += bytes;
+                self.tel.emit(start, EventKind::FaultInjected, kind.code());
+                self.health.on_attempt(true);
+                Err(LinkFault {
+                    kind,
+                    detected_at: self.free_at + self.params.drop_timeout(),
+                })
+            }
+        }
+    }
+
+    /// Attempts a fetch of `bytes` at cycle `now`. Returns the completion
+    /// cycle, or the [`LinkFault`] if the attempt failed — `detected_at` is
+    /// the earliest cycle the caller's timeout fires and a retry can be
+    /// issued. Retry/backoff policy lives with the caller.
+    pub fn try_transfer(&mut self, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.attempt(bytes, now, false)
+    }
+
+    /// Attempts a writeback of `bytes` at cycle `now`; see
+    /// [`Link::try_transfer`] for the failure contract.
+    pub fn try_writeback(&mut self, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.attempt(bytes, now, true)
+    }
+
+    /// Blindly retries `attempt` until it succeeds, charging each failure's
+    /// detection timeout but no backoff. The legacy synchronous interface —
+    /// policy-aware callers use [`Link::try_transfer`] instead.
+    fn retry_until_delivered(&mut self, bytes: u64, mut now: u64, writeback: bool) -> u64 {
+        let mut attempts = 0u32;
+        loop {
+            match self.attempt(bytes, now, writeback) {
+                Ok(done) => return done,
+                Err(f) => {
+                    attempts += 1;
+                    assert!(
+                        attempts < MAX_BLIND_RETRIES,
+                        "link permanently dead: {} consecutive faults (plan: {})",
+                        attempts,
+                        self.fault_plan(),
+                    );
+                    self.tel.emit(f.detected_at, EventKind::Retry, attempts as u64);
+                    now = f.detected_at;
+                }
+            }
+        }
+    }
+
     /// Schedules a fetch of `bytes` at cycle `now`; returns the completion
     /// cycle. Synchronous callers stall until then; asynchronous callers
-    /// (the prefetcher) record it as the object's ready time.
+    /// (the prefetcher) record it as the object's ready time. Under an
+    /// attached fault plan, faulted attempts are transparently retried
+    /// (timeout charged, no backoff) until one delivers.
     pub fn transfer(&mut self, bytes: u64, now: u64) -> u64 {
-        let start = now.max(self.free_at);
-        self.free_at = start + self.params.occupancy(bytes);
-        self.stats.fetches += 1;
-        self.stats.bytes_fetched += bytes;
-        self.tel.record_transfer(bytes);
-        self.free_at + self.params.base_latency
+        self.retry_until_delivered(bytes, now, false)
     }
 
     /// Schedules a writeback (evacuation of a dirty object/page). Returns the
     /// completion cycle, though callers typically fire-and-forget: the cost
     /// surfaces as queueing delay for subsequent fetches.
     pub fn writeback(&mut self, bytes: u64, now: u64) -> u64 {
-        let start = now.max(self.free_at);
-        self.free_at = start + self.params.occupancy(bytes);
-        self.stats.writebacks += 1;
-        self.stats.bytes_written_back += bytes;
-        self.tel.record_transfer(bytes);
-        self.free_at + self.params.base_latency
+        self.retry_until_delivered(bytes, now, true)
     }
 
     /// First cycle at which a new transfer could start.
@@ -213,10 +350,16 @@ impl Link {
     }
 
     /// Resets the ledger and the occupancy horizon (used between benchmark
-    /// phases, e.g. to exclude setup traffic).
+    /// phases, e.g. to exclude setup traffic). Also rewinds the fault
+    /// schedule and health tracker so a measured phase sees the same fault
+    /// sequence regardless of setup traffic.
     pub fn reset_stats(&mut self) {
         self.stats = TransferStats::default();
         self.free_at = 0;
+        if let Some(f) = &mut self.fault {
+            f.reset();
+        }
+        self.health = LinkHealth::default();
     }
 }
 
@@ -294,6 +437,126 @@ mod tests {
         l.reset_stats();
         assert_eq!(l.free_at(), 0);
         assert_eq!(l.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn occupancy_survives_multi_tib_transfers() {
+        // Regression: `bytes * cycles_per_kib` used to overflow u64 for
+        // sizes past ~2^53 bytes. 2^54 bytes is exactly 1330 << 44 cycles
+        // at the 25 Gb/s calibration.
+        let p = LinkParams::tcp_25g();
+        assert_eq!(p.occupancy(1 << 54), 1330u64 << 44);
+        // And the small-size behaviour is untouched.
+        assert_eq!(p.occupancy(1024), 1330);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_no_plan() {
+        let mut plain = Link::new(LinkParams::tcp_25g());
+        let mut planned = Link::new(LinkParams::tcp_25g());
+        planned.set_fault_plan(FaultPlan::none());
+        for i in 0..100 {
+            let (size, at) = (64 + i * 37, i * 1000);
+            assert_eq!(plain.transfer(size, at), planned.transfer(size, at));
+            assert_eq!(plain.writeback(size, at), planned.writeback(size, at));
+        }
+        assert_eq!(plain.stats(), planned.stats());
+        assert_eq!(plain.free_at(), planned.free_at());
+        assert!(!planned.health().is_degraded());
+        assert_eq!(planned.fault_plan(), FaultPlan::none());
+    }
+
+    #[test]
+    fn faulted_attempt_burns_the_slot_and_reports_detection_time() {
+        let p = LinkParams::tcp_25g();
+        let mut l = Link::new(p);
+        l.set_fault_plan(FaultPlan::drops(1, fault::PPM)); // every attempt drops
+        let f = l.try_transfer(4096, 0).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Drop);
+        // The lost message occupied the wire; detection is one timeout
+        // (2x base latency) after its slot ended.
+        assert_eq!(l.free_at(), p.occupancy(4096));
+        assert_eq!(f.detected_at, p.occupancy(4096) + p.drop_timeout());
+        let s = l.stats();
+        assert_eq!((s.faults, s.fault_wasted_bytes), (1, 4096));
+        assert_eq!(s.fetches, 0);
+    }
+
+    #[test]
+    fn blocking_transfer_retries_through_drops() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::drops(0xFEED, 500_000)); // 50%
+        let mut now = 0;
+        for _ in 0..64 {
+            now = l.transfer(4096, now);
+        }
+        let s = l.stats();
+        assert_eq!(s.fetches, 64, "every transfer eventually delivers");
+        assert!(s.faults > 10, "a 50% plan must have faulted: {}", s.faults);
+        assert_eq!(s.bytes_fetched, 64 * 4096);
+        assert_eq!(s.fault_wasted_bytes, s.faults * 4096);
+    }
+
+    #[test]
+    fn outage_window_defers_completion_past_its_end() {
+        let p = LinkParams::tcp_25g();
+        let mut l = Link::new(p);
+        l.set_fault_plan(FaultPlan::none().with_outage(0, 200_000));
+        let done = l.transfer(4096, 0);
+        assert!(done > 200_000, "completed at {done} inside the outage");
+        assert!(l.stats().faults > 0);
+        assert_eq!(l.stats().fetches, 1);
+    }
+
+    #[test]
+    fn stalls_complete_late_and_are_counted() {
+        let p = LinkParams::tcp_25g();
+        let mut l = Link::new(p);
+        l.set_fault_plan(FaultPlan::none().with_stalls(fault::PPM, 777));
+        let done = l.transfer(4096, 0);
+        assert_eq!(done, p.solo_cost(4096) + 777);
+        let s = l.stats();
+        assert_eq!((s.delayed, s.delay_cycles), (1, 777));
+        assert_eq!(s.faults, 0, "a stall is a late success, not a failure");
+    }
+
+    #[test]
+    fn reset_stats_rewinds_the_fault_schedule() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::drops(3, 300_000));
+        let mut now = 0;
+        for _ in 0..32 {
+            now = l.transfer(512, now);
+        }
+        let first = l.stats();
+        l.reset_stats();
+        let mut now = 0;
+        for _ in 0..32 {
+            now = l.transfer(512, now);
+        }
+        assert_eq!(l.stats(), first, "same schedule after reset");
+        assert_eq!(l.health().faults(), first.faults);
+    }
+
+    #[test]
+    fn sustained_faults_degrade_health_then_recovery_restores_it() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::none().with_outage(0, 1_000_000));
+        // Attempts inside the outage all fail.
+        let mut now = 0;
+        for _ in 0..4 {
+            now = match l.try_transfer(64, now) {
+                Ok(d) => d,
+                Err(f) => f.detected_at,
+            };
+        }
+        assert!(l.health().is_degraded());
+        // Past the window everything delivers; health decays back.
+        let mut now = 2_000_000;
+        for _ in 0..40 {
+            now = l.transfer(64, now);
+        }
+        assert!(!l.health().is_degraded());
     }
 
     #[test]

@@ -1,6 +1,54 @@
 //! Runtime configuration.
 
-use tfm_net::LinkParams;
+use tfm_net::{FaultPlan, LinkParams};
+
+/// Retry/backoff policy the runtime applies to faulted link operations.
+///
+/// A faulted attempt is detected at the link's drop timeout; the runtime
+/// then waits an exponentially growing backoff (`backoff_base << (attempt -
+/// 1)`, capped at [`backoff_cap`](Self::backoff_cap)) before reissuing.
+/// While the link is degraded (see `LinkHealth`), every backoff is
+/// multiplied by [`degraded_backoff_mult`](Self::degraded_backoff_mult) to
+/// shed load from a struggling fabric.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Attempts before a *deferrable* operation (writeback) gives up; a
+    /// localize must succeed for correctness and keeps retrying past this.
+    pub max_attempts: u32,
+    /// First retry's backoff in cycles.
+    pub backoff_base: u64,
+    /// Upper bound on a single backoff in cycles.
+    pub backoff_cap: u64,
+    /// Per-operation cycle budget; operations that blow through it are
+    /// counted (`deadline_exceeded`) but still driven to completion.
+    pub deadline: u64,
+    /// Backoff multiplier applied while the link is degraded.
+    pub degraded_backoff_mult: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 16,
+            backoff_base: 4_096,
+            backoff_cap: 1 << 20,
+            deadline: 8_000_000,
+            degraded_backoff_mult: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `attempt` (1-based), before the
+    /// degraded multiplier.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1);
+        if shift >= self.backoff_base.leading_zeros() {
+            return self.backoff_cap; // doubling any further would overflow
+        }
+        (self.backoff_base << shift).min(self.backoff_cap)
+    }
+}
 
 /// Prefetcher configuration.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -40,6 +88,11 @@ pub struct FarMemoryConfig {
     pub link: LinkParams,
     /// Prefetcher settings.
     pub prefetch: PrefetchConfig,
+    /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
+    /// flawless fabric of the paper's evaluation).
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for faulted link operations.
+    pub retry: RetryPolicy,
 }
 
 impl FarMemoryConfig {
@@ -52,6 +105,8 @@ impl FarMemoryConfig {
             local_budget: 16 << 20,
             link: LinkParams::tcp_25g(),
             prefetch: PrefetchConfig::default(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -102,6 +157,12 @@ impl FarMemoryConfig {
         self.prefetch.enabled = enabled;
         self
     }
+
+    /// Returns a copy with a fault-injection schedule attached.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +189,26 @@ mod tests {
         // §3.2: below a cache line "would saturate the network with many
         // small packets".
         FarMemoryConfig::small().with_object_size(32).validate();
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), p.backoff_base);
+        assert_eq!(p.backoff(2), 2 * p.backoff_base);
+        assert_eq!(p.backoff(3), 4 * p.backoff_base);
+        assert_eq!(p.backoff(60), p.backoff_cap);
+        // Huge attempt numbers must not overflow the shift.
+        assert_eq!(p.backoff(u32::MAX), p.backoff_cap);
+    }
+
+    #[test]
+    fn faults_builder_attaches_a_plan() {
+        let plan = FaultPlan::drops(11, 5_000);
+        let c = FarMemoryConfig::small().with_faults(plan);
+        c.validate();
+        assert_eq!(c.faults, plan);
+        assert!(c.faults.is_active());
     }
 
     #[test]

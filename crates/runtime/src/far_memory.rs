@@ -24,7 +24,7 @@ use crate::ptr::{ObjId, TfmPtr};
 use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
 use std::collections::VecDeque;
-use tfm_net::{Link, TransferStats};
+use tfm_net::{Link, LinkHealth, TransferStats};
 use tfm_telemetry::{EventKind, Telemetry};
 
 /// The far-memory runtime.
@@ -44,6 +44,9 @@ pub struct FarMemory {
     streams: Vec<StrideStream>,
     stream_victim: usize,
     tel: Telemetry,
+    /// Mirror of the link's degraded flag; transitions emit
+    /// `Degraded`/`Recovered` events and gate the prefetcher.
+    degraded: bool,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -64,17 +67,20 @@ impl FarMemory {
     /// [`FarMemoryConfig::validate`]).
     pub fn new(cfg: FarMemoryConfig) -> Self {
         cfg.validate();
+        let mut link = Link::new(cfg.link);
+        link.set_fault_plan(cfg.faults);
         FarMemory {
             log2_obj: cfg.log2_object_size(),
             table: StateTable::new(cfg.num_objects()),
             alloc: RegionAllocator::new(cfg.heap_size, cfg.object_size),
-            link: Link::new(cfg.link),
+            link,
             clock: VecDeque::new(),
             resident_bytes: 0,
             stats: RuntimeStats::default(),
             streams: Vec::new(),
             stream_victim: 0,
             tel: Telemetry::disabled(),
+            degraded: false,
             cfg,
         }
     }
@@ -130,11 +136,108 @@ impl FarMemory {
         self.resident_bytes
     }
 
+    /// The link-health tracker (EWMA fault rate and degraded band).
+    pub fn link_health(&self) -> LinkHealth {
+        self.link.health()
+    }
+
+    /// True while the runtime runs in its degraded configuration (prefetch
+    /// suppressed, backoff widened) because of sustained link faults.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Clears all counters (runtime + link) and the link's occupancy
-    /// horizon. Used by benchmarks to exclude setup traffic.
+    /// horizon, and rewinds the fault schedule and health state. Used by
+    /// benchmarks to exclude setup traffic from the measured phase.
     pub fn reset_stats(&mut self) {
         self.stats = RuntimeStats::default();
         self.link.reset_stats();
+        self.degraded = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling.
+    // ------------------------------------------------------------------
+
+    /// Reconciles the runtime's degraded flag with the link's health
+    /// tracker, emitting `Degraded`/`Recovered` transitions.
+    fn sync_link_health(&mut self, now: u64) {
+        let health = self.link.health();
+        if health.is_degraded() != self.degraded {
+            self.degraded = health.is_degraded();
+            if self.degraded {
+                self.stats.degradations += 1;
+                self.tel.emit(now, EventKind::Degraded, health.fault_rate_ppm());
+            } else {
+                self.tel.emit(now, EventKind::Recovered, health.fault_rate_ppm());
+            }
+        }
+    }
+
+    /// Drives one link operation to completion under the retry policy:
+    /// exponential backoff between attempts (widened while degraded) and a
+    /// per-operation deadline that is counted when blown.
+    ///
+    /// Returns the completion cycle, or `None` when a *writeback* exhausted
+    /// [`RetryPolicy::max_attempts`] — writebacks are deferrable (the object
+    /// simply stays resident and dirty), fetches are not (the caller needs
+    /// the data) and keep retrying until the link delivers.
+    fn transfer_with_retry(&mut self, bytes: u64, now: u64, writeback: bool) -> Option<u64> {
+        if !self.cfg.faults.is_active() {
+            // Flawless fabric: the legacy single-attempt path, bit-identical
+            // to the pre-fault runtime.
+            return Some(if writeback {
+                self.link.writeback(bytes, now)
+            } else {
+                self.link.transfer(bytes, now)
+            });
+        }
+        let pol = self.cfg.retry;
+        let deadline = now.saturating_add(pol.deadline);
+        let mut at = now;
+        let mut attempt: u32 = 0;
+        let mut deadline_counted = false;
+        loop {
+            let res = if writeback {
+                self.link.try_writeback(bytes, at)
+            } else {
+                self.link.try_transfer(bytes, at)
+            };
+            self.sync_link_health(at);
+            match res {
+                Ok(done) => {
+                    if attempt > 0 {
+                        // Penalty = detect timeouts + backoffs accumulated
+                        // before the attempt that finally delivered.
+                        self.tel.record_retry_latency(at - now);
+                    }
+                    return Some(done);
+                }
+                Err(f) => {
+                    attempt += 1;
+                    self.stats.link_faults += 1;
+                    assert!(
+                        attempt < 10_000,
+                        "link permanently dead: {attempt} consecutive faults on one operation"
+                    );
+                    if writeback && attempt >= pol.max_attempts {
+                        return None;
+                    }
+                    let mut backoff = pol.backoff(attempt);
+                    if self.degraded {
+                        backoff = backoff.saturating_mul(pol.degraded_backoff_mult);
+                    }
+                    at = f.detected_at + backoff;
+                    self.stats.retries += 1;
+                    self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
+                    if !deadline_counted && at > deadline {
+                        self.stats.deadline_exceeded += 1;
+                        deadline_counted = true;
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -230,9 +333,12 @@ impl FarMemory {
                 0
             }
         } else {
-            // Demand fetch.
+            // Demand fetch. A localize must succeed for correctness: it
+            // retries (with backoff) until the link delivers.
             self.ensure_capacity(size, now);
-            let done = self.link.transfer(size, now);
+            let done = self
+                .transfer_with_retry(size, now, false)
+                .expect("demand fetches retry until delivered");
             self.table.set(o, PRESENT | mark);
             self.resident_bytes += size;
             self.stats.peak_resident_bytes =
@@ -299,6 +405,11 @@ impl FarMemory {
 
     /// Issues an asynchronous fetch for `o` if it is neither resident nor in
     /// flight. Returns true if a fetch was issued.
+    ///
+    /// Prefetches are pure optimization, so they get no retry budget: a
+    /// faulted attempt cancels the prefetch (the stream falls back to demand
+    /// fetching) instead of wedging it in flight, and a degraded link
+    /// suppresses prefetching entirely until recovery.
     pub fn prefetch(&mut self, o: ObjId, now: u64) -> bool {
         if !self.cfg.prefetch.enabled
             || o.index() >= self.table.len()
@@ -307,9 +418,26 @@ impl FarMemory {
         {
             return false;
         }
+        if self.degraded {
+            self.stats.prefetch_suppressed += 1;
+            return false;
+        }
         let size = self.cfg.object_size;
         self.ensure_capacity(size, now);
-        let ready = self.link.transfer(size, now);
+        let ready = if self.cfg.faults.is_active() {
+            let res = self.link.try_transfer(size, now);
+            self.sync_link_health(now);
+            match res {
+                Ok(r) => r,
+                Err(_) => {
+                    self.stats.link_faults += 1;
+                    self.stats.prefetch_canceled += 1;
+                    return false;
+                }
+            }
+        } else {
+            self.link.transfer(size, now)
+        };
         self.table.set(o, INFLIGHT);
         self.table.set_ready_cycle(o, ready);
         self.resident_bytes += size;
@@ -384,7 +512,18 @@ impl FarMemory {
             }
             // Evict.
             if e & DIRTY != 0 {
-                self.link.writeback(self.cfg.object_size, now);
+                if self
+                    .transfer_with_retry(self.cfg.object_size, now, true)
+                    .is_none()
+                {
+                    // Writeback exhausted its retry budget: defer it. The
+                    // object stays resident and dirty (degrading toward
+                    // local-only operation) and is requeued for a later
+                    // attempt.
+                    self.stats.writeback_deferrals += 1;
+                    self.clock.push_back(o);
+                    continue;
+                }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);
             }
@@ -420,7 +559,14 @@ impl FarMemory {
                 continue;
             }
             if e & DIRTY != 0 {
-                self.link.writeback(self.cfg.object_size, now);
+                if self
+                    .transfer_with_retry(self.cfg.object_size, now, true)
+                    .is_none()
+                {
+                    self.stats.writeback_deferrals += 1;
+                    self.clock.push_back(o);
+                    continue;
+                }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);
             }
@@ -446,7 +592,7 @@ mod tests {
             object_size: 4096,
             local_budget: budget_objs * 4096,
             link: LinkParams::tcp_25g(),
-            prefetch: crate::config::PrefetchConfig::default(),
+            ..FarMemoryConfig::small()
         };
         FarMemory::new(cfg)
     }
@@ -659,7 +805,7 @@ mod tests {
             local_budget: 256 * 4096,
             object_size: 4096,
             link: tfm_net::LinkParams::tcp_25g(),
-            prefetch: crate::config::PrefetchConfig::default(),
+            ..FarMemoryConfig::small()
         });
         assert_eq!(roomy.prefetch_depth(), 8);
     }
@@ -725,6 +871,140 @@ mod tests {
         // The link recorded transfer sizes (fetch + writebacks).
         assert!(snap.transfer_bytes.count() >= 3);
         assert_eq!(snap.transfer_bytes.max(), 4096);
+    }
+
+    #[test]
+    fn localize_retries_through_drops_until_delivered() {
+        use tfm_net::FaultPlan;
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 16 * 4096,
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_faults(FaultPlan::drops(0xBAD, 500_000)); // 50% drops
+        let mut fm = FarMemory::new(cfg);
+        let tel = tfm_telemetry::Telemetry::enabled();
+        fm.set_telemetry(tel.clone());
+        let p = fm.allocate(8 * 4096, 0).unwrap();
+        let base = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0);
+        fm.reset_stats();
+
+        let mut now = 0;
+        for k in 0..8u64 {
+            now += fm.localize(ObjId(base.0 + k), false, now);
+            assert!(fm.table().is_present(ObjId(base.0 + k)));
+        }
+        let s = fm.stats();
+        assert_eq!(s.remote_fetches + s.prefetch_issued, 8);
+        assert!(s.link_faults > 0, "a 50% plan must fault: {s}");
+        assert!(s.retries > 0, "demand faults are retried: {s}");
+        // Faults either became retries (demand path) or prefetch cancels.
+        assert_eq!(s.link_faults, s.retries + s.prefetch_canceled, "{s}");
+        let snap = tel.snapshot().unwrap();
+        assert!(snap.retry_latency.count() > 0, "retry penalty recorded");
+        assert!(snap.count(tfm_telemetry::EventKind::Retry) > 0);
+        assert!(snap.count(tfm_telemetry::EventKind::FaultInjected) > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_across_runs() {
+        use tfm_net::FaultPlan;
+        let run = || {
+            let cfg = FarMemoryConfig {
+                heap_size: 1 << 20,
+                object_size: 4096,
+                local_budget: 4 * 4096,
+                link: LinkParams::tcp_25g(),
+                ..FarMemoryConfig::small()
+            }
+            .with_faults(FaultPlan::drops(0x5EED, 100_000).with_jitter(100_000, 9_000));
+            let mut fm = FarMemory::new(cfg);
+            let p = fm.allocate(16 * 4096, 0).unwrap();
+            let base = fm.obj_of_offset(p.offset());
+            fm.evacuate_all(0);
+            fm.reset_stats();
+            let mut now = 0;
+            for k in 0..16u64 {
+                now += fm.localize(ObjId(base.0 + k), true, now);
+            }
+            fm.evacuate_all(now);
+            (*fm.stats(), fm.transfer_stats(), now)
+        };
+        assert_eq!(run(), run(), "identical seeds, identical everything");
+    }
+
+    #[test]
+    fn dead_link_defers_writebacks_instead_of_wedging() {
+        use tfm_net::{FaultPlan, PPM};
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 4096, // one-object budget forces eviction
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_faults(FaultPlan::drops(7, PPM)); // every attempt drops
+        let mut fm = FarMemory::new(cfg);
+        // Two fresh (dirty) objects: evicting the first needs a writeback,
+        // which can never succeed — it must defer, not loop forever.
+        let _ = fm.allocate(4096, 0).unwrap();
+        let p2 = fm.allocate(4096, 0).unwrap();
+        let s = fm.stats();
+        assert!(s.writeback_deferrals > 0, "{s}");
+        assert_eq!(s.writebacks, 0, "no writeback can complete");
+        assert!(s.budget_overruns > 0, "deferral leaves us over budget");
+        // Both objects are still resident and dirty — degraded to local.
+        let o2 = fm.obj_of_offset(p2.offset());
+        assert!(fm.table().is_present(o2) && fm.table().is_dirty(o2));
+        assert_eq!(fm.resident_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn outage_degrades_runtime_then_recovery_restores_prefetch() {
+        use tfm_net::FaultPlan;
+        use tfm_telemetry::{EventKind, Telemetry};
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 64 * 4096,
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_faults(FaultPlan::none().with_outage(1_000_000, 1_500_000));
+        let mut fm = FarMemory::new(cfg);
+        let tel = Telemetry::enabled();
+        fm.set_telemetry(tel.clone());
+        let p = fm.allocate(64 * 4096, 0).unwrap();
+        let base = fm.obj_of_offset(p.offset());
+        fm.evacuate_all(0); // before the outage: all writebacks succeed
+        fm.reset_stats();
+
+        // A demand fetch inside the outage retries its way through the
+        // window; sustained failures flip the runtime to degraded.
+        let mut now = 1_000_000;
+        let stall = fm.localize(base, false, now);
+        assert!(fm.table().is_present(base), "localize must still succeed");
+        assert!(fm.is_degraded(), "outage must degrade the runtime");
+        assert!(fm.stats().deadline_exceeded <= 1);
+        assert!(!fm.prefetch(ObjId(base.0 + 40), now + stall));
+        assert!(fm.stats().prefetch_suppressed > 0);
+        now += stall;
+        assert!(now >= 1_500_000, "completion lands after the window");
+
+        // Clean traffic after the window decays the EWMA: recovery.
+        for k in 1..32u64 {
+            now += fm.localize(ObjId(base.0 + k), false, now);
+        }
+        assert!(!fm.is_degraded(), "clean link must recover");
+        assert_eq!(fm.stats().degradations, 1);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.count(EventKind::Degraded), 1);
+        assert_eq!(snap.count(EventKind::Recovered), 1);
+        // After recovery the prefetcher works again.
+        assert!(fm.prefetch(ObjId(base.0 + 200), now));
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub struct RuntimeStats {
     pub frees: u64,
     /// High-water mark of resident bytes.
     pub peak_resident_bytes: u64,
+    /// Link faults observed by runtime operations (each failed attempt).
+    pub link_faults: u64,
+    /// Retries issued after faulted attempts (localize + writeback).
+    pub retries: u64,
+    /// Operations that blew through the per-operation retry deadline.
+    pub deadline_exceeded: u64,
+    /// In-flight prefetches cancelled because their transfer faulted.
+    pub prefetch_canceled: u64,
+    /// Prefetches suppressed because the link was degraded.
+    pub prefetch_suppressed: u64,
+    /// Writebacks deferred (object kept resident+dirty) after exhausting
+    /// retry attempts.
+    pub writeback_deferrals: u64,
+    /// Transitions into degraded mode.
+    pub degradations: u64,
 }
 
 impl fmt::Display for RuntimeStats {
@@ -50,7 +65,23 @@ impl fmt::Display for RuntimeStats {
             self.allocations,
             self.frees,
             self.peak_resident_bytes
-        )
+        )?;
+        if self.link_faults > 0 || self.retries > 0 || self.degradations > 0 {
+            write!(
+                f,
+                ", link faults: {} / retries: {} / deadline misses: {}, \
+                 prefetch canceled: {} / suppressed: {}, wb deferrals: {}, \
+                 degradations: {}",
+                self.link_faults,
+                self.retries,
+                self.deadline_exceeded,
+                self.prefetch_canceled,
+                self.prefetch_suppressed,
+                self.writeback_deferrals,
+                self.degradations
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -71,6 +102,13 @@ impl StatGroup for RuntimeStats {
             ("allocations", self.allocations),
             ("frees", self.frees),
             ("peak_resident_bytes", self.peak_resident_bytes),
+            ("link_faults", self.link_faults),
+            ("retries", self.retries),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("prefetch_canceled", self.prefetch_canceled),
+            ("prefetch_suppressed", self.prefetch_suppressed),
+            ("writeback_deferrals", self.writeback_deferrals),
+            ("degradations", self.degradations),
         ]
     }
 }
@@ -87,6 +125,13 @@ impl MergeStats for RuntimeStats {
         self.allocations += other.allocations;
         self.frees += other.frees;
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.link_faults += other.link_faults;
+        self.retries += other.retries;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.prefetch_canceled += other.prefetch_canceled;
+        self.prefetch_suppressed += other.prefetch_suppressed;
+        self.writeback_deferrals += other.writeback_deferrals;
+        self.degradations += other.degradations;
     }
 }
 
@@ -133,11 +178,34 @@ mod tests {
             allocations: 8,
             frees: 9,
             peak_resident_bytes: 10,
+            link_faults: 11,
+            retries: 12,
+            deadline_exceeded: 13,
+            prefetch_canceled: 14,
+            prefetch_suppressed: 15,
+            writeback_deferrals: 16,
+            degradations: 17,
         };
         let fields = s.stat_fields();
-        assert_eq!(fields.len(), 10);
+        assert_eq!(fields.len(), 17);
         let vals: Vec<u64> = fields.iter().map(|(_, v)| *v).collect();
-        assert_eq!(vals, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=17).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn display_shows_fault_counters_only_when_present() {
+        let clean = RuntimeStats::default().to_string();
+        assert!(!clean.contains("link faults"), "{clean}");
+        let faulty = RuntimeStats {
+            link_faults: 3,
+            retries: 2,
+            writeback_deferrals: 1,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(faulty.contains("link faults: 3"), "{faulty}");
+        assert!(faulty.contains("retries: 2"), "{faulty}");
+        assert!(faulty.contains("wb deferrals: 1"), "{faulty}");
     }
 
     #[test]

@@ -1023,7 +1023,7 @@ mod tests {
     fn telemetry_attributes_guards_to_sites() {
         use crate::memsys::TrackFmMem;
         use tfm_net::LinkParams;
-        use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+        use tfm_runtime::FarMemoryConfig;
         use trackfm::CostModel;
 
         let mut m = Module::new("t");
@@ -1041,7 +1041,7 @@ mod tests {
             object_size: 4096,
             local_budget: 8 * 4096,
             link: LinkParams::tcp_25g(),
-            prefetch: PrefetchConfig::default(),
+            ..FarMemoryConfig::small()
         };
         let mem = TrackFmMem::new(cfg, CostModel::default());
         let mut mach = Machine::new(&m, mem, CostModel::default(), 1 << 20);

@@ -947,7 +947,7 @@ mod tests {
             object_size: 4096,
             local_budget: budget_objs * 4096,
             link: LinkParams::tcp_25g(),
-            prefetch: tfm_runtime::PrefetchConfig::default(),
+            ..FarMemoryConfig::small()
         }
     }
 

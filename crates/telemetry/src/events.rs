@@ -43,10 +43,21 @@ pub enum EventKind {
     Alloc,
     /// Deallocation.
     Free,
+    /// The link injected a fault into a transfer attempt (arg: fault kind
+    /// code).
+    FaultInjected,
+    /// A consumer retried a faulted transfer (arg: attempt number).
+    Retry,
+    /// Sustained link faults: the runtime entered degraded mode (arg:
+    /// EWMA fault rate in ppm).
+    Degraded,
+    /// The link recovered: the runtime restored the fast configuration
+    /// (arg: EWMA fault rate in ppm).
+    Recovered,
 }
 
 /// Number of event kinds.
-pub const EVENT_KINDS: usize = 16;
+pub const EVENT_KINDS: usize = 20;
 
 impl EventKind {
     /// Every kind, in declaration order.
@@ -67,6 +78,10 @@ impl EventKind {
         EventKind::MajorFault,
         EventKind::Alloc,
         EventKind::Free,
+        EventKind::FaultInjected,
+        EventKind::Retry,
+        EventKind::Degraded,
+        EventKind::Recovered,
     ];
 
     /// Stable snake_case name (used in reports and JSON).
@@ -88,6 +103,10 @@ impl EventKind {
             EventKind::MajorFault => "major_fault",
             EventKind::Alloc => "alloc",
             EventKind::Free => "free",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Retry => "retry",
+            EventKind::Degraded => "degraded",
+            EventKind::Recovered => "recovered",
         }
     }
 }

@@ -32,6 +32,9 @@ pub struct TelemetryInner {
     pub residency: Histogram,
     /// Network transfer sizes (bytes, both directions).
     pub transfer_bytes: Histogram,
+    /// Extra cycles spent in detect/backoff before a faulted transfer
+    /// finally succeeded (one sample per operation that needed retries).
+    pub retry_latency: Histogram,
     /// Per-guard-site attribution.
     pub sites: SiteTable,
     /// When each currently-resident object/page became resident.
@@ -46,6 +49,7 @@ impl TelemetryInner {
             stall_per_access: Histogram::new(),
             residency: Histogram::new(),
             transfer_bytes: Histogram::new(),
+            retry_latency: Histogram::new(),
             sites: SiteTable::new(),
             resident_since: HashMap::new(),
         }
@@ -115,6 +119,15 @@ impl Telemetry {
         }
     }
 
+    /// Records the total retry penalty (detect + backoff cycles) of one
+    /// operation that succeeded only after faulted attempts.
+    #[inline]
+    pub fn record_retry_latency(&self, cycles: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().retry_latency.record(cycles);
+        }
+    }
+
     /// Marks `id` (object or page) resident as of `now`, for residency
     /// lifetime accounting.
     #[inline]
@@ -158,6 +171,7 @@ impl Telemetry {
                 stall_per_access: i.stall_per_access.clone(),
                 residency: i.residency.clone(),
                 transfer_bytes: i.transfer_bytes.clone(),
+                retry_latency: i.retry_latency.clone(),
                 sites: i.sites.clone(),
             }
         })
@@ -181,6 +195,8 @@ pub struct TelemetrySnapshot {
     pub residency: Histogram,
     /// Transfer sizes (bytes).
     pub transfer_bytes: Histogram,
+    /// Retry penalty per operation that needed retries (cycles).
+    pub retry_latency: Histogram,
     /// Per-guard-site attribution.
     pub sites: SiteTable,
 }

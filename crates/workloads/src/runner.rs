@@ -10,8 +10,8 @@ use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use tfm_analysis::profile::Profile;
 use tfm_fastswap::PagerConfig;
 use tfm_ir::Module;
-use tfm_net::LinkParams;
-use tfm_runtime::{FarMemoryConfig, PrefetchConfig};
+use tfm_net::{FaultPlan, LinkParams};
+use tfm_runtime::{FarMemoryConfig, PrefetchConfig, RetryPolicy};
 use std::collections::HashMap;
 use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
 use tfm_telemetry::{RunReport, SiteKey, Telemetry, TelemetrySnapshot};
@@ -66,6 +66,9 @@ pub struct RunConfig {
     /// Record telemetry (trace events, histograms, guard-site attribution)
     /// during the measured phase. Off by default: the probes cost time.
     pub telemetry: bool,
+    /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
+    /// flawless fabric of the paper's evaluation).
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -80,6 +83,7 @@ impl RunConfig {
             compiler: CompilerOptions::default(),
             cost: CostModel::default(),
             telemetry: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -137,6 +141,12 @@ impl RunConfig {
         self.telemetry = on;
         self
     }
+
+    /// Attaches a fault-injection schedule to the run's link.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// The outcome of one run: results plus (for transformed binaries) the
@@ -161,6 +171,8 @@ fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
             enabled: cfg.prefetch,
             depth: cfg.prefetch_depth,
         },
+        faults: cfg.faults,
+        retry: RetryPolicy::default(),
     }
 }
 
@@ -197,6 +209,7 @@ pub fn execute_with_profile(
         SystemKind::Fastswap => {
             let pcfg = PagerConfig {
                 local_budget: spec.local_budget(cfg.local_fraction, 4096),
+                faults: cfg.faults,
                 ..PagerConfig::default()
             };
             let (result, telemetry) =
@@ -260,6 +273,9 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
     rep.push_meta("local_fraction", cfg.local_fraction);
     rep.push_meta("object_size", cfg.object_size);
     rep.push_meta("prefetch", cfg.prefetch);
+    if cfg.faults.is_active() {
+        rep.push_meta("faults", cfg.faults);
+    }
     rep.push_section(&outcome.result.stats);
     if let Some(rt) = &outcome.result.runtime {
         rep.push_section(rt);
@@ -275,6 +291,7 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
         rep.push_histogram("stall_cycles_per_access", snap.stall_per_access.clone());
         rep.push_histogram("residency_cycles", snap.residency.clone());
         rep.push_histogram("transfer_bytes", snap.transfer_bytes.clone());
+        rep.push_histogram("retry_latency_cycles", snap.retry_latency.clone());
         let labels: HashMap<SiteKey, &str> = outcome
             .report
             .iter()
@@ -392,8 +409,8 @@ mod tests {
         assert!(rep.field("exec", "cycles").unwrap() > 0);
         assert!(rep.field("runtime", "remote_fetches").is_some());
         assert!(rep.field("transfer", "bytes_fetched").unwrap() > 0);
-        // The four distributions, with the fetch path exercised.
-        assert_eq!(rep.histograms.len(), 4);
+        // The five distributions, with the fetch path exercised.
+        assert_eq!(rep.histograms.len(), 5);
         assert!(rep.histogram("fetch_latency_cycles").unwrap().count() > 0);
         assert!(rep.histogram("transfer_bytes").unwrap().count() > 0);
         // Site attribution resolved through the compile report's labels.

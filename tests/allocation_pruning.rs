@@ -5,7 +5,7 @@
 use trackfm_suite::compiler::{CompilerOptions, CostModel, TrackFmCompiler};
 use trackfm_suite::ir::{BinOp, FunctionBuilder, InstKind, Intrinsic, Module, Signature, Type};
 use trackfm_suite::net::LinkParams;
-use trackfm_suite::runtime::{FarMemoryConfig, PrefetchConfig};
+use trackfm_suite::runtime::FarMemoryConfig;
 use trackfm_suite::sim::{Machine, TrackFmMem};
 
 /// A program with a tiny hot accumulator buffer (malloc(64)) and a large
@@ -47,7 +47,7 @@ fn run(m: &Module) -> (u64, u64, u64) {
         object_size: 4096,
         local_budget: 16 << 10, // 4 objects: real pressure on the big array
         link: LinkParams::tcp_25g(),
-        prefetch: PrefetchConfig::default(),
+        ..FarMemoryConfig::small()
     };
     let mem = TrackFmMem::new(cfg, CostModel::default());
     let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 20);

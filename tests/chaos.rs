@@ -1,0 +1,176 @@
+//! Chaos suite: workloads under seeded fault injection.
+//!
+//! Three properties pin the fault fabric down end to end:
+//!
+//! 1. **Semantic preservation** — whatever the link drops, stalls, or
+//!    jitters, a workload's result is bit-identical to the fault-free run.
+//!    Faults cost time, never correctness.
+//! 2. **Determinism** — the same seed reproduces the exact same fault
+//!    schedule, retry counters, and final stats, run after run.
+//! 3. **Liveness** — a scripted remote-node outage mid-run degrades the
+//!    runtime (prefetch off, backoff widened) and recovers when the link
+//!    heals; nothing wedges, every workload completes.
+
+use trackfm_suite::net::{FaultPlan, PPM};
+use trackfm_suite::telemetry::EventKind;
+use trackfm_suite::workloads::runner::{execute, execute_with_report, RunConfig};
+use trackfm_suite::workloads::stream::{self, StreamParams};
+
+fn spec() -> trackfm_suite::workloads::spec::WorkloadSpec {
+    stream::sum(&StreamParams { elems: 64 << 10 })
+}
+
+/// Drop rates 0, 0.1%, 1%, 10%: the result never moves, and once drops are
+/// plausible on this schedule the run both pays for them (faults counted,
+/// cycles grow) and still terminates.
+#[test]
+fn drop_rate_sweep_preserves_semantics() {
+    let spec = spec();
+    let clean = execute(&spec, &RunConfig::trackfm(0.25));
+
+    for drop_ppm in [0, 1_000, 10_000, 100_000] {
+        let cfg = RunConfig::trackfm(0.25).with_faults(FaultPlan::drops(0xC0FFEE, drop_ppm));
+        let faulty = execute(&spec, &cfg);
+        // `execute` already asserts `spec.expected`; cross-check against the
+        // fault-free run for good measure.
+        assert_eq!(
+            faulty.result.ret, clean.result.ret,
+            "{drop_ppm} ppm drops changed the answer"
+        );
+        let rt = faulty.result.runtime.expect("trackfm run");
+        if drop_ppm == 0 {
+            // Zero rates deactivate the plan entirely: bit-identical to the
+            // flawless fabric, including timing.
+            assert_eq!(faulty.result.stats.cycles, clean.result.stats.cycles);
+            assert_eq!(rt.link_faults, 0);
+            assert_eq!(rt.retries, 0);
+        } else {
+            assert!(
+                faulty.result.stats.cycles >= clean.result.stats.cycles,
+                "faults only ever cost time"
+            );
+        }
+        if drop_ppm >= 100_000 {
+            assert!(rt.link_faults > 0, "10% drops must actually fire");
+            // Every fault is answered: demand fetches and writebacks retry,
+            // faulted prefetches are canceled (and re-fetched on demand).
+            assert!(
+                rt.retries + rt.prefetch_canceled > 0,
+                "drops must force retries or prefetch cancellations"
+            );
+            let tx = faulty.result.transfers.unwrap();
+            assert_eq!(tx.faults, rt.link_faults, "ledger and runtime agree");
+            assert!(tx.fault_wasted_bytes > 0, "failed attempts burn the wire");
+        }
+    }
+}
+
+/// The same seed reproduces the identical fault schedule and final stats —
+/// every counter, both ledgers — across independent runs.
+#[test]
+fn same_seed_reproduces_identical_stats() {
+    let spec = spec();
+    let cfg = RunConfig::trackfm(0.25).with_faults(
+        FaultPlan::drops(0xDEAD_BEEF, 50_000).with_stalls(20_000, 9_000),
+    );
+    let a = execute(&spec, &cfg);
+    let b = execute(&spec, &cfg);
+    assert_eq!(a.result.ret, b.result.ret);
+    assert_eq!(a.result.stats, b.result.stats);
+    assert_eq!(a.result.runtime, b.result.runtime);
+    assert_eq!(a.result.transfers, b.result.transfers);
+    let rt = a.result.runtime.unwrap();
+    assert!(rt.link_faults > 0, "5% drops must fire on this schedule");
+
+    // A different seed reshuffles which attempts fail (same rates, different
+    // schedule) — determinism comes from the seed, not the rates.
+    let other = execute(
+        &spec,
+        &cfg.with_faults(FaultPlan::drops(0x5EED, 50_000).with_stalls(20_000, 9_000)),
+    );
+    assert_eq!(other.result.ret, a.result.ret, "semantics hold on any seed");
+}
+
+/// Stalls and jitter are *late successes*: they delay completions (counted
+/// in the transfer ledger) without ever failing an attempt.
+#[test]
+fn stalls_and_jitter_delay_without_failing() {
+    let spec = spec();
+    let cfg = RunConfig::trackfm(0.25)
+        .with_faults(FaultPlan::none().with_stalls(100_000, 12_000).with_jitter(200_000, 3_000));
+    let out = execute(&spec, &cfg);
+    let tx = out.result.transfers.unwrap();
+    assert!(tx.delayed > 0, "10% stalls + 20% jitter must fire");
+    assert!(tx.delay_cycles > 0);
+    assert_eq!(tx.faults, 0, "stalls and jitter are not failures");
+    assert_eq!(out.result.runtime.unwrap().retries, 0, "late is not lost");
+}
+
+/// A scripted remote-node outage mid-run: the runtime rides it out on
+/// retry/backoff, visibly degrades (prefetch suppressed, Degraded event),
+/// then recovers once the link heals — and the workload still finishes with
+/// the right answer.
+#[test]
+fn outage_window_degrades_then_recovers() {
+    let spec = spec();
+    // Learn the fault-free length, then park an outage across the second
+    // quarter of the measured phase.
+    let clean = execute(&spec, &RunConfig::trackfm(0.25));
+    let total = clean.result.stats.cycles;
+    let start = total / 4;
+    let end = start + total / 8;
+    let cfg = RunConfig::trackfm(0.25)
+        .with_faults(FaultPlan::none().with_outage(start, end));
+    let (out, rep) = execute_with_report(&spec, &cfg);
+
+    assert_eq!(out.result.ret, clean.result.ret, "outage must not change the answer");
+    let rt = out.result.runtime.unwrap();
+    assert!(rt.link_faults > 0, "the outage window must be hit");
+    assert!(rt.retries > 0, "demand fetches retry through the outage");
+    assert!(rt.degradations >= 1, "sustained faults must trip degradation");
+    assert!(
+        rt.prefetch_suppressed > 0,
+        "degraded mode turns the prefetcher off"
+    );
+
+    // The transitions are observable in telemetry, and recovery happened:
+    // every Degraded has a matching Recovered (the run ends healthy).
+    let snap = out.telemetry.as_ref().unwrap();
+    let degraded = snap.count(EventKind::Degraded);
+    let recovered = snap.count(EventKind::Recovered);
+    assert_eq!(degraded, rt.degradations);
+    assert_eq!(recovered, degraded, "the link heals after the window");
+    assert!(snap.count(EventKind::FaultInjected) > 0);
+    assert!(snap.count(EventKind::Retry) > 0);
+
+    // The retry-latency histogram made it into the run report.
+    let h = rep.histogram("retry_latency_cycles").unwrap();
+    assert!(h.count() > 0, "retried ops record their detect+backoff penalty");
+}
+
+/// Fastswap under the same fabric: major faults re-drive through the kernel,
+/// charging the retry cost, and the untransformed binary still completes.
+#[test]
+fn fastswap_retries_major_faults_under_drops() {
+    let spec = spec();
+    let clean = execute(&spec, &RunConfig::fastswap(0.25));
+    let cfg = RunConfig::fastswap(0.25).with_faults(FaultPlan::drops(0xFA57, PPM / 10));
+    let a = execute(&spec, &cfg);
+    let b = execute(&spec, &cfg);
+
+    assert_eq!(a.result.ret, clean.result.ret);
+    let pager = a.result.pager.unwrap();
+    assert!(pager.fault_retries > 0, "10% drops must hit major faults");
+    assert_eq!(
+        pager.major_faults,
+        clean.result.pager.unwrap().major_faults,
+        "retries re-drive the same fault, they don't mint new ones"
+    );
+    assert!(
+        a.result.stats.cycles > clean.result.stats.cycles,
+        "every retry charges the kernel fault path again"
+    );
+    // Same seed, same kernel-retry schedule.
+    assert_eq!(a.result.pager, b.result.pager);
+    assert_eq!(a.result.stats, b.result.stats);
+}

@@ -137,7 +137,7 @@ fn run_trackfm(m: &Module, a: u64, b: u64) -> u64 {
         object_size: 64,
         local_budget: 256, // heavy pressure: 4 objects
         link: trackfm_suite::net::LinkParams::tcp_25g(),
-        prefetch: trackfm_suite::runtime::PrefetchConfig::default(),
+        ..FarMemoryConfig::small()
     };
     let mem = TrackFmMem::new(cfg, CostModel::default());
     let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 16);
