@@ -5,8 +5,15 @@ set -eux
 cargo build --workspace --release
 cargo test -q --workspace
 # Chaos suite: seeded fault schedules (fixed seeds inside the tests) —
-# semantic preservation, determinism, and degradation/recovery under outage.
+# semantic preservation, determinism, and degradation/recovery under outage,
+# including a per-shard outage confined to the sick shard.
 cargo test -q --test chaos
+# Sharding suite: deterministic placement, reproducible per-shard ledgers,
+# and the sharded(1) == SingleNode cost identity (fault plans included).
+cargo test -q --test sharding
 # Pay-for-use gate: the no-fault fast path asserts bit-identical costs.
 cargo bench -q -p tfm-bench --bench fault_overhead
+# Scaling gate: sharded(1) asserts bit-identity with SingleNode before the
+# 1/2/4/8-shard occupancy sweep.
+cargo bench -q -p tfm-bench --bench shard_scaling
 cargo clippy --workspace --all-targets -- -D warnings

@@ -35,7 +35,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use tfm_net::{FaultPlan, Link, LinkParams, TransferStats};
+use tfm_net::{build_backend, BackendSpec, FaultPlan, LinkParams, RemoteBackend, ShardSnapshot, TransferStats};
 use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
 
 /// The architected page size Fastswap is bound to.
@@ -58,6 +58,9 @@ pub struct PagerConfig {
     /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
     /// flawless fabric).
     pub faults: FaultPlan,
+    /// Remote-memory topology: one node (the default) or N sharded nodes;
+    /// pages route to shards by page number.
+    pub backend: BackendSpec,
 }
 
 impl Default for PagerConfig {
@@ -68,6 +71,7 @@ impl Default for PagerConfig {
             reclaim_cycles: 400,
             link: LinkParams::rdma_25g(),
             faults: FaultPlan::none(),
+            backend: BackendSpec::SingleNode,
         }
     }
 }
@@ -133,7 +137,7 @@ pub struct Pager {
     ever_evicted: HashMap<u64, ()>,
     clock: VecDeque<u64>,
     resident_pages: u64,
-    link: Link,
+    backend: Box<dyn RemoteBackend>,
     stats: PagerStats,
     tel: Telemetry,
 }
@@ -141,25 +145,24 @@ pub struct Pager {
 impl Pager {
     /// Creates a pager with an empty resident set.
     pub fn new(cfg: PagerConfig) -> Self {
-        let mut link = Link::new(cfg.link);
-        link.set_fault_plan(cfg.faults);
+        let backend = build_backend(cfg.link, cfg.backend, cfg.faults);
         Pager {
             pages: HashMap::new(),
             ever_evicted: HashMap::new(),
             clock: VecDeque::new(),
             resident_pages: 0,
-            link,
+            backend,
             stats: PagerStats::default(),
             tel: Telemetry::disabled(),
             cfg,
         }
     }
 
-    /// Attaches a telemetry sink (shared with the link): fault, reclaim and
-    /// writeback events, fault-service latency, and page residency
-    /// lifetimes flow there.
+    /// Attaches a telemetry sink (shared with the backend's links): fault,
+    /// reclaim and writeback events, fault-service latency, and page
+    /// residency lifetimes flow there.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
-        self.link.set_telemetry(tel.clone());
+        self.backend.set_telemetry(tel.clone());
         self.tel = tel;
     }
 
@@ -173,10 +176,25 @@ impl Pager {
         self.stats
     }
 
-    /// Bytes moved over the link (4 KB granularity — the I/O-amplification
-    /// ledger for Figs. 13/16).
+    /// Bytes moved over the backend, aggregated over all shards (4 KB
+    /// granularity — the I/O-amplification ledger for Figs. 13/16).
     pub fn transfer_stats(&self) -> TransferStats {
-        self.link.stats()
+        self.backend.stats()
+    }
+
+    /// The remote backend (shard topology, per-shard ledgers and health).
+    pub fn backend(&self) -> &dyn RemoteBackend {
+        self.backend.as_ref()
+    }
+
+    /// Number of remote nodes behind the pager.
+    pub fn shard_count(&self) -> usize {
+        self.backend.shard_count()
+    }
+
+    /// Per-shard end-of-run counters, for reports.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.backend.shard_snapshots()
     }
 
     /// Bytes currently resident.
@@ -184,10 +202,11 @@ impl Pager {
         self.resident_pages * PAGE_SIZE
     }
 
-    /// Clears counters and the link horizon (after benchmark setup).
+    /// Clears counters and every shard's occupancy horizon (after benchmark
+    /// setup).
     pub fn reset_stats(&mut self) {
         self.stats = PagerStats::default();
-        self.link.reset_stats();
+        self.backend.reset_stats();
     }
 
     /// Simulates an access of `size` bytes at `addr`; returns the cycles the
@@ -221,7 +240,7 @@ impl Pager {
             // time (there is no backoff in the kernel fast path).
             let mut attempt = 0u32;
             let done = loop {
-                match self.link.try_transfer(PAGE_SIZE, now + cycles) {
+                match self.backend.try_transfer(page, PAGE_SIZE, now + cycles) {
                     Ok(done) => break done,
                     Err(f) => {
                         attempt += 1;
@@ -287,7 +306,7 @@ impl Pager {
             cycles += self.cfg.reclaim_cycles;
             self.stats.reclaims += 1;
             if dirty {
-                self.link.writeback(PAGE_SIZE, now + cycles);
+                self.backend.writeback(page, PAGE_SIZE, now + cycles);
                 self.stats.writebacks += 1;
                 self.tel.emit(now + cycles, EventKind::Writeback, page);
             }
@@ -317,7 +336,7 @@ impl Pager {
             self.ever_evicted.insert(page, ());
             self.stats.reclaims += 1;
             if dirty {
-                self.link.writeback(PAGE_SIZE, now);
+                self.backend.writeback(page, PAGE_SIZE, now);
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, page);
             }
@@ -473,6 +492,40 @@ mod tests {
         // Determinism: the same seed reproduces the exact same run.
         let mut p2 = mk();
         assert_eq!(run(&mut p2), (stats, transfer, elapsed));
+    }
+
+    #[test]
+    fn sharded_pager_spreads_pages_and_matches_single_node_at_one_shard() {
+        use tfm_net::PlacementPolicy;
+        let run = |backend: BackendSpec| {
+            let mut p = Pager::new(PagerConfig {
+                local_budget: 32 * PAGE_SIZE,
+                backend,
+                ..PagerConfig::default()
+            });
+            for i in 0..16u64 {
+                p.access(i * PAGE_SIZE, 8, true, 0);
+            }
+            p.evacuate_all(0);
+            p.reset_stats();
+            let mut now = 0;
+            for i in 0..16u64 {
+                now += p.access(i * PAGE_SIZE, 8, false, now);
+            }
+            (p.stats(), p.transfer_stats(), now, p.shard_snapshots())
+        };
+        // One shard is cost-identical to the single-node backend.
+        let single = run(BackendSpec::single());
+        let one = run(BackendSpec::sharded(1));
+        assert_eq!((single.0, single.1, single.2), (one.0, one.1, one.2));
+        // Four interleaved shards split the refill traffic evenly.
+        let spec = BackendSpec::sharded(4).with_placement(PlacementPolicy::Interleave);
+        let (stats, transfer, _, snaps) = run(spec);
+        assert_eq!(stats.major_faults, 16);
+        assert_eq!(transfer.bytes_fetched, 16 * PAGE_SIZE);
+        for (s, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.stats.fetches, 4, "shard {s} serves its quarter");
+        }
     }
 
     #[test]

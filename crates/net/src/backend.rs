@@ -1,0 +1,743 @@
+//! Pluggable remote-memory backends.
+//!
+//! The runtime and the pager used to be hard-wired to a single [`Link`]: one
+//! far-memory node behind one wire. This module decouples *what* a caller
+//! asks for (fetch/writeback an object, observe health and occupancy) from
+//! *where* the bytes live, behind the [`RemoteBackend`] trait:
+//!
+//! * [`SingleNode`] wraps exactly one [`Link`] — behavior- and
+//!   cost-identical to the pre-trait world (the paper's evaluation fabric);
+//! * [`Sharded`] spreads objects across N nodes, each with its own link
+//!   (independent bandwidth queues), its own [`FaultPlan`] schedule, and its
+//!   own [`LinkHealth`] tracker — one shard can degrade or die while the
+//!   others keep serving.
+//!
+//! Every operation takes a `key` (the caller's object id or page number);
+//! backends route it through a deterministic [`PlacementPolicy`], so the
+//! same seed and the same object set always produce the same shard
+//! assignment — and therefore the same counters and the same run reports.
+
+use std::fmt;
+
+use crate::fault::{mix, FaultPlan, LinkFault, LinkHealth};
+use crate::{Link, LinkParams, TransferStats};
+use tfm_telemetry::{StatGroup, Telemetry};
+
+/// A remote-memory data plane: where localize/writeback traffic goes.
+///
+/// All methods mirror [`Link`]'s contract, with an added routing `key` (the
+/// object id or page number being moved). The blocking forms
+/// ([`transfer`](Self::transfer)/[`writeback`](Self::writeback)) retry
+/// blindly until delivery; the fallible forms
+/// ([`try_transfer`](Self::try_transfer)/[`try_writeback`](Self::try_writeback))
+/// surface the [`LinkFault`] so policy-aware callers (the runtime's
+/// retry/backoff loop) own the retry schedule.
+pub trait RemoteBackend: fmt::Debug {
+    /// Number of remote nodes behind this backend.
+    fn shard_count(&self) -> usize;
+
+    /// The shard serving `key` (always 0 for a single node).
+    fn shard_of(&self, key: u64) -> usize;
+
+    /// Blocking fetch of `bytes` for `key` at cycle `now`; returns the
+    /// completion cycle. Faulted attempts are transparently retried.
+    fn transfer(&mut self, key: u64, bytes: u64, now: u64) -> u64;
+
+    /// Blocking writeback counterpart of [`transfer`](Self::transfer).
+    fn writeback(&mut self, key: u64, bytes: u64, now: u64) -> u64;
+
+    /// One fetch attempt; the caller owns retry policy on failure.
+    fn try_transfer(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault>;
+
+    /// One writeback attempt; the caller owns retry policy on failure.
+    fn try_writeback(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault>;
+
+    /// True if any shard has an active fault plan attached. Callers use
+    /// this to keep the flawless-fabric fast path (no retry bookkeeping).
+    fn faults_active(&self) -> bool;
+
+    /// Aggregate health: counters summed, fault-rate EWMA maxed, degraded
+    /// if *any* shard is degraded.
+    fn health(&self) -> LinkHealth;
+
+    /// Health of one shard.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    fn shard_health(&self, shard: usize) -> LinkHealth;
+
+    /// Aggregate transfer ledger (all shards merged).
+    fn stats(&self) -> TransferStats;
+
+    /// Transfer ledger of one shard.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    fn shard_stats(&self, shard: usize) -> TransferStats;
+
+    /// Attaches a telemetry sink (shared across shards).
+    fn set_telemetry(&mut self, tel: Telemetry);
+
+    /// Clears ledgers, occupancy horizons, fault schedules, and health —
+    /// on every shard.
+    fn reset_stats(&mut self);
+
+    /// Clones the backend with its full state (see the blanket
+    /// `Clone for Box<dyn RemoteBackend>`).
+    fn clone_box(&self) -> Box<dyn RemoteBackend>;
+
+    /// Per-shard ledger + health, for reports. Cheap (copies counters).
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        (0..self.shard_count())
+            .map(|s| ShardSnapshot {
+                stats: self.shard_stats(s),
+                health: self.shard_health(s),
+            })
+            .collect()
+    }
+}
+
+impl Clone for Box<dyn RemoteBackend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// One shard's end-of-run counters, as published into run reports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's transfer ledger.
+    pub stats: TransferStats,
+    /// The shard's health tracker.
+    pub health: LinkHealth,
+}
+
+impl StatGroup for ShardSnapshot {
+    fn group_name(&self) -> &'static str {
+        // Reports publish one section per shard under caller-chosen names
+        // ("shard0", "shard1", ...); this is only the fallback.
+        "shard"
+    }
+
+    fn stat_fields(&self) -> Vec<(&'static str, u64)> {
+        let mut fields = self.stats.stat_fields();
+        fields.push(("ewma_fault_ppm", self.health.fault_rate_ppm()));
+        fields.push(("degraded", u64::from(self.health.is_degraded())));
+        fields
+    }
+}
+
+/// Deterministic object→shard routing.
+///
+/// Policies are pure functions of `(key, shard_count)`: no state, no
+/// randomness, so shard assignment is reproducible across runs by
+/// construction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// SplitMix64 hash of the object id, modulo shard count: spreads hot
+    /// ranges evenly, destroys spatial locality (neighboring objects land
+    /// on different shards — good for load balance).
+    #[default]
+    Hash,
+    /// `key % shards`: neighboring objects round-robin across shards, so a
+    /// sequential scan stripes its fetches over every node's bandwidth.
+    Interleave,
+}
+
+impl PlacementPolicy {
+    /// The shard serving `key` out of `shards` nodes.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    #[inline]
+    pub fn shard_of(self, key: u64, shards: usize) -> usize {
+        assert!(shards > 0, "a backend needs at least one shard");
+        match self {
+            PlacementPolicy::Hash => (mix(key) % shards as u64) as usize,
+            PlacementPolicy::Interleave => (key % shards as u64) as usize,
+        }
+    }
+
+    /// Stable lowercase name (report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::Hash => "hash",
+            PlacementPolicy::Interleave => "interleave",
+        }
+    }
+}
+
+/// Declarative backend selection, carried by run configurations.
+///
+/// `Copy` on purpose: configs spread freely through the workspace. The spec
+/// is *what to build*; [`build_backend`] turns it into a live backend.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// One remote node behind one link (the paper's fabric). The default.
+    #[default]
+    SingleNode,
+    /// N remote nodes, each with an independent link and fault schedule.
+    Sharded {
+        /// Number of remote nodes (≥ 1).
+        shards: u32,
+        /// Object→shard routing policy.
+        placement: PlacementPolicy,
+        /// When set, the configured fault plan applies *only* to this shard
+        /// (the "one node dies" experiment); otherwise every shard runs the
+        /// plan with a per-shard derived seed.
+        fault_shard: Option<u32>,
+    },
+}
+
+impl BackendSpec {
+    /// The single-node default.
+    pub fn single() -> Self {
+        BackendSpec::SingleNode
+    }
+
+    /// A sharded backend with `shards` nodes and hashed placement.
+    pub fn sharded(shards: u32) -> Self {
+        BackendSpec::Sharded {
+            shards,
+            placement: PlacementPolicy::Hash,
+            fault_shard: None,
+        }
+    }
+
+    /// Returns a copy with a different placement policy (sharded specs
+    /// only; a no-op on [`BackendSpec::SingleNode`]).
+    pub fn with_placement(mut self, policy: PlacementPolicy) -> Self {
+        if let BackendSpec::Sharded { placement, .. } = &mut self {
+            *placement = policy;
+        }
+        self
+    }
+
+    /// Returns a copy targeting the fault plan at one shard (sharded specs
+    /// only; a no-op on [`BackendSpec::SingleNode`]).
+    pub fn with_fault_shard(mut self, shard: u32) -> Self {
+        if let BackendSpec::Sharded { fault_shard, .. } = &mut self {
+            *fault_shard = Some(shard);
+        }
+        self
+    }
+
+    /// Number of shards this spec builds.
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            BackendSpec::SingleNode => 1,
+            BackendSpec::Sharded { shards, .. } => (*shards).max(1),
+        }
+    }
+
+    /// True for the single-node default.
+    pub fn is_single(&self) -> bool {
+        matches!(self, BackendSpec::SingleNode)
+    }
+
+    /// Validates invariants, panicking with a descriptive message.
+    ///
+    /// # Panics
+    /// If a sharded spec has zero shards or targets a fault shard out of
+    /// range.
+    pub fn validate(&self) {
+        if let BackendSpec::Sharded {
+            shards,
+            fault_shard,
+            ..
+        } = self
+        {
+            assert!(*shards >= 1, "a sharded backend needs at least one shard");
+            if let Some(fs) = fault_shard {
+                assert!(
+                    fs < shards,
+                    "fault shard {fs} out of range for {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSpec::SingleNode => write!(f, "single"),
+            BackendSpec::Sharded {
+                shards,
+                placement,
+                fault_shard,
+            } => {
+                write!(f, "sharded({shards}, {})", placement.name())?;
+                if let Some(fs) = fault_shard {
+                    write!(f, " fault_shard={fs}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Builds a live backend from a spec: link parameters are shared by every
+/// shard, the fault plan is attached per the spec's targeting rules.
+///
+/// Seed derivation for untargeted sharded plans: shard 0 keeps the plan's
+/// seed verbatim (so `Sharded` with one shard is schedule-identical to
+/// [`SingleNode`]); shard `i > 0` draws `mix(seed ^ i)` so shards fault
+/// independently instead of in lockstep.
+pub fn build_backend(
+    params: LinkParams,
+    spec: BackendSpec,
+    faults: FaultPlan,
+) -> Box<dyn RemoteBackend> {
+    spec.validate();
+    match spec {
+        BackendSpec::SingleNode => {
+            let mut b = SingleNode::new(params);
+            b.set_fault_plan(faults);
+            Box::new(b)
+        }
+        BackendSpec::Sharded {
+            shards,
+            placement,
+            fault_shard,
+        } => {
+            let mut b = Sharded::new(params, shards.max(1), placement);
+            match fault_shard {
+                Some(fs) => b.set_fault_plan_on(fs as usize, faults),
+                None if faults.is_active() => {
+                    for s in 0..b.shard_count() {
+                        let mut plan = faults;
+                        if s > 0 {
+                            plan.seed = mix(faults.seed ^ s as u64);
+                        }
+                        b.set_fault_plan_on(s, plan);
+                    }
+                }
+                None => {}
+            }
+            Box::new(b)
+        }
+    }
+}
+
+// ======================================================================
+// SingleNode
+// ======================================================================
+
+/// The classic one-node backend: a thin wrapper over today's [`Link`],
+/// behavior- and cost-identical to driving the link directly (the routing
+/// key is ignored; there is nowhere else to go).
+#[derive(Clone, Debug)]
+pub struct SingleNode {
+    link: Link,
+}
+
+impl SingleNode {
+    /// Creates a single-node backend over an idle link.
+    pub fn new(params: LinkParams) -> Self {
+        SingleNode {
+            link: Link::new(params),
+        }
+    }
+
+    /// Attaches a fault plan to the node's link.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.link.set_fault_plan(plan);
+    }
+
+    /// The wrapped link (for assertions in tests).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+}
+
+impl RemoteBackend for SingleNode {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_of(&self, _key: u64) -> usize {
+        0
+    }
+
+    fn transfer(&mut self, _key: u64, bytes: u64, now: u64) -> u64 {
+        self.link.transfer(bytes, now)
+    }
+
+    fn writeback(&mut self, _key: u64, bytes: u64, now: u64) -> u64 {
+        self.link.writeback(bytes, now)
+    }
+
+    fn try_transfer(&mut self, _key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.link.try_transfer(bytes, now)
+    }
+
+    fn try_writeback(&mut self, _key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.link.try_writeback(bytes, now)
+    }
+
+    fn faults_active(&self) -> bool {
+        self.link.fault_plan().is_active()
+    }
+
+    fn health(&self) -> LinkHealth {
+        self.link.health()
+    }
+
+    fn shard_health(&self, shard: usize) -> LinkHealth {
+        assert_eq!(shard, 0, "single node has exactly one shard");
+        self.link.health()
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.link.stats()
+    }
+
+    fn shard_stats(&self, shard: usize) -> TransferStats {
+        assert_eq!(shard, 0, "single node has exactly one shard");
+        self.link.stats()
+    }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        self.link.set_telemetry(tel);
+    }
+
+    fn reset_stats(&mut self) {
+        self.link.reset_stats();
+    }
+
+    fn clone_box(&self) -> Box<dyn RemoteBackend> {
+        Box::new(self.clone())
+    }
+}
+
+// ======================================================================
+// Sharded
+// ======================================================================
+
+/// N remote nodes, each behind its own [`Link`]: independent bandwidth
+/// queues and occupancy horizons (fetches to different shards pipeline
+/// freely), independent fault schedules, independent health trackers.
+#[derive(Clone, Debug)]
+pub struct Sharded {
+    links: Vec<Link>,
+    placement: PlacementPolicy,
+}
+
+impl Sharded {
+    /// Creates a sharded backend of `shards` idle nodes sharing one set of
+    /// link parameters.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(params: LinkParams, shards: u32, placement: PlacementPolicy) -> Self {
+        assert!(shards >= 1, "a sharded backend needs at least one shard");
+        Sharded {
+            links: (0..shards).map(|_| Link::new(params)).collect(),
+            placement,
+        }
+    }
+
+    /// Attaches a fault plan to one shard's link.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn set_fault_plan_on(&mut self, shard: usize, plan: FaultPlan) {
+        self.links[shard].set_fault_plan(plan);
+    }
+
+    /// The routing policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// One shard's link (for assertions in tests).
+    pub fn link(&self, shard: usize) -> &Link {
+        &self.links[shard]
+    }
+
+    #[inline]
+    fn route(&self, key: u64) -> usize {
+        self.placement.shard_of(key, self.links.len())
+    }
+}
+
+impl RemoteBackend for Sharded {
+    fn shard_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        self.route(key)
+    }
+
+    fn transfer(&mut self, key: u64, bytes: u64, now: u64) -> u64 {
+        let s = self.route(key);
+        self.links[s].transfer(bytes, now)
+    }
+
+    fn writeback(&mut self, key: u64, bytes: u64, now: u64) -> u64 {
+        let s = self.route(key);
+        self.links[s].writeback(bytes, now)
+    }
+
+    fn try_transfer(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        let s = self.route(key);
+        self.links[s].try_transfer(bytes, now)
+    }
+
+    fn try_writeback(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        let s = self.route(key);
+        self.links[s].try_writeback(bytes, now)
+    }
+
+    fn faults_active(&self) -> bool {
+        self.links.iter().any(|l| l.fault_plan().is_active())
+    }
+
+    fn health(&self) -> LinkHealth {
+        let mut agg = LinkHealth::default();
+        for l in &self.links {
+            agg.absorb(&l.health());
+        }
+        agg
+    }
+
+    fn shard_health(&self, shard: usize) -> LinkHealth {
+        self.links[shard].health()
+    }
+
+    fn stats(&self) -> TransferStats {
+        use tfm_telemetry::MergeStats;
+        let mut agg = TransferStats::default();
+        for l in &self.links {
+            agg.merge(&l.stats());
+        }
+        agg
+    }
+
+    fn shard_stats(&self, shard: usize) -> TransferStats {
+        self.links[shard].stats()
+    }
+
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        for l in &mut self.links {
+            l.set_telemetry(tel.clone());
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        for l in &mut self.links {
+            l.reset_stats();
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn RemoteBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::PPM;
+    use tfm_telemetry::MergeStats;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for policy in [PlacementPolicy::Hash, PlacementPolicy::Interleave] {
+            for shards in [1usize, 2, 4, 7, 8] {
+                let first: Vec<usize> = (0..1024).map(|k| policy.shard_of(k, shards)).collect();
+                let second: Vec<usize> = (0..1024).map(|k| policy.shard_of(k, shards)).collect();
+                assert_eq!(first, second, "{policy:?}/{shards} must be a pure function");
+                assert!(first.iter().all(|&s| s < shards));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_placement_spreads_contiguous_keys() {
+        let shards = 4;
+        let mut counts = vec![0u64; shards];
+        for k in 0..4096u64 {
+            counts[PlacementPolicy::Hash.shard_of(k, shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // Fair share is 1024; a heavily skewed hash would fail loudly.
+            assert!((700..1400).contains(&c), "shard {s} got {c} of 4096 keys");
+        }
+    }
+
+    #[test]
+    fn interleave_round_robins() {
+        for k in 0..64u64 {
+            assert_eq!(PlacementPolicy::Interleave.shard_of(k, 4), (k % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn sharded_with_one_shard_matches_single_node() {
+        // Cost-identity: same transfers, same completion cycles, same
+        // ledger — with and without an active fault plan (shard 0 keeps the
+        // plan's seed verbatim).
+        for faults in [FaultPlan::none(), FaultPlan::drops(0xFEED, 300_000)] {
+            let mut single = build_backend(LinkParams::tcp_25g(), BackendSpec::single(), faults);
+            let mut sharded =
+                build_backend(LinkParams::tcp_25g(), BackendSpec::sharded(1), faults);
+            for k in 0..256u64 {
+                let (bytes, at) = (64 + k * 131, k * 5000);
+                assert_eq!(
+                    single.transfer(k, bytes, at),
+                    sharded.transfer(k, bytes, at)
+                );
+                assert_eq!(
+                    single.writeback(k, bytes, at),
+                    sharded.writeback(k, bytes, at)
+                );
+            }
+            assert_eq!(single.stats(), sharded.stats());
+            assert_eq!(single.health(), sharded.health());
+        }
+    }
+
+    #[test]
+    fn shards_have_independent_bandwidth_queues() {
+        let params = LinkParams {
+            base_latency: 1000,
+            cycles_per_kib: 1024, // 1 byte/cycle
+        };
+        let mut b = Sharded::new(params, 2, PlacementPolicy::Interleave);
+        // Keys 0 and 1 land on different shards: neither queues behind the
+        // other, both complete at the solo cost.
+        let a = b.transfer(0, 1000, 0);
+        let c = b.transfer(1, 1000, 0);
+        assert_eq!(a, 1000 + 1000);
+        assert_eq!(c, 1000 + 1000, "different shard, no queueing");
+        // A second message to shard 0 does queue.
+        let d = b.transfer(2, 1000, 0);
+        assert_eq!(d, 2000 + 1000);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_over_shards() {
+        let mut b = Sharded::new(LinkParams::instant(), 4, PlacementPolicy::Interleave);
+        for k in 0..16u64 {
+            b.transfer(k, 4096, 0);
+        }
+        b.writeback(3, 4096, 0);
+        let mut manual = TransferStats::default();
+        for s in 0..4 {
+            manual.merge(&b.shard_stats(s));
+        }
+        assert_eq!(b.stats(), manual);
+        assert_eq!(b.stats().fetches, 16);
+        assert_eq!(b.stats().writebacks, 1);
+        // Interleaved keys spread evenly: 4 fetches per shard.
+        for s in 0..4 {
+            assert_eq!(b.shard_stats(s).fetches, 4);
+        }
+    }
+
+    #[test]
+    fn one_dead_shard_leaves_the_others_serving() {
+        let mut b = Sharded::new(LinkParams::tcp_25g(), 4, PlacementPolicy::Interleave);
+        b.set_fault_plan_on(2, FaultPlan::drops(9, PPM)); // shard 2 always drops
+        assert!(b.faults_active());
+        let mut now = 0;
+        for k in 0..32u64 {
+            if b.shard_of(k) == 2 {
+                assert!(b.try_transfer(k, 4096, now).is_err(), "shard 2 is dead");
+            } else {
+                now = b.try_transfer(k, 4096, now).expect("healthy shard serves");
+            }
+        }
+        assert!(b.shard_health(2).is_degraded());
+        for s in [0usize, 1, 3] {
+            assert!(!b.shard_health(s).is_degraded(), "shard {s} must stay healthy");
+            assert_eq!(b.shard_stats(s).faults, 0);
+            assert_eq!(b.shard_stats(s).fetches, 8);
+        }
+        assert_eq!(b.shard_stats(2).fetches, 0);
+        assert_eq!(b.shard_stats(2).faults, 8);
+        // Aggregate health reflects the sick shard.
+        assert!(b.health().is_degraded());
+        assert_eq!(b.health().faults(), 8);
+        assert_eq!(b.stats().faults, 8);
+    }
+
+    #[test]
+    fn untargeted_plans_get_per_shard_seeds() {
+        let faults = FaultPlan::drops(0xABCD, 500_000);
+        let b = build_backend(LinkParams::tcp_25g(), BackendSpec::sharded(4), faults);
+        // Reach through the snapshots: drive each shard's schedule by
+        // routing keys per shard and checking the schedules differ. Cheaper:
+        // the plans themselves must carry distinct seeds but identical rates.
+        let sharded = b; // Box<dyn>; inspect via a fresh build instead
+        drop(sharded);
+        let mut direct = Sharded::new(LinkParams::tcp_25g(), 4, PlacementPolicy::Hash);
+        for s in 0..4 {
+            let mut plan = faults;
+            if s > 0 {
+                plan.seed = mix(faults.seed ^ s as u64);
+            }
+            direct.set_fault_plan_on(s, plan);
+        }
+        let seeds: Vec<u64> = (0..4).map(|s| direct.link(s).fault_plan().seed).collect();
+        assert_eq!(seeds[0], faults.seed, "shard 0 keeps the seed (1-shard identity)");
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "shards must not fault in lockstep: {seeds:?}");
+        for s in 0..4 {
+            assert_eq!(direct.link(s).fault_plan().drop_ppm, faults.drop_ppm);
+        }
+    }
+
+    #[test]
+    fn targeted_fault_shard_leaves_others_flawless() {
+        let faults = FaultPlan::drops(1, PPM);
+        let spec = BackendSpec::sharded(4).with_fault_shard(2);
+        let mut b = build_backend(LinkParams::tcp_25g(), spec, faults);
+        assert!(b.faults_active());
+        for k in 0..64u64 {
+            let r = b.try_transfer(k, 64, 0);
+            if b.shard_of(k) == 2 {
+                assert!(r.is_err());
+            } else {
+                assert!(r.is_ok());
+            }
+        }
+        for s in 0..4 {
+            let expect_faults = s == 2;
+            assert_eq!(b.shard_stats(s).faults > 0, expect_faults, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn clone_box_preserves_state() {
+        let mut b: Box<dyn RemoteBackend> =
+            Box::new(Sharded::new(LinkParams::tcp_25g(), 2, PlacementPolicy::Hash));
+        b.transfer(0, 4096, 0);
+        let c = b.clone();
+        assert_eq!(b.stats(), c.stats());
+        assert_eq!(b.shard_count(), c.shard_count());
+    }
+
+    #[test]
+    fn spec_display_and_validation() {
+        assert_eq!(BackendSpec::single().to_string(), "single");
+        let s = BackendSpec::sharded(4)
+            .with_placement(PlacementPolicy::Interleave)
+            .with_fault_shard(1);
+        assert_eq!(s.to_string(), "sharded(4, interleave) fault_shard=1");
+        assert_eq!(s.shard_count(), 4);
+        assert!(!s.is_single());
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault shard")]
+    fn spec_rejects_out_of_range_fault_shard() {
+        BackendSpec::sharded(2).with_fault_shard(5).validate();
+    }
+}

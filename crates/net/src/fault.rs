@@ -206,9 +206,11 @@ pub(crate) enum Fate {
 }
 
 /// SplitMix64 finalizer: a statistically strong 64-bit mix, the same
-/// generator the workloads crate uses for seeded randomness.
+/// generator the workloads crate uses for seeded randomness. Also used by
+/// the sharded backend for hashed object→shard placement and per-shard
+/// seed derivation.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -335,6 +337,16 @@ impl LinkHealth {
     pub fn faults(&self) -> u64 {
         self.faults
     }
+
+    /// Folds another tracker into this one, for aggregate views over a
+    /// sharded backend: counters sum, the EWMA takes the worst shard's
+    /// rate, and the aggregate is degraded if *any* constituent is.
+    pub fn absorb(&mut self, other: &Self) {
+        self.attempts += other.attempts;
+        self.faults += other.faults;
+        self.ewma_ppm = self.ewma_ppm.max(other.ewma_ppm);
+        self.degraded |= other.degraded;
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +427,25 @@ mod tests {
         assert!(!h.is_degraded(), "ewma = {}", h.fault_rate_ppm());
         assert_eq!(h.faults(), 3);
         assert_eq!(h.attempts(), 34);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_takes_the_worst_rate() {
+        let mut sick = LinkHealth::default();
+        for _ in 0..4 {
+            sick.on_attempt(true);
+        }
+        let mut well = LinkHealth::default();
+        for _ in 0..12 {
+            well.on_attempt(false);
+        }
+        let mut agg = LinkHealth::default();
+        agg.absorb(&well);
+        agg.absorb(&sick);
+        assert_eq!(agg.attempts(), 16);
+        assert_eq!(agg.faults(), 4);
+        assert_eq!(agg.fault_rate_ppm(), sick.fault_rate_ppm());
+        assert!(agg.is_degraded(), "one sick shard degrades the aggregate");
     }
 
     #[test]

@@ -37,8 +37,12 @@ use std::fmt;
 
 use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
 
+mod backend;
 mod fault;
 
+pub use backend::{
+    build_backend, BackendSpec, PlacementPolicy, RemoteBackend, ShardSnapshot, Sharded, SingleNode,
+};
 pub use fault::{FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, PPM};
 use fault::{Fate, FaultState};
 
@@ -57,23 +61,32 @@ impl LinkParams {
     /// 25 Gb/s link on a 2.4 GHz core: ≈0.77 B/cycle ≈ 1330 cycles/KiB.
     const CYCLES_PER_KIB_25G: u64 = 1330;
 
+    /// Derives link parameters from a wire rate in Gb/s plus a fixed
+    /// per-message setup cost in cycles. The bandwidth term scales the
+    /// calibrated 25 Gb/s point (1330 cycles/KiB on a 2.4 GHz core), so
+    /// `from_gbps(25, _)` reproduces the presets exactly.
+    ///
+    /// # Panics
+    /// Panics if `gbps` is zero.
+    pub fn from_gbps(gbps: u64, setup_cycles: u64) -> Self {
+        assert!(gbps > 0, "a link needs a non-zero wire rate");
+        LinkParams {
+            base_latency: setup_cycles,
+            cycles_per_kib: 25 * Self::CYCLES_PER_KIB_25G / gbps,
+        }
+    }
+
     /// TCP backend preset (AIFM/Shenango): 4 KB fetch ≈ 35 K cycles,
     /// matching the TrackFM remote slow-path guard in Table 2.
     pub fn tcp_25g() -> Self {
-        LinkParams {
-            base_latency: 30_000,
-            cycles_per_kib: Self::CYCLES_PER_KIB_25G,
-        }
+        Self::from_gbps(25, 30_000)
     }
 
     /// RDMA backend preset (Fastswap): one-sided 4 KB read ≈ 33 K cycles;
     /// with ≈1.3 K cycles of kernel fault handling on top this reproduces the
     /// ≈34 K-cycle remote fault of Table 2.
     pub fn rdma_25g() -> Self {
-        LinkParams {
-            base_latency: 27_500,
-            cycles_per_kib: Self::CYCLES_PER_KIB_25G,
-        }
+        Self::from_gbps(25, 27_500)
     }
 
     /// An idealized instant link (useful in tests).
@@ -84,7 +97,13 @@ impl LinkParams {
         }
     }
 
-    /// Cycles the link is occupied transferring `bytes`.
+    /// Cycles the link's bandwidth is occupied transferring `bytes`.
+    ///
+    /// Units: simulated core cycles (2.4 GHz calibration), computed as
+    /// `ceil(bytes * cycles_per_kib / 1024)`. This is the *serializing*
+    /// term of a transfer — while these cycles elapse no other message can
+    /// use the wire; the per-message `base_latency` is charged after the
+    /// slot and pipelines across outstanding messages.
     #[inline]
     pub fn occupancy(&self, bytes: u64) -> u64 {
         // Round up: even a 1-byte message consumes a sliver of bandwidth.
@@ -95,7 +114,11 @@ impl LinkParams {
         ((bytes as u128 * self.cycles_per_kib as u128).div_ceil(1024)) as u64
     }
 
-    /// End-to-end cycles for a single transfer on an idle link.
+    /// End-to-end cycles for a single transfer on an idle link:
+    /// [`occupancy`](Self::occupancy) (bandwidth slot, serializes) plus
+    /// `base_latency` (per-message setup + wire + remote service,
+    /// pipelines). Under queueing the real completion time is later; this
+    /// is the contention-free floor.
     #[inline]
     pub fn solo_cost(&self, bytes: u64) -> u64 {
         self.occupancy(bytes) + self.base_latency
@@ -376,6 +399,16 @@ mod tests {
         // RDMA + 1.3K kernel handling ≈ 34K.
         let rdma = LinkParams::rdma_25g().solo_cost(4096) + 1_300;
         assert!((33_000..35_500).contains(&rdma), "rdma fault = {rdma}");
+    }
+
+    #[test]
+    fn from_gbps_scales_the_calibrated_point() {
+        // The presets are exact instances of the shared constructor.
+        assert_eq!(LinkParams::from_gbps(25, 30_000), LinkParams::tcp_25g());
+        assert_eq!(LinkParams::from_gbps(25, 27_500), LinkParams::rdma_25g());
+        // Double the wire rate, half the per-KiB occupancy.
+        assert_eq!(LinkParams::from_gbps(50, 0).cycles_per_kib, 665);
+        assert_eq!(LinkParams::from_gbps(100, 0).cycles_per_kib, 332);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use tfm_net::{FaultPlan, LinkParams};
+use tfm_net::{BackendSpec, FaultPlan, LinkParams};
 
 /// Retry/backoff policy the runtime applies to faulted link operations.
 ///
@@ -93,6 +93,8 @@ pub struct FarMemoryConfig {
     pub faults: FaultPlan,
     /// Retry/backoff policy for faulted link operations.
     pub retry: RetryPolicy,
+    /// Remote-memory topology: one node (the default) or N sharded nodes.
+    pub backend: BackendSpec,
 }
 
 impl FarMemoryConfig {
@@ -107,6 +109,7 @@ impl FarMemoryConfig {
             prefetch: PrefetchConfig::default(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            backend: BackendSpec::SingleNode,
         }
     }
 
@@ -127,6 +130,7 @@ impl FarMemoryConfig {
             "heap size must be a positive multiple of the object size"
         );
         assert!(self.local_budget > 0, "local budget must be positive");
+        self.backend.validate();
     }
 
     /// Number of objects in the heap (= state-table entries).
@@ -162,6 +166,17 @@ impl FarMemoryConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Returns a copy with a different remote-memory topology.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns a copy sharded over `n` remote nodes (hashed placement).
+    pub fn with_shards(self, n: u32) -> Self {
+        self.with_backend(BackendSpec::sharded(n))
     }
 }
 
@@ -209,6 +224,23 @@ mod tests {
         c.validate();
         assert_eq!(c.faults, plan);
         assert!(c.faults.is_active());
+    }
+
+    #[test]
+    fn backend_builder_selects_sharding() {
+        let c = FarMemoryConfig::small().with_shards(4);
+        c.validate();
+        assert_eq!(c.backend.shard_count(), 4);
+        assert!(!c.backend.is_single());
+        assert!(FarMemoryConfig::small().backend.is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault shard")]
+    fn rejects_fault_shard_out_of_range() {
+        FarMemoryConfig::small()
+            .with_backend(BackendSpec::sharded(2).with_fault_shard(7))
+            .validate();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::ptr::{ObjId, TfmPtr};
 use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
 use std::collections::VecDeque;
-use tfm_net::{Link, LinkHealth, TransferStats};
+use tfm_net::{build_backend, LinkHealth, RemoteBackend, ShardSnapshot, TransferStats};
 use tfm_telemetry::{EventKind, Telemetry};
 
 /// The far-memory runtime.
@@ -34,7 +34,7 @@ pub struct FarMemory {
     log2_obj: u32,
     table: StateTable,
     alloc: RegionAllocator,
-    link: Link,
+    backend: Box<dyn RemoteBackend>,
     clock: VecDeque<ObjId>,
     resident_bytes: u64,
     stats: RuntimeStats,
@@ -44,9 +44,13 @@ pub struct FarMemory {
     streams: Vec<StrideStream>,
     stream_victim: usize,
     tel: Telemetry,
-    /// Mirror of the link's degraded flag; transitions emit
-    /// `Degraded`/`Recovered` events and gate the prefetcher.
-    degraded: bool,
+    /// Per-shard mirror of the backend's degraded flags; transitions emit
+    /// `Degraded`/`Recovered` events and gate the prefetcher on the
+    /// affected shard only.
+    degraded: Vec<bool>,
+    /// Cached `backend.faults_active()`: gates the retry machinery so the
+    /// flawless fabric keeps the legacy single-attempt path.
+    faults_active: bool,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -67,28 +71,31 @@ impl FarMemory {
     /// [`FarMemoryConfig::validate`]).
     pub fn new(cfg: FarMemoryConfig) -> Self {
         cfg.validate();
-        let mut link = Link::new(cfg.link);
-        link.set_fault_plan(cfg.faults);
+        let backend = build_backend(cfg.link, cfg.backend, cfg.faults);
+        let faults_active = backend.faults_active();
+        let degraded = vec![false; backend.shard_count()];
         FarMemory {
             log2_obj: cfg.log2_object_size(),
             table: StateTable::new(cfg.num_objects()),
             alloc: RegionAllocator::new(cfg.heap_size, cfg.object_size),
-            link,
+            backend,
             clock: VecDeque::new(),
             resident_bytes: 0,
             stats: RuntimeStats::default(),
             streams: Vec::new(),
             stream_victim: 0,
             tel: Telemetry::disabled(),
-            degraded: false,
+            degraded,
+            faults_active,
             cfg,
         }
     }
 
-    /// Attaches a telemetry sink (shared with the link): fetch/prefetch/
-    /// eviction events, fetch latency, and residency lifetimes flow there.
+    /// Attaches a telemetry sink (shared with the backend's links):
+    /// fetch/prefetch/eviction events, fetch latency, and residency
+    /// lifetimes flow there.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
-        self.link.set_telemetry(tel.clone());
+        self.backend.set_telemetry(tel.clone());
         self.tel = tel;
     }
 
@@ -126,9 +133,10 @@ impl FarMemory {
         &self.stats
     }
 
-    /// Link transfer ledger (bytes moved — the I/O amplification metric).
+    /// Backend transfer ledger, aggregated over all shards (bytes moved —
+    /// the I/O amplification metric).
     pub fn transfer_stats(&self) -> TransferStats {
-        self.link.stats()
+        self.backend.stats()
     }
 
     /// Bytes currently resident locally.
@@ -136,37 +144,61 @@ impl FarMemory {
         self.resident_bytes
     }
 
-    /// The link-health tracker (EWMA fault rate and degraded band).
+    /// The backend-health tracker (EWMA fault rate and degraded band),
+    /// aggregated over all shards.
     pub fn link_health(&self) -> LinkHealth {
-        self.link.health()
+        self.backend.health()
     }
 
-    /// True while the runtime runs in its degraded configuration (prefetch
+    /// True while any shard runs in its degraded configuration (prefetch
     /// suppressed, backoff widened) because of sustained link faults.
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.degraded.iter().any(|&d| d)
     }
 
-    /// Clears all counters (runtime + link) and the link's occupancy
-    /// horizon, and rewinds the fault schedule and health state. Used by
+    /// True while `shard` specifically is degraded.
+    pub fn shard_degraded(&self, shard: usize) -> bool {
+        self.degraded[shard]
+    }
+
+    /// The remote backend (shard topology, per-shard ledgers and health).
+    pub fn backend(&self) -> &dyn RemoteBackend {
+        self.backend.as_ref()
+    }
+
+    /// Number of remote nodes behind the runtime.
+    pub fn shard_count(&self) -> usize {
+        self.backend.shard_count()
+    }
+
+    /// Per-shard end-of-run counters, for reports.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.backend.shard_snapshots()
+    }
+
+    /// Clears all counters (runtime + backend) and every shard's occupancy
+    /// horizon, and rewinds the fault schedules and health state. Used by
     /// benchmarks to exclude setup traffic from the measured phase.
     pub fn reset_stats(&mut self) {
         self.stats = RuntimeStats::default();
-        self.link.reset_stats();
-        self.degraded = false;
+        self.backend.reset_stats();
+        self.degraded.fill(false);
     }
 
     // ------------------------------------------------------------------
     // Fault handling.
     // ------------------------------------------------------------------
 
-    /// Reconciles the runtime's degraded flag with the link's health
-    /// tracker, emitting `Degraded`/`Recovered` transitions.
-    fn sync_link_health(&mut self, now: u64) {
-        let health = self.link.health();
-        if health.is_degraded() != self.degraded {
-            self.degraded = health.is_degraded();
-            if self.degraded {
+    /// Reconciles the runtime's degraded flag for one shard with that
+    /// shard's health tracker, emitting `Degraded`/`Recovered` transitions.
+    /// With a single-node backend this is the same signal as before the
+    /// backend refactor; with shards, each node degrades and recovers on
+    /// its own.
+    fn sync_shard_health(&mut self, shard: usize, now: u64) {
+        let health = self.backend.shard_health(shard);
+        if health.is_degraded() != self.degraded[shard] {
+            self.degraded[shard] = health.is_degraded();
+            if self.degraded[shard] {
                 self.stats.degradations += 1;
                 self.tel.emit(now, EventKind::Degraded, health.fault_rate_ppm());
             } else {
@@ -175,24 +207,27 @@ impl FarMemory {
         }
     }
 
-    /// Drives one link operation to completion under the retry policy:
-    /// exponential backoff between attempts (widened while degraded) and a
-    /// per-operation deadline that is counted when blown.
+    /// Drives one backend operation to completion under the retry policy:
+    /// exponential backoff between attempts (widened while the target shard
+    /// is degraded) and a per-operation deadline that is counted when blown.
     ///
     /// Returns the completion cycle, or `None` when a *writeback* exhausted
     /// [`RetryPolicy::max_attempts`] — writebacks are deferrable (the object
     /// simply stays resident and dirty), fetches are not (the caller needs
-    /// the data) and keep retrying until the link delivers.
-    fn transfer_with_retry(&mut self, bytes: u64, now: u64, writeback: bool) -> Option<u64> {
-        if !self.cfg.faults.is_active() {
+    /// the data) and keep retrying until the backend delivers.
+    ///
+    /// [`RetryPolicy::max_attempts`]: crate::RetryPolicy::max_attempts
+    fn transfer_with_retry(&mut self, key: u64, bytes: u64, now: u64, writeback: bool) -> Option<u64> {
+        if !self.faults_active {
             // Flawless fabric: the legacy single-attempt path, bit-identical
             // to the pre-fault runtime.
             return Some(if writeback {
-                self.link.writeback(bytes, now)
+                self.backend.writeback(key, bytes, now)
             } else {
-                self.link.transfer(bytes, now)
+                self.backend.transfer(key, bytes, now)
             });
         }
+        let shard = self.backend.shard_of(key);
         let pol = self.cfg.retry;
         let deadline = now.saturating_add(pol.deadline);
         let mut at = now;
@@ -200,11 +235,11 @@ impl FarMemory {
         let mut deadline_counted = false;
         loop {
             let res = if writeback {
-                self.link.try_writeback(bytes, at)
+                self.backend.try_writeback(key, bytes, at)
             } else {
-                self.link.try_transfer(bytes, at)
+                self.backend.try_transfer(key, bytes, at)
             };
-            self.sync_link_health(at);
+            self.sync_shard_health(shard, at);
             match res {
                 Ok(done) => {
                     if attempt > 0 {
@@ -219,13 +254,13 @@ impl FarMemory {
                     self.stats.link_faults += 1;
                     assert!(
                         attempt < 10_000,
-                        "link permanently dead: {attempt} consecutive faults on one operation"
+                        "shard {shard} permanently dead: {attempt} consecutive faults on one operation"
                     );
                     if writeback && attempt >= pol.max_attempts {
                         return None;
                     }
                     let mut backoff = pol.backoff(attempt);
-                    if self.degraded {
+                    if self.degraded[shard] {
                         backoff = backoff.saturating_mul(pol.degraded_backoff_mult);
                     }
                     at = f.detected_at + backoff;
@@ -337,7 +372,7 @@ impl FarMemory {
             // retries (with backoff) until the link delivers.
             self.ensure_capacity(size, now);
             let done = self
-                .transfer_with_retry(size, now, false)
+                .transfer_with_retry(o.0, size, now, false)
                 .expect("demand fetches retry until delivered");
             self.table.set(o, PRESENT | mark);
             self.resident_bytes += size;
@@ -408,8 +443,9 @@ impl FarMemory {
     ///
     /// Prefetches are pure optimization, so they get no retry budget: a
     /// faulted attempt cancels the prefetch (the stream falls back to demand
-    /// fetching) instead of wedging it in flight, and a degraded link
-    /// suppresses prefetching entirely until recovery.
+    /// fetching) instead of wedging it in flight, and a degraded shard
+    /// suppresses prefetching onto it until recovery — healthy shards keep
+    /// prefetching.
     pub fn prefetch(&mut self, o: ObjId, now: u64) -> bool {
         if !self.cfg.prefetch.enabled
             || o.index() >= self.table.len()
@@ -418,15 +454,16 @@ impl FarMemory {
         {
             return false;
         }
-        if self.degraded {
+        let shard = self.backend.shard_of(o.0);
+        if self.degraded[shard] {
             self.stats.prefetch_suppressed += 1;
             return false;
         }
         let size = self.cfg.object_size;
         self.ensure_capacity(size, now);
-        let ready = if self.cfg.faults.is_active() {
-            let res = self.link.try_transfer(size, now);
-            self.sync_link_health(now);
+        let ready = if self.faults_active {
+            let res = self.backend.try_transfer(o.0, size, now);
+            self.sync_shard_health(shard, now);
             match res {
                 Ok(r) => r,
                 Err(_) => {
@@ -436,7 +473,7 @@ impl FarMemory {
                 }
             }
         } else {
-            self.link.transfer(size, now)
+            self.backend.transfer(o.0, size, now)
         };
         self.table.set(o, INFLIGHT);
         self.table.set_ready_cycle(o, ready);
@@ -513,7 +550,7 @@ impl FarMemory {
             // Evict.
             if e & DIRTY != 0 {
                 if self
-                    .transfer_with_retry(self.cfg.object_size, now, true)
+                    .transfer_with_retry(o.0, self.cfg.object_size, now, true)
                     .is_none()
                 {
                     // Writeback exhausted its retry budget: defer it. The
@@ -560,7 +597,7 @@ impl FarMemory {
             }
             if e & DIRTY != 0 {
                 if self
-                    .transfer_with_retry(self.cfg.object_size, now, true)
+                    .transfer_with_retry(o.0, self.cfg.object_size, now, true)
                     .is_none()
                 {
                     self.stats.writeback_deferrals += 1;
@@ -1005,6 +1042,102 @@ mod tests {
         assert_eq!(snap.count(EventKind::Recovered), 1);
         // After recovery the prefetcher works again.
         assert!(fm.prefetch(ObjId(base.0 + 200), now));
+    }
+
+    #[test]
+    fn sharded_outage_degrades_only_the_sick_shard() {
+        use tfm_net::{BackendSpec, FaultPlan, PlacementPolicy};
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 64 * 4096,
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_backend(
+            BackendSpec::sharded(4)
+                .with_placement(PlacementPolicy::Interleave)
+                .with_fault_shard(2),
+        )
+        .with_faults(FaultPlan::none().with_outage(1_000_000, 1_500_000));
+        let mut fm = FarMemory::new(cfg);
+        assert_eq!(fm.shard_count(), 4);
+        let p = fm.allocate(32 * 4096, 0).unwrap();
+        let base = fm.obj_of_offset(p.offset());
+        assert_eq!(base.0, 0, "interleave test assumes objects start at 0");
+        fm.evacuate_all(0); // before the outage: all writebacks succeed
+        fm.reset_stats();
+
+        // Objects on healthy shards fetch cleanly inside the window…
+        let mut now = 1_000_000;
+        for o in [0u64, 1, 3] {
+            let stall = fm.localize(ObjId(o), false, now);
+            assert!(stall < 100_000, "shard {o} is healthy, stall = {stall}");
+            now += stall;
+        }
+        assert!(!fm.is_degraded(), "healthy shards must not degrade");
+        // …while the shard-2 fetch retries its way through the outage and
+        // degrades that shard alone.
+        let stall = fm.localize(ObjId(2), false, now);
+        assert!(fm.table().is_present(ObjId(2)));
+        assert!(fm.shard_degraded(2), "shard 2 rode through an outage");
+        for s in [0usize, 1, 3] {
+            assert!(!fm.shard_degraded(s), "shard {s} stays healthy");
+        }
+        assert!(fm.is_degraded(), "any sick shard degrades the aggregate");
+        assert_eq!(fm.stats().degradations, 1);
+
+        // Prefetch is suppressed onto the sick shard only. (Objects 13/14
+        // sit outside the stride volley localize(2) already fired.)
+        now += stall;
+        let suppressed = fm.stats().prefetch_suppressed;
+        assert!(suppressed > 0, "the stride volley already hit shard 2");
+        assert!(!fm.prefetch(ObjId(14), now), "routes to degraded shard 2");
+        assert_eq!(fm.stats().prefetch_suppressed, suppressed + 1);
+        assert!(fm.prefetch(ObjId(13), now), "shard 1 keeps prefetching");
+
+        // Only shard 2's counters show faults, and clean traffic after the
+        // window recovers it.
+        let snaps = fm.shard_snapshots();
+        assert!(snaps[2].stats.faults > 0);
+        for s in [0usize, 1, 3] {
+            assert_eq!(snaps[s].stats.faults, 0, "shard {s} saw no faults");
+        }
+        for k in 1..40u64 {
+            now += fm.localize(ObjId(2 + 4 * k), false, now.max(1_500_000));
+        }
+        assert!(!fm.is_degraded(), "shard 2 recovers after the window");
+    }
+
+    #[test]
+    fn sharded_single_shard_matches_single_node_costs() {
+        use tfm_net::BackendSpec;
+        let run = |backend: BackendSpec| {
+            let cfg = FarMemoryConfig {
+                heap_size: 1 << 20,
+                object_size: 4096,
+                local_budget: 8 * 4096,
+                link: LinkParams::tcp_25g(),
+                ..FarMemoryConfig::small()
+            }
+            .with_backend(backend);
+            let mut fm = FarMemory::new(cfg);
+            let p = fm.allocate(32 * 4096, 0).unwrap();
+            let base = fm.obj_of_offset(p.offset());
+            fm.evacuate_all(0);
+            fm.reset_stats();
+            let mut now = 0;
+            for k in 0..32u64 {
+                now += fm.localize(ObjId(base.0 + k), true, now);
+            }
+            fm.evacuate_all(now);
+            (*fm.stats(), fm.transfer_stats(), now)
+        };
+        assert_eq!(
+            run(BackendSpec::single()),
+            run(BackendSpec::sharded(1)),
+            "one shard must be cost-identical to the single-node backend"
+        );
     }
 
     #[test]

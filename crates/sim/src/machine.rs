@@ -248,6 +248,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             runtime: summary.runtime,
             pager: summary.pager,
             transfers: summary.transfers,
+            shards: summary.shards,
         })
     }
 

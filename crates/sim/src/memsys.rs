@@ -16,7 +16,7 @@ use crate::stats::ExecStats;
 use crate::trap::Trap;
 use tfm_fastswap::{Pager, PagerConfig, PagerStats};
 use tfm_ir::{CHUNK_FLAG_PREFETCH, CHUNK_FLAG_WRITE};
-use tfm_net::TransferStats;
+use tfm_net::{ShardSnapshot, TransferStats};
 use tfm_runtime::{FarMemory, FarMemoryConfig, ObjId, RegionAllocator, RuntimeStats, TfmPtr};
 use tfm_telemetry::Telemetry;
 use trackfm::CostModel;
@@ -35,8 +35,12 @@ pub struct MemSummary {
     pub runtime: Option<RuntimeStats>,
     /// Pager counters, if any.
     pub pager: Option<PagerStats>,
-    /// Network ledger, if any.
+    /// Network ledger, if any (aggregated over shards).
     pub transfers: Option<TransferStats>,
+    /// Per-shard ledgers and health, populated only for multi-node
+    /// backends (single-node summaries stay byte-identical to the
+    /// pre-sharding format).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 /// A memory system the interpreter executes against.
@@ -378,6 +382,11 @@ impl MemorySystem for FastswapMem {
             runtime: None,
             pager: Some(self.pager.stats()),
             transfers: Some(self.pager.transfer_stats()),
+            shards: if self.pager.shard_count() > 1 {
+                self.pager.shard_snapshots()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -772,6 +781,11 @@ impl MemorySystem for TrackFmMem {
             runtime: Some(*self.fm.stats()),
             pager: None,
             transfers: Some(self.fm.transfer_stats()),
+            shards: if self.fm.shard_count() > 1 {
+                self.fm.shard_snapshots()
+            } else {
+                Vec::new()
+            },
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use tfm_fastswap::PagerStats;
-use tfm_net::TransferStats;
+use tfm_net::{ShardSnapshot, TransferStats};
 use tfm_runtime::RuntimeStats;
 use tfm_telemetry::{MergeStats, StatGroup};
 
@@ -113,8 +113,10 @@ pub struct RunResult {
     pub runtime: Option<RuntimeStats>,
     /// Pager counters (Fastswap runs).
     pub pager: Option<PagerStats>,
-    /// Network ledger (all far-memory runs).
+    /// Network ledger (all far-memory runs; aggregated over shards).
     pub transfers: Option<TransferStats>,
+    /// Per-shard ledgers and health; empty for single-node backends.
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl RunResult {
@@ -172,6 +174,7 @@ mod tests {
             runtime: None,
             pager: None,
             transfers: None,
+            shards: Vec::new(),
         };
         assert!((r.seconds_2_4ghz() - 1.0).abs() < 1e-9);
         assert_eq!(r.bytes_transferred(), 0);

@@ -104,6 +104,16 @@ impl RunReport {
         self.sections.push(group.section());
     }
 
+    /// Adds a counter section under a caller-chosen name instead of the
+    /// group's own — for per-instance sections like one per remote shard
+    /// (`"shard0"`, `"shard1"`, ...), where [`StatGroup::group_name`]'s
+    /// `&'static str` cannot carry the instance index.
+    pub fn push_named_section(&mut self, name: impl Into<String>, group: &dyn StatGroup) {
+        let mut section = group.section();
+        section.name = name.into();
+        self.sections.push(section);
+    }
+
     /// Adds a named histogram (empty ones are kept: they show the probe ran).
     pub fn push_histogram(&mut self, name: impl Into<String>, h: Histogram) {
         self.histograms.push((name.into(), h));
@@ -323,6 +333,22 @@ mod tests {
             1,
         );
         r
+    }
+
+    #[test]
+    fn named_sections_override_the_group_name() {
+        let mut r = RunReport::new("stream", "trackfm");
+        r.push_named_section("shard0", &Fake);
+        r.push_named_section("shard1", &Fake);
+        assert_eq!(r.field("shard0", "a"), Some(1));
+        assert_eq!(r.field("shard1", "b"), Some(2));
+        assert_eq!(r.field("fake", "a"), None);
+        let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        assert_eq!(
+            doc.get("stats").unwrap().get("shard1").unwrap().get("a").unwrap(),
+            &Json::Int(1)
+        );
+        assert!(r.render().contains("[  shard0] a=1 b=2"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use tfm_analysis::profile::Profile;
 use tfm_fastswap::PagerConfig;
 use tfm_ir::Module;
-use tfm_net::{FaultPlan, LinkParams};
+use tfm_net::{BackendSpec, FaultPlan, LinkParams};
 use tfm_runtime::{FarMemoryConfig, PrefetchConfig, RetryPolicy};
 use std::collections::HashMap;
 use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
@@ -69,6 +69,8 @@ pub struct RunConfig {
     /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
     /// flawless fabric of the paper's evaluation).
     pub faults: FaultPlan,
+    /// Remote-memory topology: one node (the default) or N sharded nodes.
+    pub backend: BackendSpec,
 }
 
 impl RunConfig {
@@ -84,6 +86,7 @@ impl RunConfig {
             cost: CostModel::default(),
             telemetry: false,
             faults: FaultPlan::none(),
+            backend: BackendSpec::SingleNode,
         }
     }
 
@@ -147,6 +150,17 @@ impl RunConfig {
         self.faults = faults;
         self
     }
+
+    /// Selects the remote-memory topology.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shards far memory over `n` remote nodes (hashed placement).
+    pub fn with_shards(self, n: u32) -> Self {
+        self.with_backend(BackendSpec::sharded(n))
+    }
 }
 
 /// The outcome of one run: results plus (for transformed binaries) the
@@ -173,6 +187,7 @@ fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
         },
         faults: cfg.faults,
         retry: RetryPolicy::default(),
+        backend: cfg.backend,
     }
 }
 
@@ -210,6 +225,7 @@ pub fn execute_with_profile(
             let pcfg = PagerConfig {
                 local_budget: spec.local_budget(cfg.local_fraction, 4096),
                 faults: cfg.faults,
+                backend: cfg.backend,
                 ..PagerConfig::default()
             };
             let (result, telemetry) =
@@ -276,6 +292,9 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
     if cfg.faults.is_active() {
         rep.push_meta("faults", cfg.faults);
     }
+    if !cfg.backend.is_single() {
+        rep.push_meta("backend", cfg.backend);
+    }
     rep.push_section(&outcome.result.stats);
     if let Some(rt) = &outcome.result.runtime {
         rep.push_section(rt);
@@ -285,6 +304,9 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
     }
     if let Some(t) = &outcome.result.transfers {
         rep.push_section(t);
+    }
+    for (i, snap) in outcome.result.shards.iter().enumerate() {
+        rep.push_named_section(format!("shard{i}"), snap);
     }
     if let Some(snap) = &outcome.telemetry {
         rep.push_histogram("fetch_latency_cycles", snap.fetch_latency.clone());
@@ -437,6 +459,29 @@ mod tests {
         assert!(rep.field("exec", "instructions").unwrap() > 0);
         assert!(rep.histograms.is_empty());
         assert!(rep.sites.is_empty());
+    }
+
+    #[test]
+    fn sharded_report_carries_a_section_per_shard() {
+        let spec = stream::sum(&StreamParams { elems: 16 << 10 });
+        let cfg = RunConfig::trackfm(0.25).with_shards(4);
+        let (_, rep) = execute_with_report(&spec, &cfg);
+        assert!(rep.meta.iter().any(|(k, v)| k == "backend" && v.contains("sharded(4")));
+        for s in 0..4 {
+            let section = format!("shard{s}");
+            assert!(rep.field(&section, "fetches").is_some(), "missing {section}");
+            assert_eq!(rep.field(&section, "degraded"), Some(0));
+        }
+        assert!(rep.field("shard4", "fetches").is_none());
+        // Shard ledgers must sum to the aggregate.
+        let total: u64 = (0..4)
+            .map(|s| rep.field(&format!("shard{s}"), "bytes_fetched").unwrap())
+            .sum();
+        assert_eq!(rep.field("transfer", "bytes_fetched"), Some(total));
+        // Single-node reports carry no shard sections or backend meta.
+        let (_, single) = execute_with_report(&spec, &RunConfig::trackfm(0.25));
+        assert!(single.field("shard0", "fetches").is_none());
+        assert!(!single.meta.iter().any(|(k, _)| k == "backend"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!    runtime (prefetch off, backoff widened) and recovers when the link
 //!    heals; nothing wedges, every workload completes.
 
-use trackfm_suite::net::{FaultPlan, PPM};
+use trackfm_suite::net::{BackendSpec, FaultPlan, PPM};
 use trackfm_suite::telemetry::EventKind;
 use trackfm_suite::workloads::runner::{execute, execute_with_report, RunConfig};
 use trackfm_suite::workloads::stream::{self, StreamParams};
@@ -146,6 +146,69 @@ fn outage_window_degrades_then_recovers() {
     // The retry-latency histogram made it into the run report.
     let h = rep.histogram("retry_latency_cycles").unwrap();
     assert!(h.count() > 0, "retried ops record their detect+backoff penalty");
+}
+
+/// One shard of four goes dark mid-run while the other three keep serving:
+/// faults, degradation, and recovery all stay confined to the sick shard,
+/// the answer never moves, and the same seed reproduces the identical
+/// per-shard ledgers.
+#[test]
+fn shard_outage_stays_confined_to_the_sick_shard() {
+    // A longer stream than the suite default: after the outage window the
+    // sick shard needs enough demand traffic (~2 dozen clean fetches) for
+    // its EWMA to decay back below the recovery threshold.
+    let spec = stream::sum(&StreamParams { elems: 256 << 10 });
+    let sick = 2u32;
+    // Learn the fault-free sharded run length, then park an outage across
+    // its second quarter — on shard 2 only.
+    let clean = execute(&spec, &RunConfig::trackfm(0.25).with_shards(4));
+    let total = clean.result.stats.cycles;
+    let start = total / 4;
+    let cfg = RunConfig::trackfm(0.25)
+        .with_backend(BackendSpec::sharded(4).with_fault_shard(sick))
+        .with_faults(FaultPlan::none().with_outage(start, start + total / 8));
+    let (out, rep) = execute_with_report(&spec, &cfg);
+
+    assert_eq!(out.result.ret, clean.result.ret, "outage must not change the answer");
+    let rt = out.result.runtime.unwrap();
+    assert!(rt.link_faults > 0, "the outage window must be hit");
+    assert!(rt.degradations >= 1, "sustained faults must trip degradation");
+
+    // Fault confinement: only the scripted shard's ledger shows faults; the
+    // other three served their share of the stream flawlessly.
+    let shards = &out.result.shards;
+    assert_eq!(shards.len(), 4);
+    for (i, snap) in shards.iter().enumerate() {
+        assert!(snap.stats.fetches > 0, "shard {i} must keep serving");
+        if i == sick as usize {
+            assert!(snap.stats.faults > 0, "the sick shard must record its outage");
+        } else {
+            assert_eq!(snap.stats.faults, 0, "shard {i} must stay flawless");
+            assert!(!snap.health.is_degraded(), "shard {i} must stay healthy");
+        }
+    }
+    // Degraded/Recovered events fired for the sick shard alone: the event
+    // count matches the runtime's ledger, and every shard — the sick one
+    // included — ends the run healthy again.
+    let snap = out.telemetry.as_ref().unwrap();
+    assert_eq!(snap.count(EventKind::Degraded), rt.degradations);
+    assert_eq!(
+        snap.count(EventKind::Recovered),
+        snap.count(EventKind::Degraded),
+        "the sick shard heals after the window"
+    );
+    assert!(!shards[sick as usize].health.is_degraded());
+
+    // The report publishes one section per shard, faults where they belong.
+    assert!(rep.field("shard2", "faults").unwrap() > 0);
+    assert_eq!(rep.field("shard0", "faults"), Some(0));
+
+    // Same seed, same outage, same per-shard ledgers — bit for bit.
+    let again = execute(&spec, &cfg);
+    assert_eq!(again.result.stats, out.result.stats);
+    assert_eq!(again.result.runtime, out.result.runtime);
+    assert_eq!(again.result.transfers, out.result.transfers);
+    assert_eq!(again.result.shards, out.result.shards);
 }
 
 /// Fastswap under the same fabric: major faults re-drive through the kernel,
