@@ -11,6 +11,14 @@ cargo test -q --test chaos
 # Sharding suite: deterministic placement, reproducible per-shard ledgers,
 # and the sharded(1) == SingleNode cost identity (fault plans included).
 cargo test -q --test sharding
+# Soundness gate: tfm-lint must report zero uncovered heap accesses on
+# every workload/example/config, and the static lint must agree with the
+# dynamic guard sanitizer over the randomized corpus.
+cargo test -q --test lint_gate
+cargo test -q --test random_programs
+# Elision gate: redundant-guard elimination is deterministic, preserves
+# results, and never increases simulated cycles.
+TFM_SCALE=8 cargo bench -q -p tfm-bench --bench guard_elision
 # Pay-for-use gate: the no-fault fast path asserts bit-identical costs.
 cargo bench -q -p tfm-bench --bench fault_overhead
 # Scaling gate: sharded(1) asserts bit-identity with SingleNode before the

@@ -15,6 +15,9 @@
 //! * [`points_to`] — allocation-site memory classification (heap / stack /
 //!   global / localized / unknown), the alias backbone of the guard-check
 //!   analysis;
+//! * [`guard_check`] — forward available-guards dataflow (which SSA values
+//!   hold custody at each program point), behind the soundness lint and the
+//!   redundant-guard elimination pass;
 //! * [`induction`] — basic and derived induction variables plus strided
 //!   loop accesses, the backbone of loop chunking and prefetch planning;
 //! * [`profile`] — edge/block execution profiles gathered by the simulator
@@ -23,12 +26,14 @@
 pub mod cfg;
 pub mod defuse;
 pub mod dom;
+pub mod guard_check;
 pub mod induction;
 pub mod loops;
 pub mod points_to;
 pub mod profile;
 
 pub use dom::DomTree;
+pub use guard_check::{AvailableGuards, Cover, CoverSrc, GuardKind};
 pub use induction::{BasicIv, LoopAccess};
 pub use loops::{LoopForest, NaturalLoop};
 pub use points_to::{MemClass, PointsTo};

@@ -273,6 +273,134 @@ mod tests {
     }
 
     #[test]
+    fn phi_of_same_class_keeps_the_class() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let phi;
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let t = b.create_block();
+            let e = b.create_block();
+            let j = b.create_block();
+            let x = b.param(0);
+            let z = b.iconst(Type::I64, 0);
+            let c = b.icmp(tfm_ir::CmpOp::Sgt, x, z);
+            b.cond_br(c, t, e);
+            b.switch_to_block(t);
+            let h1 = b.malloc_const(64);
+            b.br(j);
+            b.switch_to_block(e);
+            let h2 = b.malloc_const(128);
+            b.br(j);
+            b.switch_to_block(j);
+            phi = b.phi(Type::Ptr, &[(t, h1), (e, h2)]);
+            b.ret(Some(z));
+        }
+        let pt = PointsTo::compute(m.function(id));
+        assert_eq!(pt.class(phi), MemClass::Heap);
+        assert!(pt.needs_guard(phi));
+    }
+
+    #[test]
+    fn select_joins_arm_classes() {
+        // heap/heap stays Heap; heap/localized degrades to Unknown (and so
+        // stays conservatively guarded).
+        let (pt, v) = classify(|b| {
+            let x = b.param(1);
+            let z = b.iconst(Type::I64, 0);
+            let c = b.icmp(tfm_ir::CmpOp::Sgt, x, z);
+            let h1 = b.malloc_const(64);
+            let h2 = b.malloc_const(64);
+            let same = b.select(c, h1, h2);
+            let loc = b.intrinsic(Intrinsic::GuardRead, vec![h1]);
+            let mixed = b.select(c, h1, loc);
+            vec![same, mixed]
+        });
+        assert_eq!(pt.class(v[0]), MemClass::Heap);
+        assert_eq!(pt.class(v[1]), MemClass::Unknown);
+        assert!(pt.needs_guard(v[1]));
+    }
+
+    #[test]
+    fn gep_and_cast_chains_pin_through_phi() {
+        // gep(cast(phi(heap, heap))) — class survives the whole chain.
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let (chain, locchain);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let t = b.create_block();
+            let e = b.create_block();
+            let j = b.create_block();
+            let x = b.param(0);
+            let z = b.iconst(Type::I64, 0);
+            let c = b.icmp(tfm_ir::CmpOp::Sgt, x, z);
+            b.cond_br(c, t, e);
+            b.switch_to_block(t);
+            let h1 = b.malloc_const(64);
+            b.br(j);
+            b.switch_to_block(e);
+            let h2 = b.malloc_const(64);
+            b.br(j);
+            b.switch_to_block(j);
+            let phi = b.phi(Type::Ptr, &[(t, h1), (e, h2)]);
+            let as_int = b.cast(CastOp::PtrToInt, phi, Type::I64);
+            let back = b.cast(CastOp::IntToPtr, as_int, Type::Ptr);
+            chain = b.gep(back, x, 8, 16);
+            // Localized custody also survives gep/cast chains.
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![chain]);
+            let gi = b.cast(CastOp::PtrToInt, g, Type::I64);
+            let gb = b.cast(CastOp::IntToPtr, gi, Type::Ptr);
+            locchain = b.gep(gb, x, 8, 0);
+            b.ret(Some(z));
+        }
+        let pt = PointsTo::compute(m.function(id));
+        assert_eq!(pt.class(chain), MemClass::Heap);
+        assert!(pt.needs_guard(chain));
+        assert_eq!(pt.class(locchain), MemClass::Localized);
+        assert!(!pt.needs_guard(locchain));
+    }
+
+    #[test]
+    fn unknown_provenance_param_chains_stay_guarded() {
+        // A pointer parameter pushed through gep/cast/binary chains must
+        // remain conservatively guarded: its provenance is unknowable.
+        let (pt, v) = classify(|b| {
+            let p = b.param(0);
+            let i = b.param(1);
+            let g1 = b.gep(p, i, 8, 0);
+            let as_int = b.cast(CastOp::PtrToInt, g1, Type::I64);
+            let off = b.binop(BinOp::Add, as_int, i);
+            let back = b.cast(CastOp::IntToPtr, off, Type::Ptr);
+            let g2 = b.gep(back, i, 1, -4);
+            vec![g2]
+        });
+        assert_eq!(pt.class(v[0]), MemClass::Unknown);
+        assert!(pt.needs_guard(v[0]));
+    }
+
+    #[test]
+    fn pruned_local_sites_propagate_localheap() {
+        use std::collections::HashSet;
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::I64], Some(Type::I64)));
+        let (site, derived);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let i = b.param(0);
+            site = b.malloc_const(64);
+            derived = b.gep(site, i, 8, 0);
+            let z = b.iconst(Type::I64, 0);
+            b.ret(Some(z));
+        }
+        let locals: HashSet<_> = [site].into_iter().collect();
+        let pt = PointsTo::compute_with_locals(m.function(id), &locals);
+        assert_eq!(pt.class(site), MemClass::LocalHeap);
+        assert_eq!(pt.class(derived), MemClass::LocalHeap);
+        assert!(!pt.needs_guard(derived));
+    }
+
+    #[test]
     fn join_laws() {
         use MemClass::*;
         for a in [NonPtr, Heap, Stack, Global, Localized, LocalHeap, Unknown] {

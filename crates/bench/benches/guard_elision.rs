@@ -1,0 +1,126 @@
+//! Redundant-guard elimination: what it deletes and what that buys.
+//!
+//! For each workload, compile with elision off and on, then execute both
+//! binaries under identical far-memory pressure. The gate asserts:
+//!
+//!   1. **Determinism** — compiling twice yields the identical
+//!      [`ElisionOutcome`] (counts *and* per-site attribution);
+//!   2. **Soundness dividend** — elision never changes the workload's
+//!      result (the runner checks the checksum) and never *increases*
+//!      simulated cycles, on the quickstart stream as well as the
+//!      kv-store (memcached) workload;
+//!   3. the before/after guard counts and cycles feed EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo bench -q -p tfm-bench --bench guard_elision
+//! ```
+
+use tfm_bench::{print_table, scale};
+use tfm_workloads::runner::{execute, RunConfig};
+use tfm_workloads::{analytics, kmeans, memcached, nas, stream, WorkloadSpec};
+use trackfm::TrackFmCompiler;
+
+fn workloads() -> Vec<(&'static str, WorkloadSpec, RunConfig)> {
+    let s = scale();
+    vec![
+        (
+            "quickstart(stream-sum)",
+            stream::sum(&stream::StreamParams {
+                elems: (1 << 20) / s,
+            }),
+            RunConfig::trackfm(0.25),
+        ),
+        (
+            "kv_store(memcached)",
+            memcached::memcached(&memcached::MemcachedParams {
+                keys: 20_000 / s,
+                gets: 60_000 / s,
+                skew: 1.05,
+                seed: 99,
+            }),
+            RunConfig::trackfm(0.10).with_object_size(64),
+        ),
+        (
+            "analytics",
+            analytics::analytics(&analytics::AnalyticsParams {
+                rows: 100_000 / s,
+                groups: 8_000 / s,
+            }),
+            RunConfig::trackfm(0.25),
+        ),
+        (
+            "kmeans",
+            kmeans::kmeans(&kmeans::KmeansParams {
+                points: 4_000 / s,
+                dims: 8,
+                k: 4,
+                iters: 2,
+            }),
+            RunConfig::trackfm(0.25),
+        ),
+        (
+            "nas-cg",
+            nas::cg(&nas::NasParams {
+                shrink: 25 * s,
+            }),
+            RunConfig::trackfm(0.25),
+        ),
+    ]
+}
+
+fn main() {
+    println!("guard_elision: redundant-guard elimination gate");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for (name, spec, base) in workloads() {
+        // Determinism: the same module must elide the same guards, with
+        // the same per-site attribution, on every compile.
+        let opts = base.compiler;
+        let r1 = TrackFmCompiler::new(opts).compile(&mut spec.module.clone(), None);
+        let r2 = TrackFmCompiler::new(opts).compile(&mut spec.module.clone(), None);
+        assert_eq!(
+            r1.elision, r2.elision,
+            "{name}: elision outcome must be deterministic"
+        );
+
+        // Execute with elision off and on; the runner asserts the checksum,
+        // so a semantic deviation aborts loudly.
+        let mut off_cfg = base;
+        off_cfg.compiler.elide_guards = false;
+        let off = execute(&spec, &off_cfg);
+        let on = execute(&spec, &base);
+
+        let off_rep = off.report.as_ref().unwrap();
+        let on_rep = on.report.as_ref().unwrap();
+        assert_eq!(off_rep.elision.eliminated, 0);
+        let inserted = on_rep.total_guards();
+        let elided = on_rep.elision.eliminated;
+        let (c_off, c_on) = (off.result.stats.cycles, on.result.stats.cycles);
+        assert!(
+            c_on <= c_off,
+            "{name}: elision increased cycles ({c_off} -> {c_on})"
+        );
+
+        rows.push(vec![
+            name.to_string(),
+            inserted.to_string(),
+            elided.to_string(),
+            (inserted - elided).to_string(),
+            on_rep.elision.upgraded.to_string(),
+            c_off.to_string(),
+            c_on.to_string(),
+            format!("{:.2}%", 100.0 * (c_off - c_on) as f64 / c_off as f64),
+        ]);
+    }
+
+    print_table(
+        "guard_elision (cycles at the row's budget; guards = static sites)",
+        &[
+            "workload", "inserted", "elided", "surviving", "upgraded", "cycles(off)",
+            "cycles(on)", "saved",
+        ],
+        &rows,
+    );
+    println!("\n  gate: elision outcomes deterministic; results unchanged;");
+    println!("  cycles(on) <= cycles(off) for every workload.");
+}

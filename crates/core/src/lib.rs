@@ -58,6 +58,8 @@ pub mod pipeline;
 
 pub use cost::CostModel;
 pub use passes::chunking::{ChunkingMode, ChunkingOptions, ChunkingOutcome};
+pub use passes::guard_elim::{ElidedSite, ElisionOutcome};
 pub use passes::guards::GuardSite;
+pub use passes::lint::{lint_module, LintError};
 pub use passes::o1::O1Outcome;
 pub use pipeline::{CompileReport, CompilerOptions, TrackFmCompiler};

@@ -1,0 +1,290 @@
+//! `tfm-lint` — the guard-coverage soundness lint.
+//!
+//! TrackFM's correctness invariant (PAPER.md §3.1, Fig. 4): every load/store
+//! that may touch the far-memory heap must go through a guard (or a
+//! chunk-boundary dereference) on the same pointer, with no intervening
+//! operation that could invalidate custody. The pass pipeline establishes
+//! this invariant; this lint *proves* it on the pipeline's output by
+//! combining two analyses:
+//!
+//! * [`points_to::PointsTo`] classifies every accessed pointer. Stack,
+//!   global, and pruned-local-heap accesses need no guard. `Heap` and
+//!   `Unknown` pointers must never be dereferenced directly.
+//! * [`AvailableGuards`] proves, for each `Localized` pointer, that custody
+//!   is still live at the access: the pointer is covered on **all** paths
+//!   and no kill (call, allocation) intervened.
+//!
+//! Stores are checked more strictly than loads: the covering custody must
+//! carry write intent (a `tfm.guard.write`, or a chunk stream whose
+//! `tfm.chunk.begin` flags include the write bit), otherwise dirty tracking
+//! is lost and writebacks silently dropped.
+//!
+//! The lint is wired into the pipeline as a final (optional) verify stage
+//! and into CI across every workload, example, and seeded random program.
+//! Modules are linted *post*-pipeline, where any surviving `malloc`/`calloc`
+//! is a pruned local allocation (see `passes::libc::run_pruned`).
+
+use std::collections::HashSet;
+use std::fmt;
+use tfm_analysis::guard_check::{self, AvailableGuards, CoverSrc, GuardKind};
+use tfm_analysis::points_to::{MemClass, PointsTo};
+use tfm_ir::{Function, InstKind, Intrinsic, Module, Value, CHUNK_FLAG_WRITE};
+
+/// One uncovered (or wrongly covered) may-heap access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintError {
+    /// Function containing the access.
+    pub function: String,
+    /// Block index of the access.
+    pub block: usize,
+    /// Value index of the offending instruction.
+    pub inst: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tfm-lint: `{}` bb{} %{}: {}",
+            self.function, self.block, self.inst, self.message
+        )
+    }
+}
+
+/// True if the chunk stream feeding `cd` (a `tfm.chunk.deref`) was opened
+/// with write intent.
+fn chunk_has_write_intent(f: &Function, cd: Value) -> Option<bool> {
+    let InstKind::IntrinsicCall {
+        intr: Intrinsic::ChunkDeref,
+        args,
+    } = f.kind(cd)
+    else {
+        return None;
+    };
+    let InstKind::IntrinsicCall {
+        intr: Intrinsic::ChunkBegin,
+        args: bargs,
+    } = f.kind(args[0])
+    else {
+        return None;
+    };
+    let InstKind::ConstInt(flags) = f.kind(bargs[1]) else {
+        return None;
+    };
+    Some(*flags & CHUNK_FLAG_WRITE != 0)
+}
+
+fn lint_function(name: &str, f: &Function, errors: &mut Vec<LintError>) {
+    // Post-pipeline, surviving plain malloc/calloc are pruned local allocs.
+    let locals: HashSet<Value> = f
+        .live_insts()
+        .into_iter()
+        .filter(|&v| {
+            matches!(
+                f.kind(v),
+                InstKind::IntrinsicCall {
+                    intr: Intrinsic::Malloc | Intrinsic::Calloc,
+                    ..
+                }
+            )
+        })
+        .collect();
+    let pt = PointsTo::compute_with_locals(f, &locals);
+    let ag = AvailableGuards::compute(f);
+    for b in f.blocks() {
+        let Some(mut map) = ag.block_in(b).cloned() else {
+            continue; // unreachable
+        };
+        for &v in f.block_insts(b) {
+            let (ptr, is_store) = match f.kind(v) {
+                InstKind::Load { ptr } => (*ptr, false),
+                InstKind::Store { ptr, .. } => (*ptr, true),
+                _ => {
+                    guard_check::apply(f, &mut map, v);
+                    continue;
+                }
+            };
+            let what = if is_store { "store" } else { "load" };
+            match pt.class(ptr) {
+                MemClass::NonPtr | MemClass::Stack | MemClass::Global | MemClass::LocalHeap => {}
+                MemClass::Heap | MemClass::Unknown => errors.push(LintError {
+                    function: name.to_string(),
+                    block: b.index(),
+                    inst: v.index(),
+                    message: format!(
+                        "{what} through %{} which may point to the far heap but never \
+                         passed through a guard",
+                        ptr.index()
+                    ),
+                }),
+                MemClass::Localized => match map.get(&ptr) {
+                    None => errors.push(LintError {
+                        function: name.to_string(),
+                        block: b.index(),
+                        inst: v.index(),
+                        message: format!(
+                            "{what} through %{}: custody not available on all paths \
+                             (guard killed or missing on some path)",
+                            ptr.index()
+                        ),
+                    }),
+                    Some(cover) if is_store => {
+                        let ok = match cover.kind {
+                            GuardKind::Write => true,
+                            GuardKind::Read => false,
+                            GuardKind::Chunk => match cover.src {
+                                CoverSrc::Guard(cd) => {
+                                    chunk_has_write_intent(f, cd).unwrap_or(false)
+                                }
+                                CoverSrc::Merged => false,
+                            },
+                        };
+                        if !ok {
+                            errors.push(LintError {
+                                function: name.to_string(),
+                                block: b.index(),
+                                inst: v.index(),
+                                message: format!(
+                                    "store through %{} whose custody has no write intent \
+                                     (dirty tracking would be lost)",
+                                    ptr.index()
+                                ),
+                            });
+                        }
+                    }
+                    Some(_) => {}
+                },
+            }
+            guard_check::apply(f, &mut map, v);
+        }
+    }
+}
+
+/// Lints every function of `module`; returns all violations found.
+pub fn lint_module(module: &Module) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    for (_, f) in module.functions() {
+        lint_function(&f.name, f, &mut errors);
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_ir::{FunctionBuilder, Signature, Type};
+
+    #[test]
+    fn guarded_access_is_clean() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let x = b.load(Type::I64, g);
+            b.ret(Some(x));
+        }
+        assert!(lint_module(&m).is_empty());
+    }
+
+    #[test]
+    fn unguarded_heap_access_is_flagged_with_location() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        let x;
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            x = b.load(Type::I64, p);
+            b.ret(Some(x));
+        }
+        let errs = lint_module(&m);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].function, "f");
+        assert_eq!(errs[0].block, 0);
+        assert_eq!(errs[0].inst, x.index());
+        assert!(errs[0].message.contains("never passed through a guard"));
+        assert!(errs[0].to_string().contains("bb0"));
+    }
+
+    #[test]
+    fn guard_result_used_after_a_call_is_flagged() {
+        let mut m = Module::new("t");
+        let h = m.declare_function("h", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(h));
+            let z = b.iconst(Type::I64, 0);
+            b.ret(Some(z));
+        }
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let _ = b.call(h, vec![], Some(Type::I64));
+            let x = b.load(Type::I64, g);
+            b.ret(Some(x));
+        }
+        let errs = lint_module(&m);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("not available on all paths"));
+    }
+
+    #[test]
+    fn store_through_read_guard_is_flagged() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], None));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let z = b.iconst(Type::I64, 1);
+            b.store(g, z);
+            b.ret(None);
+        }
+        let errs = lint_module(&m);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("no write intent"));
+    }
+
+    #[test]
+    fn chunk_write_intent_gates_stores() {
+        for (flags, want_errs) in [(0i64, 1usize), (CHUNK_FLAG_WRITE, 0usize)] {
+            let mut m = Module::new("t");
+            let id = m.declare_function("f", Signature::new(vec![Type::Ptr], None));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let p = b.param(0);
+                let fl = b.iconst(Type::I64, flags);
+                let h = b.intrinsic(Intrinsic::ChunkBegin, vec![p, fl]);
+                let cd = b.intrinsic(Intrinsic::ChunkDeref, vec![h, p]);
+                let z = b.iconst(Type::I64, 1);
+                b.store(cd, z);
+                b.intrinsic(Intrinsic::ChunkEnd, vec![h]);
+                b.ret(None);
+            }
+            assert_eq!(lint_module(&m).len(), want_errs, "flags={flags}");
+        }
+    }
+
+    #[test]
+    fn stack_and_pruned_local_accesses_need_no_guard() {
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let s = b.alloca(8, 8);
+            let z = b.iconst(Type::I64, 3);
+            b.store(s, z);
+            // Post-pipeline plain malloc == pruned local allocation.
+            let loc = b.malloc_const(64);
+            b.store(loc, z);
+            let x = b.load(Type::I64, loc);
+            b.ret(Some(x));
+        }
+        assert!(lint_module(&m).is_empty());
+    }
+}

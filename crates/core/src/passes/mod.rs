@@ -4,16 +4,22 @@
 //! source IR → [O1 pre-pipeline] → runtime initialization pass
 //!           → guard check analysis → loop chunking analysis
 //!           → loop chunking transform → guard check transform
-//!           → libc transformation pass → far-memory binary
+//!           → redundant-guard elimination → libc transformation pass
+//!           → [tfm-lint soundness check] → far-memory binary
 //! ```
 //!
 //! The O1 pre-pipeline position reflects the paper's Fig. 17b finding: letting
 //! classic scalar optimizations run *before* guard injection removes
 //! redundant memory instructions and with them most of the injected guards.
+//! Redundant-guard elimination ([`guard_elim`]) then deletes guards the
+//! available-guards dataflow proves duplicated, and the final lint
+//! ([`lint`]) machine-checks the guard-coverage invariant on the output.
 
 pub mod chunking;
+pub mod guard_elim;
 pub mod guards;
 pub mod libc;
+pub mod lint;
 pub mod mem2reg;
 pub mod o1;
 pub mod runtime_init;

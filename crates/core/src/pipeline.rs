@@ -2,14 +2,17 @@
 //!
 //! Mirrors Fig. 2 of the paper: runtime initialization → guard check
 //! analysis → loop chunking analysis/transform → guard check transform →
-//! libc transformation, optionally preceded by the O1 scalar pipeline
+//! redundant-guard elimination → libc transformation → `tfm-lint`
+//! soundness check, optionally preceded by the O1 scalar pipeline
 //! (the Fig. 17b ordering fix). Produces a [`CompileReport`] with the
 //! §4.6 compilation-cost metrics.
 
 use crate::cost::CostModel;
 use crate::passes::chunking::{self, ChunkingMode, ChunkingOptions, ChunkingOutcome};
+use crate::passes::guard_elim::{self, ElisionOutcome};
 use crate::passes::guards;
 use crate::passes::libc;
+use crate::passes::lint;
 use crate::passes::o1::{self, O1Outcome};
 use crate::passes::runtime_init;
 use std::time::Instant;
@@ -39,6 +42,15 @@ pub struct CompilerOptions {
     /// compiler+kernel exploration, where raw accesses fault into a
     /// kernel-style handler instead (see `tfm_sim::HybridMem`).
     pub guards: bool,
+    /// Delete guards the available-guards dataflow proves redundant
+    /// (dominated by an un-killed guard on the same pointer) and fold the
+    /// read-then-write pattern into a single write guard.
+    pub elide_guards: bool,
+    /// Run the `tfm-lint` soundness check on the pipeline output and panic
+    /// on any may-heap access without live guard custody. Only meaningful
+    /// when `guards` is on (the hybrid system leaves raw accesses on
+    /// purpose).
+    pub lint: bool,
     /// Name of the entry function that receives the runtime-init hook.
     pub main_name: &'static str,
 }
@@ -53,6 +65,8 @@ impl Default for CompilerOptions {
             o1: false,
             prune_local_allocations: false,
             guards: true,
+            elide_guards: true,
+            lint: true,
             main_name: "main",
         }
     }
@@ -71,6 +85,10 @@ pub struct CompileReport {
     pub o1: Option<O1Outcome>,
     /// Allocation sites pruned from remoting (kept always-local).
     pub pruned_local_sites: usize,
+    /// What redundant-guard elimination did (`read_guards`/`write_guards`
+    /// count insertions *before* elision; subtract `elision.eliminated` for
+    /// the surviving total).
+    pub elision: ElisionOutcome,
     /// Live instructions before compilation.
     pub insts_before: usize,
     /// Live instructions after compilation ("code size").
@@ -179,6 +197,14 @@ impl TrackFmCompiler {
             .pass_nanos
             .push(("guard-transform", t.elapsed().as_nanos()));
 
+        if opts.guards && opts.elide_guards {
+            let t = Instant::now();
+            report.elision = guard_elim::run(module);
+            report
+                .pass_nanos
+                .push(("guard-elide", t.elapsed().as_nanos()));
+        }
+
         let t = Instant::now();
         let (_, kept) = libc::run_pruned(module, prune_threshold);
         report.pruned_local_sites = kept;
@@ -191,6 +217,19 @@ impl TrackFmCompiler {
         module
             .verify()
             .expect("TrackFM output must verify — compiler bug");
+
+        if opts.guards && opts.lint {
+            let t = Instant::now();
+            let errors = lint::lint_module(module);
+            if !errors.is_empty() {
+                let msgs: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+                panic!(
+                    "TrackFM output failed the guard-coverage lint — compiler bug:\n{}",
+                    msgs.join("\n")
+                );
+            }
+            report.pass_nanos.push(("tfm-lint", t.elapsed().as_nanos()));
+        }
         report
     }
 }
@@ -247,7 +286,57 @@ mod tests {
         assert_eq!(count_intr(&m, Intrinsic::Malloc), 0);
         assert!(report.code_size_ratio() > 1.0);
         assert!(report.total_nanos() > 0);
-        assert_eq!(report.pass_nanos.len(), 4);
+        // runtime-init, loop-chunking, guard-transform, guard-elide,
+        // libc-transform, tfm-lint.
+        assert_eq!(report.pass_nanos.len(), 6);
+    }
+
+    #[test]
+    fn elision_folds_duplicate_guards_and_output_stays_sound() {
+        // Two loads and a store through the same address in one block: the
+        // guard pass inserts three guards, elision folds them into a single
+        // write guard (read→write upgrade on the survivor).
+        let mut m = Module::new("dup");
+        let id = m.declare_function("main", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let i = b.iconst(Type::I64, 3);
+            let addr = b.gep(p, i, 8, 0);
+            let x = b.load(Type::I64, addr);
+            let y = b.load(Type::I64, addr);
+            let s = b.binop(BinOp::Add, x, y);
+            b.store(addr, s);
+            b.ret(Some(s));
+        }
+        m.verify().unwrap();
+        let report = TrackFmCompiler::default().compile(&mut m, None);
+        assert_eq!(report.read_guards, 2);
+        assert_eq!(report.write_guards, 1);
+        assert_eq!(report.elision.eliminated, 2);
+        assert_eq!(report.elision.upgraded, 1);
+        assert_eq!(report.elision.sites.len(), 1);
+        assert_eq!(report.elision.sites[0].absorbed, 2);
+        assert_eq!(count_intr(&m, Intrinsic::GuardRead), 0);
+        assert_eq!(count_intr(&m, Intrinsic::GuardWrite), 1);
+        // collect_sites runs post-elision: only the survivor is reported.
+        assert_eq!(report.guard_sites.len(), 1);
+        assert!(report.guard_sites[0].label.ends_with(":write"));
+    }
+
+    #[test]
+    fn elision_off_keeps_every_guard() {
+        let mut m = sum_program(1000);
+        let compiler = TrackFmCompiler::new(CompilerOptions {
+            chunking: ChunkingMode::Off,
+            elide_guards: false,
+            ..Default::default()
+        });
+        let report = compiler.compile(&mut m, None);
+        assert_eq!(report.elision, Default::default());
+        assert_eq!(count_intr(&m, Intrinsic::GuardRead), 1);
+        // No guard-elide entry in the pass list when disabled.
+        assert!(report.pass_nanos.iter().all(|(n, _)| *n != "guard-elide"));
     }
 
     #[test]

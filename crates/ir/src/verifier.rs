@@ -18,18 +18,29 @@ use crate::types::Type;
 use std::collections::HashSet;
 use std::fmt;
 
-/// A verification failure.
+/// A verification failure, located as precisely as the check allows.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VerifyError {
     /// Function in which the error occurred.
     pub function: String,
+    /// Block index of the offending block, when the check is localized.
+    pub block: Option<usize>,
+    /// Value index of the offending instruction, when the check names one.
+    pub inst: Option<usize>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed in `{}`: {}", self.function, self.message)
+        write!(f, "verification failed in `{}`", self.function)?;
+        if let Some(b) = self.block {
+            write!(f, " at bb{b}")?;
+            if let Some(v) = self.inst {
+                write!(f, " %{v}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -38,7 +49,26 @@ impl std::error::Error for VerifyError {}
 fn err(func: &Function, msg: impl Into<String>) -> VerifyError {
     VerifyError {
         function: func.name.clone(),
+        block: None,
+        inst: None,
         message: msg.into(),
+    }
+}
+
+/// An error located to a block (e.g. a malformed block structure).
+fn err_in(func: &Function, b: Block, msg: impl Into<String>) -> VerifyError {
+    VerifyError {
+        block: Some(b.index()),
+        ..err(func, msg)
+    }
+}
+
+/// An error located to one instruction inside a block.
+fn err_at(func: &Function, b: Block, v: Value, msg: impl Into<String>) -> VerifyError {
+    VerifyError {
+        block: Some(b.index()),
+        inst: Some(v.index()),
+        ..err(func, msg)
     }
 }
 
@@ -65,36 +95,36 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
     for &b in &reachable {
         let insts = f.block_insts(b);
         if insts.is_empty() {
-            return Err(err(f, format!("{b} is reachable but empty")));
+            return Err(err_in(f, b, format!("{b} is reachable but empty")));
         }
         let last = *insts.last().unwrap();
         if !f.kind(last).is_terminator() {
-            return Err(err(f, format!("{b} does not end in a terminator")));
+            return Err(err_in(f, b, format!("{b} does not end in a terminator")));
         }
         let mut seen_nonphi = false;
         for (i, &v) in insts.iter().enumerate() {
             let kind = f.kind(v);
             if kind.is_terminator() && i + 1 != insts.len() {
-                return Err(err(f, format!("terminator {v} is not last in {b}")));
+                return Err(err_at(f, b, v, format!("terminator {v} is not last in {b}")));
             }
             match kind {
                 InstKind::Nop => {
-                    return Err(err(f, format!("tombstone {v} still listed in {b}")));
+                    return Err(err_at(f, b, v, format!("tombstone {v} still listed in {b}")));
                 }
                 InstKind::Phi(_) => {
                     if seen_nonphi {
-                        return Err(err(f, format!("phi {v} after non-phi in {b}")));
+                        return Err(err_at(f, b, v, format!("phi {v} after non-phi in {b}")));
                     }
                 }
                 InstKind::Param(_) => {
                     if b != f.entry_block() {
-                        return Err(err(f, format!("param {v} outside entry block")));
+                        return Err(err_at(f, b, v, format!("param {v} outside entry block")));
                     }
                 }
                 _ => seen_nonphi = true,
             }
             if f.inst(v).block != b {
-                return Err(err(f, format!("{v} block backlink is stale")));
+                return Err(err_at(f, b, v, format!("{v} block backlink is stale")));
             }
         }
     }
@@ -103,7 +133,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
     for &b in &reachable {
         for s in f.succs(b) {
             if s.index() >= f.num_blocks() {
-                return Err(err(f, format!("{b} branches to nonexistent {s}")));
+                return Err(err_in(f, b, format!("{b} branches to nonexistent {s}")));
             }
         }
     }
@@ -117,11 +147,13 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
             if let InstKind::Phi(incs) = f.kind(v) {
                 let labels: HashSet<Block> = incs.iter().map(|(p, _)| *p).collect();
                 if labels.len() != incs.len() {
-                    return Err(err(f, format!("phi {v} has duplicate predecessor labels")));
+                    return Err(err_at(f, b, v, format!("phi {v} has duplicate predecessor labels")));
                 }
                 if labels != preds {
-                    return Err(err(
+                    return Err(err_at(
                         f,
+                        b,
+                        v,
                         format!(
                             "phi {v} labels {labels:?} do not match predecessors {preds:?} of {b}"
                         ),
@@ -143,7 +175,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                 }
             });
             if let Some(msg) = bad {
-                return Err(err(f, msg));
+                return Err(err_at(f, b, v, msg));
             }
             check_types(f, v, module)?;
         }
@@ -169,7 +201,7 @@ fn reachable_blocks(f: &Function) -> HashSet<Block> {
 }
 
 fn check_types(f: &Function, v: Value, module: Option<&Module>) -> Result<(), VerifyError> {
-    let e = |msg: String| Err(err(f, msg));
+    let e = |msg: String| Err(err_at(f, f.inst(v).block, v, msg));
     match f.kind(v) {
         InstKind::Binary(op, a, b) => {
             let (ta, tb) = (f.ty(*a), f.ty(*b));
@@ -354,8 +386,10 @@ fn verify_dominance(f: &Function, reachable: &HashSet<Block>) -> Result<(), Veri
                 for (p, iv) in incs {
                     let defb = f.inst(*iv).block;
                     if !dominates(defb, *p) {
-                        return Err(err(
+                        return Err(err_at(
                             f,
+                            b,
+                            v,
                             format!("phi {v}: incoming {iv} from {p} not dominated by def"),
                         ));
                     }
@@ -378,7 +412,7 @@ fn verify_dominance(f: &Function, reachable: &HashSet<Block>) -> Result<(), Veri
                 }
             });
             if let Some(msg) = bad {
-                return Err(err(f, msg));
+                return Err(err_at(f, b, v, msg));
             }
         }
     }
@@ -431,6 +465,10 @@ mod tests {
         });
         let e = m.verify().unwrap_err();
         assert!(e.message.contains("terminator"), "{e}");
+        // Block-level error: located to the block, no single instruction.
+        assert_eq!(e.block, Some(0));
+        assert_eq!(e.inst, None);
+        assert!(e.to_string().contains("at bb0"), "{e}");
     }
 
     #[test]
@@ -490,6 +528,10 @@ mod tests {
         });
         let e = m.verify().unwrap_err();
         assert!(e.message.contains("binop"), "{e}");
+        // Instruction-level error: both coordinates filled in.
+        assert_eq!(e.block, Some(0));
+        assert_eq!(e.inst, Some(2));
+        assert!(e.to_string().contains("at bb0 %2"), "{e}");
     }
 
     #[test]
@@ -549,6 +591,8 @@ mod tests {
         f.remove_inst(c);
         let err = m.verify().unwrap_err();
         assert!(err.message.contains("deleted"), "{err}");
+        assert_eq!(err.block, Some(0));
+        assert_eq!(err.inst, Some(1));
     }
 
     #[test]
@@ -574,6 +618,9 @@ mod tests {
         }
         let e = m.verify().unwrap_err();
         assert!(e.message.contains("dominate"), "{e}");
+        // The bad use is the ret in the join block.
+        assert_eq!(e.block, Some(3));
+        assert!(e.inst.is_some());
     }
 
     #[test]

@@ -19,7 +19,19 @@ use tfm_ir::{
     BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type,
     Value,
 };
+use tfm_runtime::TfmPtr;
 use trackfm::CostModel;
+
+/// Downgrades every killable custody bit (see [`shadow`]): the dynamic
+/// counterpart of the static analysis clearing its cover map at calls and
+/// allocating intrinsics.
+fn kill_custody(cov: &mut [u8]) {
+    for c in cov.iter_mut() {
+        if *c == shadow::CUSTODY {
+            *c = shadow::NONE;
+        }
+    }
+}
 
 /// Default simulated stack size (1 MiB).
 const STACK_SIZE: usize = 1 << 20;
@@ -48,6 +60,20 @@ pub struct Machine<'m, M: MemorySystem> {
     profiler: Option<ProfileCollector>,
     fuel: u64,
     tel: Telemetry,
+    sanitize: bool,
+}
+
+/// Guard-sanitizer shadow state for one SSA value (see
+/// [`Machine::enable_guard_sanitizer`]).
+mod shadow {
+    /// No custody: dereferencing a heap address through this value traps.
+    pub const NONE: u8 = 0;
+    /// Guard/chunk-deref custody: valid until the next call or allocating
+    /// intrinsic (mirrors the static kill set of
+    /// `tfm_analysis::guard_check`).
+    pub const CUSTODY: u8 = 1;
+    /// Permanently safe: stack slots, globals, pruned local allocations.
+    pub const STABLE: u8 = 2;
 }
 
 impl<'m, M: MemorySystem> Machine<'m, M> {
@@ -81,7 +107,19 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             profiler: None,
             fuel: u64::MAX,
             tel: Telemetry::disabled(),
+            sanitize: false,
         }
+    }
+
+    /// Enables the dynamic guard sanitizer: every register carries a shadow
+    /// custody state, and any load/store of a heap (or tagged) address
+    /// through a value without live custody traps with
+    /// [`Trap::UnguardedAccess`]. This is the dynamic mirror of the static
+    /// `tfm-lint` pass — a program the lint accepts must run sanitizer-clean
+    /// (the sanitizer tracks the dynamically-taken path, so it is never
+    /// stricter than the all-paths static analysis).
+    pub fn enable_guard_sanitizer(&mut self) {
+        self.sanitize = true;
     }
 
     /// Attaches a telemetry sink: the machine attributes guard and chunk
@@ -263,6 +301,10 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         );
         let mut regs = vec![0u64; f.num_insts()];
         regs[..args.len()].copy_from_slice(args);
+        // Shadow custody state per register. Parameters start uncovered:
+        // the static side classifies them Unknown, so the pipeline re-guards
+        // them in the callee.
+        let mut cov = vec![shadow::NONE; if self.sanitize { f.num_insts() } else { 0 }];
         let saved_stack = self.stack_top;
         let mut block = f.entry_block();
         self.profile_block(fid, block, f);
@@ -282,6 +324,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         let ty = f.ty(v).unwrap_or(Type::I64);
                         regs[v.index()] =
                             exec_binop(*op, regs[a.index()], regs[b.index()], ty)?;
+                        if self.sanitize {
+                            cov[v.index()] = cov[a.index()].max(cov[b.index()]);
+                        }
                     }
                     InstKind::Icmp(op, a, b) => {
                         self.clock += self.cost.alu;
@@ -302,6 +347,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         let from_ty = f.ty(*a).unwrap_or(Type::I64);
                         let to_ty = f.ty(v).unwrap_or(Type::I64);
                         regs[v.index()] = exec_cast(*op, regs[a.index()], from_ty, to_ty);
+                        if self.sanitize {
+                            cov[v.index()] = cov[a.index()];
+                        }
                     }
                     InstKind::Alloca { size, align } => {
                         let top = self
@@ -312,11 +360,19 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         }
                         regs[v.index()] = STACK_BASE + top;
                         self.stack_top = top + *size as u64;
+                        if self.sanitize {
+                            cov[v.index()] = shadow::STABLE;
+                        }
                     }
                     InstKind::Load { ptr } => {
                         let addr = regs[ptr.index()];
                         let ty = f.ty(v).unwrap_or(Type::I64);
                         let size = ty.size() as u64;
+                        if self.sanitize && cov[ptr.index()] == shadow::NONE
+                            && self.is_sanitized_addr(addr)
+                        {
+                            return Err(Trap::UnguardedAccess { addr });
+                        }
                         self.stats.loads += 1;
                         let extra =
                             self.mem
@@ -329,6 +385,11 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         let addr = regs[ptr.index()];
                         let ty = f.ty(*val).unwrap_or(Type::I64);
                         let size = ty.size() as u64;
+                        if self.sanitize && cov[ptr.index()] == shadow::NONE
+                            && self.is_sanitized_addr(addr)
+                        {
+                            return Err(Trap::UnguardedAccess { addr });
+                        }
                         self.stats.stores += 1;
                         let extra =
                             self.mem
@@ -348,32 +409,59 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                             .wrapping_add((regs[index.index()] as i64).wrapping_mul(*scale as i64)
                                 as u64)
                             .wrapping_add(*disp as u64);
+                        if self.sanitize {
+                            cov[v.index()] = cov[base.index()];
+                        }
                     }
                     InstKind::Call { func, args } => {
                         self.clock += self.cost.call_overhead;
                         let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
                         regs[v.index()] = self.exec_function(*func, &vals)?;
+                        // A call may evict anything: guard custody lapses
+                        // (the dynamic mirror of the static kill set).
+                        if self.sanitize {
+                            kill_custody(&mut cov);
+                        }
                     }
                     InstKind::IntrinsicCall { intr, args } => {
                         let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
                         let site = SiteKey::new(fid.0, v.index() as u32);
                         regs[v.index()] = self.exec_intrinsic(*intr, &vals, site)?;
+                        if self.sanitize {
+                            match intr {
+                                Intrinsic::GuardRead
+                                | Intrinsic::GuardWrite
+                                | Intrinsic::ChunkDeref => {
+                                    cov[v.index()] = shadow::CUSTODY;
+                                }
+                                Intrinsic::Malloc | Intrinsic::Calloc => {
+                                    kill_custody(&mut cov);
+                                    // Pruned local allocation: always local,
+                                    // never needs a guard.
+                                    cov[v.index()] = shadow::STABLE;
+                                }
+                                _ => kill_custody(&mut cov),
+                            }
+                        }
                     }
                     InstKind::GlobalAddr(g) => {
                         regs[v.index()] = GLOBAL_BASE + self.global_offsets[g.index()];
+                        if self.sanitize {
+                            cov[v.index()] = shadow::STABLE;
+                        }
                     }
                     InstKind::Select { cond, tval, fval } => {
                         self.clock += self.cost.alu;
-                        regs[v.index()] = if regs[cond.index()] != 0 {
-                            regs[tval.index()]
-                        } else {
-                            regs[fval.index()]
-                        };
+                        let taken = if regs[cond.index()] != 0 { tval } else { fval };
+                        regs[v.index()] = regs[taken.index()];
+                        if self.sanitize {
+                            cov[v.index()] = cov[taken.index()];
+                        }
                     }
                     InstKind::Br(target) => {
                         self.clock += self.cost.branch;
                         let target = *target;
-                        self.take_edge(f, fid, block, target, &mut regs);
+                        self.take_edge(f, fid, block, target, &mut regs, &mut cov);
                         block = target;
                         continue 'blocks;
                     }
@@ -388,7 +476,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         } else {
                             *else_bb
                         };
-                        self.take_edge(f, fid, block, target, &mut regs);
+                        self.take_edge(f, fid, block, target, &mut regs, &mut cov);
                         block = target;
                         continue 'blocks;
                     }
@@ -406,28 +494,48 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
 
     /// Evaluates the target block's phis against the edge being taken, then
     /// records profiling.
-    fn take_edge(&mut self, f: &Function, fid: FuncId, from: Block, to: Block, regs: &mut [u64]) {
+    fn take_edge(
+        &mut self,
+        f: &Function,
+        fid: FuncId,
+        from: Block,
+        to: Block,
+        regs: &mut [u64],
+        cov: &mut [u8],
+    ) {
         // Phis evaluate in parallel: read all incoming values first.
         let insts = f.block_insts(to);
-        let mut updates: Vec<(Value, u64)> = Vec::new();
+        let mut updates: Vec<(Value, u64, u8)> = Vec::new();
         for &v in insts {
             match f.kind(v) {
                 InstKind::Phi(incs) => {
                     if let Some((_, iv)) = incs.iter().find(|(p, _)| *p == from) {
-                        updates.push((v, regs[iv.index()]));
+                        let c = if self.sanitize { cov[iv.index()] } else { 0 };
+                        updates.push((v, regs[iv.index()], c));
                     }
                 }
                 InstKind::Param(_) => continue,
                 _ => break,
             }
         }
-        for (v, val) in updates {
+        for (v, val, c) in updates {
             regs[v.index()] = val;
+            if self.sanitize {
+                cov[v.index()] = c;
+            }
         }
         if let Some(col) = &mut self.profiler {
             *col.edges.entry((fid.0, from.0, to.0)).or_insert(0) += 1;
         }
         self.profile_block(fid, to, f);
+    }
+
+    /// True if the sanitizer polices accesses to `addr`: tagged TrackFM
+    /// pointers (always) and canonical heap addresses (whose custody the
+    /// shadow state must vouch for). Stack and global addresses are exempt.
+    fn is_sanitized_addr(&self, addr: u64) -> bool {
+        TfmPtr::is_tfm(addr)
+            || (addr >= HEAP_BASE && addr < HEAP_BASE + self.heap.len() as u64)
     }
 
     fn profile_block(&mut self, fid: FuncId, b: Block, f: &Function) {
@@ -1065,6 +1173,112 @@ mod tests {
         assert_eq!(stats.fast, 1);
         assert!(stats.stall_cycles > 0, "the cold fetch stalls");
         assert_eq!(snap.stall_per_access.count(), 2);
+    }
+
+    #[test]
+    fn sanitizer_accepts_guarded_and_rejects_unguarded_heap_access() {
+        let build = |guarded: bool| {
+            let mut m = Module::new("t");
+            let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let p = b.param(0);
+                let ptr = if guarded {
+                    b.intrinsic(Intrinsic::GuardRead, vec![p])
+                } else {
+                    p
+                };
+                let x = b.load(Type::I64, ptr);
+                b.ret(Some(x));
+            }
+            m.verify().unwrap();
+            m
+        };
+        let good = build(true);
+        let mut mach = machine(&good);
+        mach.enable_guard_sanitizer();
+        let ptr = mach.setup_alloc(64);
+        mach.setup_write_u64s(ptr, &[42]);
+        mach.finish_setup(false);
+        assert_eq!(mach.run("f", &[ptr]).unwrap().ret, 42);
+
+        let bad = build(false);
+        let mut mach = machine(&bad);
+        mach.enable_guard_sanitizer();
+        let ptr = mach.setup_alloc(64);
+        mach.finish_setup(false);
+        assert!(matches!(
+            mach.run("f", &[ptr]).unwrap_err(),
+            Trap::UnguardedAccess { .. }
+        ));
+        // Without the sanitizer, LocalMem lets the unguarded access through.
+        let mut mach = machine(&bad);
+        let ptr = mach.setup_alloc(64);
+        mach.finish_setup(false);
+        assert!(mach.run("f", &[ptr]).is_ok());
+    }
+
+    #[test]
+    fn sanitizer_catches_custody_lapse_across_calls() {
+        // A guard result reused after a call: the canonical address is still
+        // valid memory, so only the sanitizer's shadow kill catches it.
+        let mut m = Module::new("t");
+        let h = m.declare_function("h", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(h));
+            let z = b.iconst(Type::I64, 0);
+            b.ret(Some(z));
+        }
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let _ = b.load(Type::I64, g);
+            let _ = b.call(h, vec![], Some(Type::I64));
+            let x = b.load(Type::I64, g); // custody lapsed
+            b.ret(Some(x));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        mach.enable_guard_sanitizer();
+        let ptr = mach.setup_alloc(64);
+        mach.finish_setup(false);
+        assert!(matches!(
+            mach.run("f", &[ptr]).unwrap_err(),
+            Trap::UnguardedAccess { .. }
+        ));
+    }
+
+    #[test]
+    fn sanitizer_exempts_stack_globals_and_local_allocs() {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 8, None);
+        let h = m.declare_function("h", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(h));
+            let z = b.iconst(Type::I64, 0);
+            b.ret(Some(z));
+        }
+        let id = m.declare_function("f", Signature::new(vec![], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let one = b.iconst(Type::I64, 1);
+            let slot = b.alloca(8, 8);
+            b.store(slot, one);
+            let ga = b.global_addr(g);
+            b.store(ga, one);
+            // Pruned local allocation stays accessible even across a call.
+            let loc = b.malloc_const(64);
+            b.store(loc, one);
+            let _ = b.call(h, vec![], Some(Type::I64));
+            let x = b.load(Type::I64, loc);
+            b.ret(Some(x));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        mach.enable_guard_sanitizer();
+        assert_eq!(mach.run("f", &[]).unwrap().ret, 1);
     }
 
     #[test]

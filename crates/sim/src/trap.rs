@@ -34,6 +34,16 @@ pub enum Trap {
     },
     /// Interpreter budget exceeded (runaway program).
     FuelExhausted,
+    /// Guard-sanitizer violation: a load/store dereferenced a heap pointer
+    /// whose value never passed through a live guard (or chunk dereference)
+    /// in this frame. Unlike [`Trap::NonCanonicalAccess`] — which only fires
+    /// on tagged pointers — this also catches *canonical* pointers whose
+    /// custody lapsed (e.g. a guard result reused across a call), the
+    /// dynamic mirror of the static `tfm-lint` check.
+    UnguardedAccess {
+        /// The faulting address.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -52,6 +62,10 @@ impl fmt::Display for Trap {
             Trap::AllocFailure => write!(f, "allocation failure"),
             Trap::BadChunkHandle { handle } => write!(f, "invalid chunk handle {handle}"),
             Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
+            Trap::UnguardedAccess { addr } => write!(
+                f,
+                "guard sanitizer: access to {addr:#x} without live guard custody"
+            ),
         }
     }
 }
@@ -70,5 +84,8 @@ mod tests {
         assert!(t.to_string().contains("general protection fault"));
         assert!(t.to_string().contains("0x1000000000000040"));
         assert!(Trap::DivByZero.to_string().contains("division"));
+        let u = Trap::UnguardedAccess { addr: 0x2000_0000_0040 };
+        assert!(u.to_string().contains("guard sanitizer"));
+        assert!(u.to_string().contains("0x200000000040"));
     }
 }

@@ -222,6 +222,7 @@ impl RunReport {
                                 ("custody_exits".into(), Json::Int(r.stats.custody_exits)),
                                 ("cycles".into(), Json::Int(r.stats.cycles)),
                                 ("stall_cycles".into(), Json::Int(r.stats.stall_cycles)),
+                                ("elided".into(), Json::Int(r.stats.elided)),
                             ])
                         })
                         .collect(),
@@ -269,13 +270,13 @@ impl RunReport {
             let _ = writeln!(out, "top guard sites by stall cycles:");
             let _ = writeln!(
                 out,
-                "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
-                "rank", "site", "hits", "fast", "slow_loc", "slow_rem", "cycles", "stall"
+                "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
+                "rank", "site", "hits", "fast", "slow_loc", "slow_rem", "cycles", "stall", "elided"
             );
             for (i, r) in self.sites.iter().take(TOP_SITES).enumerate() {
                 let _ = writeln!(
                     out,
-                    "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+                    "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
                     i + 1,
                     r.label,
                     r.stats.hits,
@@ -283,7 +284,8 @@ impl RunReport {
                     r.stats.slow_local,
                     r.stats.slow_remote,
                     r.stats.cycles,
-                    r.stats.stall_cycles
+                    r.stats.stall_cycles,
+                    r.stats.elided
                 );
             }
             if self.sites.len() > TOP_SITES {

@@ -54,6 +54,10 @@ pub struct SiteStats {
     pub cycles: u64,
     /// Cycles spent stalled on the network at the site.
     pub stall_cycles: u64,
+    /// Duplicate guards statically folded into this (surviving) site by
+    /// redundant-guard elimination. Recorded at compile time, so every run
+    /// shows which hot sites absorbed how many deleted checks.
+    pub elided: u64,
 }
 
 impl SiteStats {
@@ -66,6 +70,7 @@ impl SiteStats {
         self.custody_exits += other.custody_exits;
         self.cycles += other.cycles;
         self.stall_cycles += other.stall_cycles;
+        self.elided += other.elided;
     }
 
     /// Slow-path executions of either flavor.

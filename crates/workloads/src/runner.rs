@@ -245,7 +245,8 @@ pub fn execute_with_profile(
                 SystemKind::TrackFm => TrackFmMem::new(fm_cfg, cfg.cost),
                 _ => TrackFmMem::new_aifm(fm_cfg, cfg.cost),
             };
-            let (result, telemetry) = run_machine(spec, &module, mem, cfg, heap, false);
+            let (result, mut telemetry) = run_machine(spec, &module, mem, cfg, heap, false);
+            attribute_elision(&report, &mut telemetry);
             Outcome {
                 result,
                 report: Some(report),
@@ -265,6 +266,20 @@ pub fn execute_with_profile(
                 report: Some(report),
                 telemetry,
             }
+        }
+    }
+}
+
+/// Folds compile-time redundant-guard-elimination attribution into the
+/// run's site table: each surviving site's `elided` counter records how
+/// many duplicate guards were statically folded into it, so the per-site
+/// report shows which hot sites absorbed deleted checks.
+fn attribute_elision(report: &CompileReport, telemetry: &mut Option<TelemetrySnapshot>) {
+    if let Some(snap) = telemetry {
+        for s in &report.elision.sites {
+            snap.sites
+                .stats_mut(SiteKey::new(s.func, s.survivor))
+                .elided += s.absorbed as u64;
         }
     }
 }
@@ -446,6 +461,28 @@ mod tests {
         let doc = Json::parse(&rep.to_json().to_string_pretty()).unwrap();
         assert_eq!(doc.get("system").and_then(Json::as_str), Some("trackfm"));
         assert!(!doc.get("guard_sites").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn elision_attribution_reaches_the_site_table() {
+        // The analytics aggregation loop read-modify-writes the same group
+        // slot, so redundant-guard elimination folds its read guard into the
+        // write guard — the surviving site must carry the elided count.
+        let spec = crate::analytics::analytics(&crate::analytics::AnalyticsParams {
+            rows: 4096,
+            groups: 64,
+        });
+        let cfg = RunConfig::trackfm(0.5);
+        let (outcome, rep) = execute_with_report(&spec, &cfg);
+        let report = outcome.report.as_ref().unwrap();
+        assert!(report.elision.eliminated > 0, "analytics should elide guards");
+        let attributed: u64 = rep.sites.iter().map(|s| s.stats.elided).sum();
+        assert_eq!(
+            attributed,
+            report.elision.sites.iter().map(|s| s.absorbed as u64).sum::<u64>(),
+            "every absorbed guard must be attributed to a surviving site"
+        );
+        assert!(attributed >= report.elision.eliminated as u64 / 2);
     }
 
     #[test]

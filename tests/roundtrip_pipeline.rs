@@ -1,0 +1,198 @@
+//! Parser/printer round-trip over *pipeline output*.
+//!
+//! The unit tests in `tfm-ir` round-trip hand-written modules; this suite
+//! round-trips what the compiler actually emits — runtime-init hooks, guard
+//! intrinsics, chunked loops with phi-carried custody, libc rewrites — for
+//! every workload under several configurations, plus randomized programs.
+//!
+//! Exact text equality with the in-memory module is not required (the
+//! printer names values by arena index and the pipeline's `insert_before`
+//! renumbers), but print→parse must reach a fixpoint within a few rounds:
+//! the reparsed module verifies, prints identically, and has the same
+//! shape (functions, blocks, instructions). For random programs the
+//! reparsed module must also *behave* identically under far memory.
+
+use trackfm_suite::compiler::{ChunkingMode, CompilerOptions, CostModel, TrackFmCompiler};
+use trackfm_suite::ir::{parse_module, Module};
+use trackfm_suite::runtime::FarMemoryConfig;
+use trackfm_suite::sim::{Machine, TrackFmMem};
+use trackfm_suite::workloads::{analytics, hashmap, kmeans, memcached, nas, stream, SplitMix64};
+
+/// Compiler configurations worth printing: each exercises different
+/// pipeline output (guard shapes, chunk streams, O1 cleanups, elision).
+fn configs() -> Vec<(&'static str, CompilerOptions)> {
+    vec![
+        ("default", CompilerOptions::default()),
+        (
+            "no-elide",
+            CompilerOptions {
+                elide_guards: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-chunking",
+            CompilerOptions {
+                chunking: ChunkingMode::Off,
+                ..Default::default()
+            },
+        ),
+        (
+            "o1",
+            CompilerOptions {
+                o1: true,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Asserts print→parse cycles reach a fixpoint and preserve the module's
+/// shape. Returns the first reparsed module for behavioural checks.
+///
+/// One round is not always enough: the parser materializes blocks in
+/// first-*mention* order (a phi can mention a block before its label), the
+/// printer labels blocks by arena order, so chunked-loop output may take a
+/// couple of rounds for the two orders to agree. The loop bounds how many.
+fn assert_roundtrip(tag: &str, compiled: &Module) -> Module {
+    let text1 = compiled.to_string();
+    let parsed = parse_module(&text1)
+        .unwrap_or_else(|e| panic!("{tag}: pipeline output failed to parse: {e}"));
+    parsed
+        .verify()
+        .unwrap_or_else(|e| panic!("{tag}: reparsed module failed to verify: {e}"));
+
+    let mut text = parsed.to_string();
+    let mut converged = false;
+    for round in 0..6 {
+        let m = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{tag}: reparse round {round} failed: {e}"));
+        m.verify()
+            .unwrap_or_else(|e| panic!("{tag}: round {round} failed to verify: {e}"));
+        let next = m.to_string();
+        if next == text {
+            converged = true;
+            break;
+        }
+        text = next;
+    }
+    assert!(converged, "{tag}: print/parse never reached a fixpoint");
+
+    // Same shape: function names and the multiset of block sizes (the
+    // parser lays blocks out in printed order, which may differ from the
+    // original arena order).
+    let shape = |m: &Module| {
+        m.functions()
+            .map(|(_, f)| {
+                let mut sizes: Vec<usize> =
+                    f.blocks().map(|b| f.block_insts(b).len()).collect();
+                sizes.sort_unstable();
+                (f.name.clone(), sizes)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(shape(compiled), shape(&parsed), "{tag}: module shape changed");
+    parsed
+}
+
+#[test]
+fn every_workload_pipeline_output_round_trips() {
+    let specs = vec![
+        stream::sum(&stream::StreamParams { elems: 4 << 10 }),
+        stream::copy(&stream::StreamParams { elems: 4 << 10 }),
+        stream::strided_sum(512, 16),
+        kmeans::kmeans(&kmeans::KmeansParams {
+            points: 256,
+            dims: 4,
+            k: 3,
+            iters: 1,
+        }),
+        hashmap::hashmap(&hashmap::HashmapParams {
+            keys: 256,
+            lookups: 512,
+            skew: 1.02,
+            seed: 5,
+        }),
+        analytics::analytics(&analytics::AnalyticsParams {
+            rows: 1024,
+            groups: 64,
+        }),
+        memcached::memcached(&memcached::MemcachedParams {
+            keys: 256,
+            gets: 512,
+            skew: 1.1,
+            seed: 6,
+        }),
+    ]
+    .into_iter()
+    .chain(nas::all(&nas::NasParams { shrink: 100 }))
+    .collect::<Vec<_>>();
+
+    for spec in &specs {
+        for (cname, opts) in configs() {
+            let mut m = spec.module.clone();
+            TrackFmCompiler::new(opts).compile(&mut m, None);
+            assert_roundtrip(&format!("{}/{cname}", spec.name), &m);
+        }
+    }
+}
+
+#[test]
+fn random_pipeline_output_round_trips_and_behaves() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0005);
+    for case in 0..32 {
+        let mut m = Module::new("rand");
+        {
+            use trackfm_suite::ir::{BinOp, FunctionBuilder, Signature, Type};
+            let id = m.declare_function(
+                "main",
+                Signature::new(vec![Type::I64, Type::Ptr], Some(Type::I64)),
+            );
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(1);
+            let mut acc = b.param(0);
+            for i in 0..rng.next_range(1, 9) {
+                let idx = b.iconst(Type::I64, rng.next_range(0, 16));
+                let addr = b.gep(p, idx, 8, 0);
+                if rng.next_below(2) == 0 {
+                    b.store(addr, acc);
+                }
+                let v = b.load(Type::I64, addr);
+                let k = b.iconst(Type::I64, case * 8 + i + 1);
+                let t = b.binop(BinOp::Mul, v, k);
+                acc = b.binop(BinOp::Add, acc, t);
+            }
+            b.ret(Some(acc));
+        }
+        m.verify().unwrap();
+
+        let a = rng.next_u64();
+        let mut far = m.clone();
+        TrackFmCompiler::default().compile(&mut far, None);
+        let parsed = assert_roundtrip(&format!("rand{case}"), &far);
+
+        // The reparsed pipeline output computes the same thing the
+        // in-memory pipeline output computes, under far-memory pressure.
+        assert_eq!(
+            run_far(&far, a),
+            run_far(&parsed, a),
+            "case {case}: reparse changed behaviour"
+        );
+    }
+}
+
+fn run_far(m: &Module, a: u64) -> u64 {
+    let cfg = FarMemoryConfig {
+        heap_size: 1 << 16,
+        object_size: 64,
+        local_budget: 256,
+        link: trackfm_suite::net::LinkParams::tcp_25g(),
+        ..FarMemoryConfig::small()
+    };
+    let mem = TrackFmMem::new(cfg, CostModel::default());
+    let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 16);
+    let scratch = machine.setup_alloc(128);
+    machine.setup_write_u64s(scratch, &[0; 16]);
+    machine.finish_setup(true);
+    machine.run("main", &[a, scratch]).expect("clean run").ret
+}
