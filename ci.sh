@@ -21,6 +21,14 @@ cargo test -q --test random_programs
 TFM_SCALE=8 cargo bench -q -p tfm-bench --bench guard_elision
 # Pay-for-use gate: the no-fault fast path asserts bit-identical costs.
 cargo bench -q -p tfm-bench --bench fault_overhead
+# Tracing gate: span tracing off asserts bit-identical simulated cycles;
+# on, the recording overhead must stay bounded. Emits
+# BENCH_trace_overhead.json for trend tracking.
+cargo bench -q -p tfm-bench --bench trace_overhead
+# Tracing suite: causal decomposition of guard latency under chaos,
+# byte-identical trace exports across same-seed runs, and the pay-for-use
+# report identity.
+cargo test -q --test tracing
 # Scaling gate: sharded(1) asserts bit-identity with SingleNode before the
 # 1/2/4/8-shard occupancy sweep.
 cargo bench -q -p tfm-bench --bench shard_scaling

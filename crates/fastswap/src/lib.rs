@@ -36,7 +36,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use tfm_net::{build_backend, BackendSpec, FaultPlan, LinkParams, RemoteBackend, ShardSnapshot, TransferStats};
-use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
+use tfm_telemetry::{EventKind, MergeStats, Span, SpanKind, StatGroup, Telemetry};
 
 /// The architected page size Fastswap is bound to.
 pub const PAGE_SIZE: u64 = 4096;
@@ -222,16 +222,38 @@ impl Pager {
         cycles
     }
 
+    /// Traced kernel-round leaf: one charge of `kernel_fault_cycles`
+    /// starting at `at` (the initial fault entry or a re-drive after a
+    /// faulted RDMA read; `attempt` is 0 for the initial round).
+    fn kernel_leaf(&self, at: u64, attempt: u64) {
+        self.tel.span_leaf(Span {
+            kind: SpanKind::Kernel,
+            start: at,
+            end: at + self.cfg.kernel_fault_cycles,
+            parent: Span::NO_PARENT,
+            arg: attempt,
+            wait: 0,
+            shard: Span::NO_SHARD,
+            fault: Span::NO_FAULT,
+        });
+    }
+
     fn touch_page(&mut self, page: u64, write: bool, now: u64) -> u64 {
         let meta = self.pages.entry(page).or_default();
         if meta.resident {
             meta.referenced = true;
             meta.dirty |= write;
+            self.tel.timeline_access(now, false);
             return 0;
         }
+        self.tel.timeline_access(now, true);
         // Fault path: kernel handling + (for paged-out pages) an RDMA fetch,
-        // plus any reclaim work needed to make room.
+        // plus any reclaim work needed to make room. Provisionally traced as
+        // a major fault; reclassified to MinorFault if the kernel resolves
+        // it with a zero page.
+        let sp = self.tel.span_begin(SpanKind::MajorFault, page, now);
         let mut cycles = self.cfg.kernel_fault_cycles;
+        self.kernel_leaf(now, 0);
         cycles += self.make_room(now + cycles);
         let had_remote_copy = self.ever_evicted.contains_key(&page);
         if had_remote_copy {
@@ -250,12 +272,14 @@ impl Pager {
                         );
                         self.stats.fault_retries += 1;
                         self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
+                        self.kernel_leaf(f.detected_at, attempt as u64);
                         cycles = f.detected_at.saturating_sub(now) + self.cfg.kernel_fault_cycles;
                     }
                 }
             };
             cycles += done.saturating_sub(now + cycles);
             self.stats.major_faults += 1;
+            self.tel.span_finish(sp, now + cycles, SpanKind::MajorFault, true);
             if self.tel.is_enabled() {
                 self.tel.emit(now, EventKind::MajorFault, page);
                 self.tel.record_fetch_latency(cycles);
@@ -263,6 +287,7 @@ impl Pager {
         } else {
             // Fresh page: the kernel just maps a zero page.
             self.stats.minor_faults += 1;
+            self.tel.span_finish(sp, now + cycles, SpanKind::MinorFault, true);
             self.tel.emit(now, EventKind::MinorFault, page);
         }
         let meta = self.pages.entry(page).or_default();
@@ -305,6 +330,16 @@ impl Pager {
             self.ever_evicted.insert(page, ());
             cycles += self.cfg.reclaim_cycles;
             self.stats.reclaims += 1;
+            self.tel.span_leaf(Span {
+                kind: SpanKind::Kernel,
+                start: now + cycles - self.cfg.reclaim_cycles,
+                end: now + cycles,
+                parent: Span::NO_PARENT,
+                arg: page,
+                wait: 0,
+                shard: Span::NO_SHARD,
+                fault: Span::NO_FAULT,
+            });
             if dirty {
                 self.backend.writeback(page, PAGE_SIZE, now + cycles);
                 self.stats.writebacks += 1;

@@ -433,7 +433,13 @@ impl Sharded {
     pub fn new(params: LinkParams, shards: u32, placement: PlacementPolicy) -> Self {
         assert!(shards >= 1, "a sharded backend needs at least one shard");
         Sharded {
-            links: (0..shards).map(|_| Link::new(params)).collect(),
+            links: (0..shards)
+                .map(|i| {
+                    let mut link = Link::new(params);
+                    link.set_shard(i);
+                    link
+                })
+                .collect(),
             placement,
         }
     }

@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use tfm_telemetry::{EventKind, MergeStats, StatGroup, Telemetry};
+use tfm_telemetry::{EventKind, MergeStats, Span, SpanKind, StatGroup, Telemetry};
 
 mod backend;
 mod fault;
@@ -215,6 +215,9 @@ pub struct Link {
     /// fabric pays one `Option` branch per transfer and nothing else.
     fault: Option<FaultState>,
     health: LinkHealth,
+    /// Shard index stamped on traced transfer spans (0 for a single-node
+    /// backend; set by `Sharded` so each link gets its own trace track).
+    shard: u32,
 }
 
 /// Safety valve for the blocking [`Link::transfer`]/[`Link::writeback`]
@@ -233,12 +236,18 @@ impl Link {
             tel: Telemetry::disabled(),
             fault: None,
             health: LinkHealth::default(),
+            shard: 0,
         }
     }
 
     /// Attaches a telemetry sink; every transfer records its size there.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.tel = tel;
+    }
+
+    /// Sets the shard index stamped on this link's traced transfer spans.
+    pub fn set_shard(&mut self, shard: u32) {
+        self.shard = shard;
     }
 
     /// Attaches a fault plan. [`FaultPlan::none`] (or any inactive plan)
@@ -274,6 +283,11 @@ impl Link {
             None => Fate::Deliver,
         };
         self.free_at = start + self.params.occupancy(bytes);
+        let span_kind = if writeback {
+            SpanKind::WritebackXfer
+        } else {
+            SpanKind::Transfer
+        };
         match fate {
             Fate::Deliver | Fate::Slow(..) => {
                 if writeback {
@@ -285,15 +299,27 @@ impl Link {
                 }
                 self.tel.record_transfer(bytes);
                 let mut done = self.free_at + self.params.base_latency;
+                let mut fault_code = Span::NO_FAULT;
                 if let Fate::Slow(kind, extra) = fate {
                     self.stats.delayed += 1;
                     self.stats.delay_cycles += extra;
                     self.tel.emit(start, EventKind::FaultInjected, kind.code());
+                    fault_code = kind.code() as u32;
                     done += extra;
                 }
                 if self.fault.is_some() {
                     self.health.on_attempt(false);
                 }
+                self.tel.span_leaf(Span {
+                    kind: span_kind,
+                    start: now,
+                    end: done,
+                    parent: Span::NO_PARENT,
+                    arg: bytes,
+                    wait: start - now,
+                    shard: self.shard,
+                    fault: fault_code,
+                });
                 Ok(done)
             }
             Fate::Fail(kind) => {
@@ -301,10 +327,18 @@ impl Link {
                 self.stats.fault_wasted_bytes += bytes;
                 self.tel.emit(start, EventKind::FaultInjected, kind.code());
                 self.health.on_attempt(true);
-                Err(LinkFault {
-                    kind,
-                    detected_at: self.free_at + self.params.drop_timeout(),
-                })
+                let detected_at = self.free_at + self.params.drop_timeout();
+                self.tel.span_leaf(Span {
+                    kind: span_kind,
+                    start: now,
+                    end: detected_at,
+                    parent: Span::NO_PARENT,
+                    arg: bytes,
+                    wait: start - now,
+                    shard: self.shard,
+                    fault: kind.code() as u32,
+                });
+                Err(LinkFault { kind, detected_at })
             }
         }
     }

@@ -25,7 +25,7 @@ use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
 use std::collections::VecDeque;
 use tfm_net::{build_backend, LinkHealth, RemoteBackend, ShardSnapshot, TransferStats};
-use tfm_telemetry::{EventKind, Telemetry};
+use tfm_telemetry::{EventKind, Span, SpanId, SpanKind, Telemetry};
 
 /// The far-memory runtime.
 #[derive(Clone, Debug)]
@@ -196,6 +196,8 @@ impl FarMemory {
     /// its own.
     fn sync_shard_health(&mut self, shard: usize, now: u64) {
         let health = self.backend.shard_health(shard);
+        self.tel
+            .timeline_shard(now, shard as u32, health.fault_rate_ppm(), health.is_degraded());
         if health.is_degraded() != self.degraded[shard] {
             self.degraded[shard] = health.is_degraded();
             if self.degraded[shard] {
@@ -266,6 +268,18 @@ impl FarMemory {
                     at = f.detected_at + backoff;
                     self.stats.retries += 1;
                     self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
+                    // The retry interval: fault detection through the end of
+                    // the backoff wait, after which the next attempt issues.
+                    self.tel.span_leaf(Span {
+                        kind: SpanKind::Retry,
+                        start: f.detected_at,
+                        end: at,
+                        parent: Span::NO_PARENT,
+                        arg: attempt as u64,
+                        wait: backoff,
+                        shard: shard as u32,
+                        fault: f.kind.code() as u32,
+                    });
                     if !deadline_counted && at > deadline {
                         self.stats.deadline_exceeded += 1;
                         deadline_counted = true;
@@ -370,10 +384,21 @@ impl FarMemory {
         } else {
             // Demand fetch. A localize must succeed for correctness: it
             // retries (with backoff) until the link delivers.
+            //
+            // Tracing: open a DemandFetch root only when no operation span
+            // is already open — under a traced guard, the transfer/retry
+            // leaves attach directly to the guard root, which is the
+            // decomposition the per-site latency breakdown wants.
+            let sp = if self.tel.span_active() {
+                SpanId::NONE
+            } else {
+                self.tel.span_begin_root(SpanKind::DemandFetch, o.0, now)
+            };
             self.ensure_capacity(size, now);
             let done = self
                 .transfer_with_retry(o.0, size, now, false)
                 .expect("demand fetches retry until delivered");
+            self.tel.span_end(sp, done);
             self.table.set(o, PRESENT | mark);
             self.resident_bytes += size;
             self.stats.peak_resident_bytes =
@@ -384,6 +409,7 @@ impl FarMemory {
                 self.tel.emit(now, EventKind::DemandFetch, o.0);
                 self.tel.record_fetch_latency(done - now);
                 self.tel.note_resident(o.0, now);
+                self.tel.timeline_occupancy(now, self.resident_bytes);
             }
             done - now
         };
@@ -461,20 +487,27 @@ impl FarMemory {
         }
         let size = self.cfg.object_size;
         self.ensure_capacity(size, now);
+        // Prefetch lifetime extends past the triggering access, so it gets
+        // its own root span rather than nesting under the open guard span.
+        let sp = self.tel.span_begin_root(SpanKind::Prefetch, o.0, now);
         let ready = if self.faults_active {
             let res = self.backend.try_transfer(o.0, size, now);
             self.sync_shard_health(shard, now);
             match res {
                 Ok(r) => r,
-                Err(_) => {
+                Err(f) => {
                     self.stats.link_faults += 1;
                     self.stats.prefetch_canceled += 1;
+                    // The canceled attempt still burned cycles on the wire;
+                    // keep the span (its transfer leaf carries the fault).
+                    self.tel.span_end(sp, f.detected_at);
                     return false;
                 }
             }
         } else {
             self.backend.transfer(o.0, size, now)
         };
+        self.tel.span_end(sp, ready);
         self.table.set(o, INFLIGHT);
         self.table.set_ready_cycle(o, ready);
         self.resident_bytes += size;
@@ -549,17 +582,21 @@ impl FarMemory {
             }
             // Evict.
             if e & DIRTY != 0 {
-                if self
-                    .transfer_with_retry(o.0, self.cfg.object_size, now, true)
-                    .is_none()
-                {
-                    // Writeback exhausted its retry budget: defer it. The
-                    // object stays resident and dirty (degrading toward
-                    // local-only operation) and is requeued for a later
-                    // attempt.
-                    self.stats.writeback_deferrals += 1;
-                    self.clock.push_back(o);
-                    continue;
+                // Writebacks are asynchronous (fire-and-forget): root span,
+                // not a child of whatever operation forced the eviction.
+                let sp = self.tel.span_begin_root(SpanKind::WritebackOp, o.0, now);
+                match self.transfer_with_retry(o.0, self.cfg.object_size, now, true) {
+                    None => {
+                        // Writeback exhausted its retry budget: defer it. The
+                        // object stays resident and dirty (degrading toward
+                        // local-only operation) and is requeued for a later
+                        // attempt.
+                        self.tel.span_end(sp, now);
+                        self.stats.writeback_deferrals += 1;
+                        self.clock.push_back(o);
+                        continue;
+                    }
+                    Some(done) => self.tel.span_end(sp, done),
                 }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);
@@ -596,13 +633,15 @@ impl FarMemory {
                 continue;
             }
             if e & DIRTY != 0 {
-                if self
-                    .transfer_with_retry(o.0, self.cfg.object_size, now, true)
-                    .is_none()
-                {
-                    self.stats.writeback_deferrals += 1;
-                    self.clock.push_back(o);
-                    continue;
+                let sp = self.tel.span_begin_root(SpanKind::WritebackOp, o.0, now);
+                match self.transfer_with_retry(o.0, self.cfg.object_size, now, true) {
+                    None => {
+                        self.tel.span_end(sp, now);
+                        self.stats.writeback_deferrals += 1;
+                        self.clock.push_back(o);
+                        continue;
+                    }
+                    Some(done) => self.tel.span_end(sp, done),
                 }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);

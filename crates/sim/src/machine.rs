@@ -14,7 +14,7 @@ use crate::stats::{ExecStats, RunResult};
 use crate::trap::Trap;
 use std::collections::HashMap;
 use tfm_analysis::profile::Profile;
-use tfm_telemetry::{EventKind, SiteKey, Telemetry};
+use tfm_telemetry::{EventKind, SiteKey, SpanKind, Telemetry};
 use tfm_ir::{
     BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type,
     Value,
@@ -35,6 +35,21 @@ fn kill_custody(cov: &mut [u8]) {
 
 /// Default simulated stack size (1 MiB).
 const STACK_SIZE: usize = 1 << 20;
+
+/// Maps a classified guard outcome to the span kind it should be recorded
+/// as, plus whether the span is worth keeping when tracing. Fast-path
+/// outcomes (no stall, no runtime excursion) are discarded so the arena
+/// holds only spans with interior structure or real latency.
+fn span_kind_of(kind: EventKind) -> (SpanKind, bool) {
+    match kind {
+        EventKind::GuardSlowRemote => (SpanKind::GuardSlowRemote, true),
+        EventKind::GuardSlowLocal => (SpanKind::GuardSlowLocal, true),
+        EventKind::LocalityGuard => (SpanKind::LocalityGuard, true),
+        EventKind::BoundaryCheck => (SpanKind::BoundaryCheck, false),
+        EventKind::CustodyExit => (SpanKind::CustodyExit, false),
+        _ => (SpanKind::GuardFast, false),
+    }
+}
 
 #[derive(Default)]
 struct ProfileCollector {
@@ -554,7 +569,13 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
     /// Classifies a guard/chunk outcome from the stat deltas around the
     /// memory-system call, emits the matching event tagged with the site
     /// key, and folds the cost into the per-site attribution table.
-    fn note_guard_site(&mut self, site: SiteKey, now: u64, cycles: u64, before: &ExecStats) {
+    fn note_guard_site(
+        &mut self,
+        site: SiteKey,
+        now: u64,
+        cycles: u64,
+        before: &ExecStats,
+    ) -> EventKind {
         let s = self.stats;
         let stall = s.stall_cycles - before.stall_cycles;
         let d_fast = s.guards_fast - before.guards_fast;
@@ -579,6 +600,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             EventKind::GuardFast
         };
         self.tel.emit(now, kind, site.0);
+        self.tel.timeline_access(now, d_remote > 0);
         self.tel.record_stall(stall);
         self.tel.record_site(site, |ss| {
             ss.hits += 1;
@@ -591,6 +613,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             ss.cycles += cycles;
             ss.stall_cycles += stall;
         });
+        kind
     }
 
     fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[u64], site: SiteKey) -> Result<u64, Trap> {
@@ -646,9 +669,15 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                 if self.tel.is_enabled() {
                     let before = self.stats;
                     let now = self.clock;
+                    // Provisional: reclassified by outcome once the stat
+                    // deltas are known. Opened before the memory-system call
+                    // so transfer/retry leaves nest under the guard.
+                    let sp = self.tel.span_begin(SpanKind::GuardSlowRemote, site.0, now);
                     let (c, out) = self.mem.guard(args[0], write, now, &mut self.stats)?;
                     self.clock += c;
-                    self.note_guard_site(site, now, c, &before);
+                    let kind = self.note_guard_site(site, now, c, &before);
+                    let (sk, keep) = span_kind_of(kind);
+                    self.tel.span_finish(sp, now + c, sk, keep);
                     Ok(out)
                 } else {
                     let (c, out) = self.mem.guard(args[0], write, self.clock, &mut self.stats)?;
@@ -665,11 +694,15 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                 if self.tel.is_enabled() {
                     let before = self.stats;
                     let now = self.clock;
+                    // Provisional kind, as for guards above.
+                    let sp = self.tel.span_begin(SpanKind::GuardSlowRemote, site.0, now);
                     let (c, out) =
                         self.mem
                             .chunk_deref(args[0], args[1], now, &mut self.stats)?;
                     self.clock += c;
-                    self.note_guard_site(site, now, c, &before);
+                    let kind = self.note_guard_site(site, now, c, &before);
+                    let (sk, keep) = span_kind_of(kind);
+                    self.tel.span_finish(sp, now + c, sk, keep);
                     Ok(out)
                 } else {
                     let (c, out) =

@@ -56,12 +56,15 @@ pub enum EventKind {
     Recovered,
 }
 
-/// Number of event kinds.
-pub const EVENT_KINDS: usize = 20;
+/// Number of event kinds — derived from [`EventKind::ALL`] so adding a
+/// variant can't silently desync the counter table (the `name()` match and
+/// the `ALL` list are the only places a new kind must be added, and both
+/// are checked by `kinds_cover_declaration_order`).
+pub const EVENT_KINDS: usize = EventKind::ALL.len();
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; EVENT_KINDS] = [
+    pub const ALL: &'static [EventKind] = &[
         EventKind::GuardFast,
         EventKind::GuardSlowLocal,
         EventKind::GuardSlowRemote,
@@ -266,5 +269,14 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), EVENT_KINDS);
+    }
+
+    #[test]
+    fn kinds_cover_declaration_order() {
+        // `counts[kind as usize]` indexing relies on ALL being exactly the
+        // declaration order with no gaps or duplicates.
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{} out of order in ALL", k.name());
+        }
     }
 }

@@ -15,6 +15,7 @@ use std::rc::Rc;
 use crate::events::{Event, EventKind, EventRing};
 use crate::hist::Histogram;
 use crate::site::{SiteKey, SiteStats, SiteTable};
+use crate::trace::{Span, SpanId, SpanKind, SpanTracer, TraceConfig, TraceSnapshot};
 
 /// Default trace-ring capacity for [`Telemetry::enabled`].
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
@@ -37,6 +38,12 @@ pub struct TelemetryInner {
     pub retry_latency: Histogram,
     /// Per-guard-site attribution.
     pub sites: SiteTable,
+    /// Causal span tracer — `None` unless the run opted into tracing
+    /// ([`Telemetry::with_trace`]). A second pay-for-use gate: an enabled
+    /// sink without a tracer pays one `Option` branch per span probe, so
+    /// telemetry-on/tracing-off output stays byte-identical to pre-tracing
+    /// builds.
+    pub trace: Option<SpanTracer>,
     /// When each currently-resident object/page became resident.
     resident_since: HashMap<u64, u64>,
 }
@@ -51,6 +58,7 @@ impl TelemetryInner {
             transfer_bytes: Histogram::new(),
             retry_latency: Histogram::new(),
             sites: SiteTable::new(),
+            trace: None,
             resident_since: HashMap::new(),
         }
     }
@@ -78,6 +86,27 @@ impl Telemetry {
     pub fn with_ring_capacity(capacity: usize) -> Self {
         Self {
             inner: Some(Rc::new(RefCell::new(TelemetryInner::new(capacity)))),
+        }
+    }
+
+    /// An enabled handle with a causal span tracer attached (when
+    /// `cfg.enabled`; otherwise identical to [`Telemetry::enabled`]).
+    pub fn with_trace(cfg: TraceConfig) -> Self {
+        let mut inner = TelemetryInner::new(DEFAULT_RING_CAPACITY);
+        if cfg.enabled {
+            inner.trace = Some(SpanTracer::new(cfg));
+        }
+        Self {
+            inner: Some(Rc::new(RefCell::new(inner))),
+        }
+    }
+
+    /// True when a span tracer is attached (span/timeline probes record).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        match &self.inner {
+            Some(i) => i.borrow().trace.is_some(),
+            None => false,
         }
     }
 
@@ -156,6 +185,113 @@ impl Telemetry {
         }
     }
 
+    /// Opens a span as a child of the innermost open span. No-op (returning
+    /// [`SpanId::NONE`]) unless a tracer is attached.
+    #[inline]
+    pub fn span_begin(&self, kind: SpanKind, arg: u64, cycle: u64) -> SpanId {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                return t.begin(kind, arg, cycle);
+            }
+        }
+        SpanId::NONE
+    }
+
+    /// Opens a root span regardless of any open span — for asynchronous
+    /// operations (prefetch, writeback) whose lifetime extends past the
+    /// operation that triggered them.
+    #[inline]
+    pub fn span_begin_root(&self, kind: SpanKind, arg: u64, cycle: u64) -> SpanId {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                return t.begin_root(kind, arg, cycle);
+            }
+        }
+        SpanId::NONE
+    }
+
+    /// Closes an open span at `cycle`.
+    #[inline]
+    pub fn span_end(&self, id: SpanId, cycle: u64) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.end(id, cycle);
+            }
+        }
+    }
+
+    /// Closes an open span at `cycle`, reclassifying it as `kind`; with
+    /// `keep = false` a childless span is removed entirely.
+    #[inline]
+    pub fn span_finish(&self, id: SpanId, cycle: u64, kind: SpanKind, keep: bool) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.finish(id, cycle, kind, keep);
+            }
+        }
+    }
+
+    /// Records a complete leaf span under the innermost open span; the
+    /// caller fills everything but `parent`.
+    #[inline]
+    pub fn span_leaf(&self, span: Span) {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.leaf(span);
+            }
+        }
+    }
+
+    /// True while a traced operation is open (used to avoid opening a
+    /// redundant root span). Always false without a tracer.
+    #[inline]
+    pub fn span_active(&self) -> bool {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &i.borrow().trace {
+                return t.active();
+            }
+        }
+        false
+    }
+
+    /// Timeline probe: one guarded/paged access (`miss` when it went
+    /// remote).
+    #[inline]
+    pub fn timeline_access(&self, cycle: u64, miss: bool) {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.timeline_mut().access(cycle, miss);
+            }
+        }
+    }
+
+    /// Timeline probe: current local occupancy in bytes.
+    #[inline]
+    pub fn timeline_occupancy(&self, cycle: u64, bytes: u64) {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.timeline_mut().occupancy(cycle, bytes);
+            }
+        }
+    }
+
+    /// Timeline probe: one shard-health sample (EWMA fault ppm + degraded
+    /// flag).
+    #[inline]
+    pub fn timeline_shard(&self, cycle: u64, shard: u32, ppm: u64, degraded: bool) {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.timeline_mut().shard(cycle, shard, ppm, degraded);
+            }
+        }
+    }
+
     /// A copy of the sink's current contents, or `None` when disabled.
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
         self.inner.as_ref().map(|i| {
@@ -173,6 +309,7 @@ impl Telemetry {
                 transfer_bytes: i.transfer_bytes.clone(),
                 retry_latency: i.retry_latency.clone(),
                 sites: i.sites.clone(),
+                trace: i.trace.as_ref().map(|t| t.snapshot()),
             }
         })
     }
@@ -199,6 +336,8 @@ pub struct TelemetrySnapshot {
     pub retry_latency: Histogram,
     /// Per-guard-site attribution.
     pub sites: SiteTable,
+    /// Causal span trace (`None` when tracing was off).
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -238,6 +377,47 @@ mod tests {
         assert_eq!(s.count(EventKind::DemandFetch), 1);
         assert_eq!(s.count(EventKind::Eviction), 1);
         assert_eq!(s.fetch_latency.count(), 1);
+    }
+
+    #[test]
+    fn span_probes_are_inert_without_a_tracer() {
+        for t in [Telemetry::disabled(), Telemetry::enabled()] {
+            assert!(!t.tracing());
+            let id = t.span_begin(SpanKind::GuardSlowRemote, 1, 0);
+            assert!(id.is_none());
+            assert!(!t.span_active());
+            t.span_end(id, 10);
+            t.timeline_access(0, true);
+            if let Some(s) = t.snapshot() {
+                assert!(s.trace.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn with_trace_records_spans_and_timeline() {
+        let t = Telemetry::with_trace(TraceConfig::on());
+        assert!(t.tracing() && t.is_enabled());
+        let root = t.span_begin(SpanKind::GuardSlowRemote, 7, 100);
+        assert!(t.span_active());
+        t.span_leaf(Span {
+            kind: SpanKind::Transfer,
+            start: 100,
+            end: 180,
+            parent: Span::NO_PARENT,
+            arg: 4096,
+            wait: 0,
+            shard: 0,
+            fault: Span::NO_FAULT,
+        });
+        t.span_end(root, 200);
+        t.timeline_access(100, true);
+        let trace = t.snapshot().unwrap().trace.unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].parent, 0);
+        assert_eq!(trace.timeline.misses, vec![1]);
+        // A disabled TraceConfig attaches no tracer at all.
+        assert!(!Telemetry::with_trace(TraceConfig::default()).tracing());
     }
 
     #[test]

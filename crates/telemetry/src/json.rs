@@ -403,6 +403,68 @@ mod tests {
     }
 
     #[test]
+    fn escapes_quotes_and_backslashes() {
+        let s = r#"path\to\"file" with 'quotes'"#;
+        let text = Json::str(s).to_string_compact();
+        assert_eq!(text, r#""path\\to\\\"file\" with 'quotes'""#);
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn escapes_every_control_char() {
+        // Named escapes for the common three, \uXXXX for the rest of C0.
+        let named = Json::str("a\nb\rc\td").to_string_compact();
+        assert_eq!(named, "\"a\\nb\\rc\\td\"");
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let text = Json::str(c.to_string()).to_string_compact();
+            assert!(
+                !text.chars().any(|x| (x as u32) < 0x20),
+                "raw control char {code:#x} leaked into {text:?}"
+            );
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_str(), Some(c.to_string().as_str()), "code {code:#x}");
+        }
+        // The generic form uses four lowercase hex digits.
+        assert_eq!(Json::str("\u{0}").to_string_compact(), "\"\\u0000\"");
+        assert_eq!(Json::str("\u{1f}").to_string_compact(), "\"\\u001f\"");
+    }
+
+    #[test]
+    fn non_ascii_passes_through_raw_and_round_trips() {
+        // Guard-site labels and span names may carry any UTF-8; the writer
+        // emits it raw (JSON strings are Unicode) and the parser consumes
+        // multi-byte scalars intact.
+        let s = "été 中文 тест 🔥;semi\\colon\"quote";
+        let text = Json::str(s).to_string_compact();
+        assert!(text.contains("été") && text.contains("🔥"));
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\u4e2d""#).unwrap().as_str(),
+            Some("Aé中")
+        );
+        // A lone surrogate cannot be a char; it degrades to U+FFFD rather
+        // than corrupting the document.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+        assert!(Json::parse(r#""\u00g1""#).is_err());
+        assert!(Json::parse(r#""\u00""#).is_err());
+    }
+
+    #[test]
+    fn keys_are_escaped_like_values() {
+        let doc = Json::Obj(vec![("we\"ird\nkey".into(), Json::Int(1))]);
+        let text = doc.to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
     fn get_and_accessors() {
         let doc = Json::parse(r#"{"a": 3, "b": [1, "x"], "c": -1.5}"#).unwrap();
         assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));

@@ -22,6 +22,11 @@
 //!   tree/writer/parser so nothing here needs serde.
 //! * [`MergeStats`] — the common `merge` trait the bench harness uses for
 //!   multi-run aggregation.
+//! * [`trace`] — causal span tracing: a fixed-capacity span tree stamped
+//!   in simulated cycles (roots per runtime operation, children per
+//!   transfer/retry/kernel round), a windowed [`Timeline`] of miss rate /
+//!   occupancy / shard health, and exporters to Chrome trace-event JSON
+//!   and folded-stacks flamegraphs. Off by default and pay-for-use.
 //!
 //! See `DESIGN.md` ("Telemetry & run reports") for how the pieces wire
 //! together.
@@ -32,6 +37,7 @@ pub mod hist;
 pub mod json;
 pub mod report;
 pub mod site;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventRing, EVENT_KINDS};
 pub use handle::{Telemetry, TelemetryInner, TelemetrySnapshot, DEFAULT_RING_CAPACITY};
@@ -39,3 +45,7 @@ pub use hist::{Histogram, BUCKETS};
 pub use json::Json;
 pub use report::{MergeStats, RunReport, SiteRow, StatGroup, StatSection, TOP_SITES};
 pub use site::{SiteKey, SiteStats, SiteTable};
+pub use trace::{
+    sparkline, Span, SpanId, SpanKind, SpanTracer, Timeline, TimelineSnapshot, TraceConfig,
+    TraceSnapshot,
+};

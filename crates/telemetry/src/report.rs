@@ -9,6 +9,7 @@ use crate::events::EventKind;
 use crate::hist::Histogram;
 use crate::json::Json;
 use crate::site::{SiteKey, SiteStats, SiteTable};
+use crate::trace::TimelineSnapshot;
 
 /// Counter structs that can publish themselves into a report section.
 /// Implemented by `ExecStats`, `RuntimeStats`, `TransferStats`, and
@@ -82,6 +83,9 @@ pub struct RunReport {
     pub event_counts: Vec<(String, u64)>,
     /// Events not retained by the trace ring.
     pub events_dropped: u64,
+    /// Windowed time series (only when the run traced; `None` keeps the
+    /// report byte-identical to untraced runs).
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 impl RunReport {
@@ -145,6 +149,11 @@ impl RunReport {
         self.events_dropped = dropped;
     }
 
+    /// Attaches the windowed time series of a traced run.
+    pub fn set_timeline(&mut self, timeline: TimelineSnapshot) {
+        self.timeline = Some(timeline);
+    }
+
     /// A section's value, for programmatic consumers (benches, tests).
     pub fn field(&self, section: &str, field: &str) -> Option<u64> {
         self.sections
@@ -164,9 +173,11 @@ impl RunReport {
             .map(|(_, h)| h)
     }
 
-    /// Machine-readable JSON form.
+    /// Machine-readable JSON form. The `timeline` key appears only for
+    /// traced runs, so untraced report bytes stay stable across builds
+    /// with and without tracing support.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("workload".into(), Json::str(&self.workload)),
             ("system".into(), Json::str(&self.system)),
             (
@@ -238,7 +249,11 @@ impl RunReport {
                 ),
             ),
             ("events_dropped".into(), Json::Int(self.events_dropped)),
-        ])
+        ];
+        if let Some(t) = &self.timeline {
+            pairs.push(("timeline".into(), t.to_json()));
+        }
+        Json::Obj(pairs)
     }
 
     /// Human-readable rendering: sections, histogram summaries, and the
@@ -265,6 +280,18 @@ impl RunReport {
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect();
             let _ = writeln!(out, "events: {} (dropped={})", kv.join(" "), self.events_dropped);
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} event(s) dropped from the trace ring — per-kind \
+                 totals above remain exact, but the retained event list is \
+                 truncated",
+                self.events_dropped
+            );
+        }
+        if let Some(t) = &self.timeline {
+            out.push_str(&t.render());
         }
         if !self.sites.is_empty() {
             let _ = writeln!(out, "top guard sites by stall cycles:");
@@ -393,5 +420,36 @@ mod tests {
         assert!(text.contains("top guard sites"));
         assert!(text.contains("main:v7:read"));
         assert!(text.contains("fetch_latency_cycles"));
+    }
+
+    #[test]
+    fn dropped_events_raise_a_warning_line() {
+        let mut r = sample_report();
+        // sample_report records dropped=1.
+        assert!(r.render().contains("warning: 1 event(s) dropped"));
+        r.set_event_counts(|_| 1, 0);
+        assert!(!r.render().contains("warning:"));
+    }
+
+    #[test]
+    fn timeline_appears_only_when_set() {
+        let mut r = sample_report();
+        let json = r.to_json().to_string_pretty();
+        assert!(!json.contains("\"timeline\""));
+        assert!(!r.render().contains("timeline ("));
+        r.set_timeline(TimelineSnapshot {
+            bucket_cycles: 100,
+            accesses: vec![4, 2],
+            misses: vec![1, 2],
+            occupancy_bytes: vec![0, 4096],
+            shard_ppm: vec![],
+            shard_degraded: vec![],
+        });
+        let json = r.to_json().to_string_pretty();
+        let doc = Json::parse(&json).unwrap();
+        let t = doc.get("timeline").expect("timeline key present");
+        assert_eq!(t.get("bucket_cycles").and_then(Json::as_u64), Some(100));
+        assert_eq!(t.get("accesses").unwrap().as_arr().unwrap().len(), 2);
+        assert!(r.render().contains("miss_rate"));
     }
 }

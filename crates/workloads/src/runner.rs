@@ -14,7 +14,7 @@ use tfm_net::{BackendSpec, FaultPlan, LinkParams};
 use tfm_runtime::{FarMemoryConfig, PrefetchConfig, RetryPolicy};
 use std::collections::HashMap;
 use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
-use tfm_telemetry::{RunReport, SiteKey, Telemetry, TelemetrySnapshot};
+use tfm_telemetry::{Json, RunReport, SiteKey, Telemetry, TelemetrySnapshot, TraceConfig};
 use trackfm::{CompileReport, CompilerOptions, CostModel, TrackFmCompiler};
 
 /// Which far-memory system executes the workload.
@@ -66,6 +66,9 @@ pub struct RunConfig {
     /// Record telemetry (trace events, histograms, guard-site attribution)
     /// during the measured phase. Off by default: the probes cost time.
     pub telemetry: bool,
+    /// Causal span tracing + windowed timeline (implies telemetry when
+    /// enabled). Off by default: tracing must be strictly pay-for-use.
+    pub trace: TraceConfig,
     /// Fault-injection schedule for the link ([`FaultPlan::none`] = the
     /// flawless fabric of the paper's evaluation).
     pub faults: FaultPlan,
@@ -85,6 +88,7 @@ impl RunConfig {
             compiler: CompilerOptions::default(),
             cost: CostModel::default(),
             telemetry: false,
+            trace: TraceConfig::default(),
             faults: FaultPlan::none(),
             backend: BackendSpec::SingleNode,
         }
@@ -143,6 +147,18 @@ impl RunConfig {
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
         self
+    }
+
+    /// Sets the span-tracing configuration (pass [`TraceConfig::on`] to
+    /// enable, or a tuned config for custom arena/bucket sizes).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enables span tracing with the default arena and bucket sizes.
+    pub fn with_tracing(self) -> Self {
+        self.with_trace(TraceConfig::on())
     }
 
     /// Attaches a fault-injection schedule to the run's link.
@@ -337,8 +353,40 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
             .collect();
         rep.set_sites(&snap.sites, |k| labels.get(&k).map(|l| l.to_string()));
         rep.set_event_counts(|k| snap.count(k), snap.events_dropped);
+        if let Some(trace) = &snap.trace {
+            rep.set_timeline(trace.timeline.clone());
+        }
     }
     rep
+}
+
+/// Resolves guard-site span args back to compiler labels, for the trace
+/// exporters. The map is keyed by the packed [`SiteKey`] word the machine
+/// stores in each span's `arg`.
+fn site_labels(outcome: &Outcome) -> HashMap<u64, String> {
+    outcome
+        .report
+        .iter()
+        .flat_map(|r| r.guard_sites.iter())
+        .map(|s| (SiteKey::new(s.func, s.value).0, s.label.clone()))
+        .collect()
+}
+
+/// The run's span trace as a Chrome trace-event document (load in
+/// `chrome://tracing` or <https://ui.perfetto.dev>), or `None` when the run
+/// did not trace. Guard spans are labeled with the compiler's site labels.
+pub fn chrome_trace(outcome: &Outcome) -> Option<Json> {
+    let trace = outcome.telemetry.as_ref()?.trace.as_ref()?;
+    let labels = site_labels(outcome);
+    Some(trace.chrome_trace(&|site| labels.get(&site).cloned()))
+}
+
+/// The run's span trace as folded stacks (pipe into `flamegraph.pl` or any
+/// folded-stack viewer), or `None` when the run did not trace.
+pub fn flamegraph(outcome: &Outcome) -> Option<String> {
+    let trace = outcome.telemetry.as_ref()?.trace.as_ref()?;
+    let labels = site_labels(outcome);
+    Some(trace.folded_stacks(&|site| labels.get(&site).cloned()))
 }
 
 /// Collects an execution profile by running the unmodified program under
@@ -378,7 +426,9 @@ fn run_machine<M: MemorySystem>(
     let args = setup(spec, &mut machine, cold);
     // Telemetry attaches only after setup: the report should describe the
     // measured phase, not in-app initialization.
-    let tel = if cfg.telemetry {
+    let tel = if cfg.trace.enabled {
+        Telemetry::with_trace(cfg.trace)
+    } else if cfg.telemetry {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()

@@ -14,18 +14,27 @@
 
 use trackfm_suite::net::FaultPlan;
 use trackfm_suite::telemetry::EventKind;
-use trackfm_suite::workloads::runner::{execute, execute_with_report, RunConfig};
-use trackfm_suite::workloads::stream::{self, StreamParams};
+use trackfm_suite::workloads::runner::{
+    chrome_trace, execute, execute_with_report, flamegraph, RunConfig,
+};
+use trackfm_suite::workloads::hashmap::{hashmap, HashmapParams};
 
 fn main() {
     // ------------------------------------------------------------------
     // 1. A fault-free rehearsal: learn how long the run takes, so the
     //    outage window can be parked across its second quarter.
     // ------------------------------------------------------------------
-    // Sized so the full event trace fits the telemetry ring: the Degraded /
-    // Recovered transitions stay retained with their timestamps.
-    let spec = stream::sum(&StreamParams { elems: 32 << 10 });
-    let cfg = RunConfig::trackfm(0.25);
+    // Zipf-skewed hash-map probes: random, unchunked accesses that ride the
+    // guard slow path, so the span trace shows remote guards with their
+    // transfer/retry/backoff children. Sized so the full event trace fits
+    // the telemetry ring.
+    let spec = hashmap(&HashmapParams {
+        keys: 20_000,
+        lookups: 20_000,
+        skew: 1.02,
+        seed: 0xC0FFEE,
+    });
+    let cfg = RunConfig::trackfm(0.25).with_shards(2);
     let clean = execute(&spec, &cfg);
     let total = clean.result.stats.cycles;
     let (outage_start, outage_end) = (total / 4, total / 4 + total / 8);
@@ -38,7 +47,7 @@ fn main() {
     // ------------------------------------------------------------------
     let plan = FaultPlan::drops(0xBAD_CAB1E, 50_000).with_outage(outage_start, outage_end);
     println!("\n== chaos run: {plan} ==");
-    let (out, rep) = execute_with_report(&spec, &cfg.with_faults(plan));
+    let (out, rep) = execute_with_report(&spec, &cfg.with_faults(plan).with_tracing());
 
     assert_eq!(out.result.ret, clean.result.ret, "faults must not change the answer");
     println!(
@@ -93,6 +102,22 @@ fn main() {
     //    (detect + backoff penalty per retried operation).
     // ------------------------------------------------------------------
     print!("\n{rep}");
+
+    // ------------------------------------------------------------------
+    // 5. Span-trace exports: every slow guard, fetch, retry, and backoff
+    //    wait as a causal tree, ready for off-the-shelf viewers.
+    // ------------------------------------------------------------------
+    let trace = chrome_trace(&out).expect("tracing was on");
+    let folded = flamegraph(&out).expect("tracing was on");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/chaos_trace.json", trace.to_string_pretty())
+        .expect("write chrome trace");
+    std::fs::write("target/chaos_flame.folded", &folded).expect("write folded stacks");
+    let spans = out.telemetry.as_ref().unwrap().trace.as_ref().unwrap().spans.len();
+    println!("\n== span trace ==");
+    println!("  {spans} spans captured");
+    println!("  target/chaos_trace.json   — load in chrome://tracing or https://ui.perfetto.dev");
+    println!("  target/chaos_flame.folded — pipe through flamegraph.pl for an SVG");
 
     println!("\nSame seed, same schedule: rerun this binary and every counter above repeats.");
 }
