@@ -11,6 +11,10 @@ cargo test -q --test chaos
 # Sharding suite: deterministic placement, reproducible per-shard ledgers,
 # and the sharded(1) == SingleNode cost identity (fault plans included).
 cargo test -q --test sharding
+# Failover suite: a 200-seed crash/restart sweep under replicas(2) asserts
+# zero lost acknowledged writebacks, replicas(1) asserts bitwise pay-for-use
+# identity, and the R=1 loss case stays honestly accounted.
+cargo test -q --test failover
 # Soundness gate: tfm-lint must report zero uncovered heap accesses on
 # every workload/example/config, and the static lint must agree with the
 # dynamic guard sanitizer over the randomized corpus.
@@ -32,4 +36,8 @@ cargo test -q --test tracing
 # Scaling gate: sharded(1) asserts bit-identity with SingleNode before the
 # 1/2/4/8-shard occupancy sweep.
 cargo bench -q -p tfm-bench --bench shard_scaling
+# Failover gate: replicas(1) asserts bit-identical cycles and a byte-identical
+# rendered report vs the plain sharded backend; the crash row must end with
+# zero lost acknowledged writebacks. Emits BENCH_failover.json.
+cargo bench -q -p tfm-bench --bench failover_overhead
 cargo clippy --workspace --all-targets -- -D warnings

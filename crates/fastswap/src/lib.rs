@@ -35,7 +35,10 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use tfm_net::{build_backend, BackendSpec, FaultPlan, LinkParams, RemoteBackend, ShardSnapshot, TransferStats};
+use tfm_net::{
+    build_backend, BackendSpec, FaultPlan, LinkParams, RemoteBackend, ShardSnapshot, ShardState,
+    TransferStats,
+};
 use tfm_telemetry::{EventKind, MergeStats, Span, SpanKind, StatGroup, Telemetry};
 
 /// The architected page size Fastswap is bound to.
@@ -99,6 +102,15 @@ pub struct PagerStats {
     /// charges another round of kernel fault handling on top of the link's
     /// detection timeout.
     pub fault_retries: u64,
+    /// Restarted shards the swap device re-registered with (one per
+    /// Recovering → Up transition it drove).
+    pub recoveries: u64,
+    /// Pages re-copied onto a restarted shard from a surviving replica
+    /// during re-registration.
+    pub resynced_pages: u64,
+    /// Acknowledged page writebacks with no surviving copy after a cold
+    /// restart (only possible unreplicated).
+    pub lost_pages: u64,
 }
 
 impl StatGroup for PagerStats {
@@ -113,6 +125,9 @@ impl StatGroup for PagerStats {
             ("reclaims", self.reclaims),
             ("writebacks", self.writebacks),
             ("fault_retries", self.fault_retries),
+            ("recoveries", self.recoveries),
+            ("resynced_pages", self.resynced_pages),
+            ("lost_pages", self.lost_pages),
         ]
     }
 }
@@ -124,6 +139,9 @@ impl MergeStats for PagerStats {
         self.reclaims += other.reclaims;
         self.writebacks += other.writebacks;
         self.fault_retries += other.fault_retries;
+        self.recoveries += other.recoveries;
+        self.resynced_pages += other.resynced_pages;
+        self.lost_pages += other.lost_pages;
     }
 }
 
@@ -140,12 +158,16 @@ pub struct Pager {
     backend: Box<dyn RemoteBackend>,
     stats: PagerStats,
     tel: Telemetry,
+    /// Cached `backend.failover_active()`: gates shard-restart polling so
+    /// crash-free configurations keep the legacy fault path bit-identical.
+    failover_active: bool,
 }
 
 impl Pager {
     /// Creates a pager with an empty resident set.
     pub fn new(cfg: PagerConfig) -> Self {
         let backend = build_backend(cfg.link, cfg.backend, cfg.faults);
+        let failover_active = backend.failover_active();
         Pager {
             pages: HashMap::new(),
             ever_evicted: HashMap::new(),
@@ -154,6 +176,7 @@ impl Pager {
             backend,
             stats: PagerStats::default(),
             tel: Telemetry::disabled(),
+            failover_active,
             cfg,
         }
     }
@@ -238,6 +261,28 @@ impl Pager {
         });
     }
 
+    /// The kernel's shard re-registration path: when a crashed memory
+    /// server restarts, the swap device reconnects, re-copies every page
+    /// the restarted shard should hold from a surviving replica (Fastswap
+    /// has no redo log of its own — the backend's acknowledgement ledger
+    /// is the source of truth), and puts the shard back in service.
+    fn service_failover(&mut self, now: u64) {
+        if !self.failover_active {
+            return;
+        }
+        self.backend.poll(now);
+        for s in 0..self.backend.shard_count() {
+            if self.backend.shard_state(s) == ShardState::Recovering {
+                self.tel.emit(now, EventKind::ShardRecovering, s as u64);
+                let (resynced, lost) = self.backend.recover_shard(s, PAGE_SIZE, now);
+                self.stats.recoveries += 1;
+                self.stats.resynced_pages += resynced;
+                self.stats.lost_pages += lost;
+                self.tel.emit(now, EventKind::ShardUp, s as u64);
+            }
+        }
+    }
+
     fn touch_page(&mut self, page: u64, write: bool, now: u64) -> u64 {
         let meta = self.pages.entry(page).or_default();
         if meta.resident {
@@ -252,6 +297,7 @@ impl Pager {
         // a major fault; reclassified to MinorFault if the kernel resolves
         // it with a zero page.
         let sp = self.tel.span_begin(SpanKind::MajorFault, page, now);
+        self.service_failover(now);
         let mut cycles = self.cfg.kernel_fault_cycles;
         self.kernel_leaf(now, 0);
         cycles += self.make_room(now + cycles);
@@ -273,6 +319,7 @@ impl Pager {
                         self.stats.fault_retries += 1;
                         self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
                         self.kernel_leaf(f.detected_at, attempt as u64);
+                        self.service_failover(f.detected_at);
                         cycles = f.detected_at.saturating_sub(now) + self.cfg.kernel_fault_cycles;
                     }
                 }
@@ -561,6 +608,72 @@ mod tests {
         for (s, snap) in snaps.iter().enumerate() {
             assert_eq!(snap.stats.fetches, 4, "shard {s} serves its quarter");
         }
+    }
+
+    #[test]
+    fn unreplicated_warm_crash_re_drives_until_the_shard_restarts() {
+        use tfm_net::PlacementPolicy;
+        let mut p = Pager::new(PagerConfig {
+            local_budget: 4 * PAGE_SIZE,
+            backend: BackendSpec::sharded(2)
+                .with_placement(PlacementPolicy::Interleave)
+                .with_fault_shard(0),
+            faults: FaultPlan::none().with_crash(100_000, 400_000),
+            ..PagerConfig::default()
+        });
+        for i in 0..8u64 {
+            p.access(i * PAGE_SIZE, 8, true, 0);
+        }
+        p.evacuate_all(0);
+        // Page 0 lives on the crashed shard and has no replica: the kernel
+        // re-drives the fault (fail-fast, one RTT per round) until the
+        // shard restarts, then re-registers with it and completes.
+        let stall = p.access(0, 8, false, 100_000);
+        assert_eq!(p.stats().major_faults, 1);
+        assert!(p.stats().fault_retries > 5, "{:?}", p.stats());
+        assert!(stall >= 300_000, "blocked for the rest of the window: {stall}");
+        assert_eq!(p.stats().recoveries, 1, "re-registration drove the rejoin");
+        assert_eq!(p.backend().shard_state(0), ShardState::Up);
+        assert_eq!(p.backend().shard_epoch(0), 1, "restart bumped the epoch");
+        assert_eq!(p.stats().lost_pages, 0, "a warm restart keeps its store");
+        assert_eq!(p.backend().audit().unwrap().lost, 0);
+    }
+
+    #[test]
+    fn replicated_pager_survives_a_cold_crash_without_losing_pages() {
+        use tfm_net::PlacementPolicy;
+        let mut p = Pager::new(PagerConfig {
+            local_budget: 4 * PAGE_SIZE,
+            backend: BackendSpec::sharded(2)
+                .with_placement(PlacementPolicy::Interleave)
+                .with_replicas(2)
+                .with_fault_shard(0),
+            faults: FaultPlan::none().with_cold_crash(100_000, 400_000),
+            ..PagerConfig::default()
+        });
+        for i in 0..8u64 {
+            p.access(i * PAGE_SIZE, 8, true, 0);
+        }
+        p.evacuate_all(0);
+        // Inside the window every read is served by the surviving replica —
+        // no re-drive storm, just failover.
+        let mut now = 100_000;
+        for i in 0..8u64 {
+            now += p.access(i * PAGE_SIZE, 8, false, now);
+        }
+        assert_eq!(p.stats().major_faults, 8);
+        assert_eq!(p.stats().fault_retries, 0, "the replica absorbs the crash");
+        let snaps = p.shard_snapshots();
+        assert!(snaps[1].failover_reads > 0, "shard 1 covered for shard 0");
+        // After the restart the wiped store is rebuilt from the replica.
+        p.evacuate_all(now);
+        let _ = p.access(0, 8, false, now.max(400_000));
+        assert_eq!(p.stats().recoveries, 1);
+        assert_eq!(p.stats().resynced_pages, 8, "cold store rebuilt in full");
+        assert_eq!(p.stats().lost_pages, 0);
+        let audit = p.backend().audit().unwrap();
+        assert_eq!(audit.lost, 0, "R=2 loses nothing to a cold crash");
+        assert_eq!(p.backend().shard_epoch(0), 1);
     }
 
     #[test]

@@ -17,11 +17,91 @@
 //! same seed and the same object set always produce the same shard
 //! assignment — and therefore the same counters and the same run reports.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::fault::{mix, FaultPlan, LinkFault, LinkHealth};
+use crate::fault::{mix, FaultKind, FaultPlan, LinkFault, LinkHealth, ShardState};
 use crate::{Link, LinkParams, TransferStats};
 use tfm_telemetry::{StatGroup, Telemetry};
+
+/// Why a [`BackendSpec`] is invalid. Returned by [`BackendSpec::validate`];
+/// panicking callers unwrap it so the message survives verbatim.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// A sharded spec with zero shards.
+    ZeroShards,
+    /// The targeted fault shard does not exist.
+    FaultShardOutOfRange {
+        /// The shard the spec targets.
+        fault_shard: u32,
+        /// How many shards the spec builds.
+        shards: u32,
+    },
+    /// A replication factor of zero (an object must live somewhere).
+    ZeroReplicas,
+    /// More replicas than shards: each copy needs its own node.
+    ReplicasExceedShards {
+        /// The requested replication factor.
+        replicas: u32,
+        /// How many shards the spec builds.
+        shards: u32,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroShards => write!(f, "a sharded backend needs at least one shard"),
+            SpecError::FaultShardOutOfRange {
+                fault_shard,
+                shards,
+            } => write!(
+                f,
+                "fault shard {fault_shard} out of range for {shards} shards"
+            ),
+            SpecError::ZeroReplicas => {
+                write!(f, "replication factor must be at least 1 (every object needs a home)")
+            }
+            SpecError::ReplicasExceedShards { replicas, shards } => write!(
+                f,
+                "replication factor {replicas} exceeds {shards} shards (each replica needs its own node)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Outcome of re-syncing one key onto a recovering shard
+/// ([`RemoteBackend::resync_key`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ResyncOutcome {
+    /// A surviving replica's copy was re-written to the shard; the value is
+    /// the copy's completion cycle.
+    Synced(u64),
+    /// Nothing to do: the shard already holds the acknowledged version, is
+    /// not a home for the key, or the key has no acknowledged writeback.
+    Clean,
+    /// Every copy of the acknowledged version is gone — an acknowledged
+    /// writeback has been lost. [`FailoverAudit::lost`] counts these.
+    Lost,
+}
+
+/// End-of-run durability audit over every acknowledged writeback
+/// ([`RemoteBackend::audit`]). The chaos suite's core assertion is
+/// `lost == 0`: no write the backend acknowledged may ever disappear,
+/// whatever the crash schedule did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailoverAudit {
+    /// Keys with at least one acknowledged writeback.
+    pub acked_keys: u64,
+    /// Acked keys no shard can serve at (or above) the acked version:
+    /// acknowledged data lost. Must be zero under replication.
+    pub lost: u64,
+    /// Acked keys currently held by fewer shards than their replica set
+    /// demands — redundancy not yet restored (but no data lost).
+    pub under_replicated: u64,
+}
 
 /// A remote-memory data plane: where localize/writeback traffic goes.
 ///
@@ -86,12 +166,81 @@ pub trait RemoteBackend: fmt::Debug {
     /// `Clone for Box<dyn RemoteBackend>`).
     fn clone_box(&self) -> Box<dyn RemoteBackend>;
 
+    // --- failover surface (DESIGN.md §6g) ---------------------------------
+    //
+    // Every method defaults to the unreplicated, crash-free behaviour, so a
+    // backend that never sees a crash plan pays nothing and implements
+    // nothing.
+
+    /// True when the crash/replication machinery is armed (replication
+    /// factor > 1 or a scripted crash on some shard). Callers gate their
+    /// failover bookkeeping on this — pay-for-use.
+    fn failover_active(&self) -> bool {
+        false
+    }
+
+    /// Replication factor R (1 = unreplicated).
+    fn replicas(&self) -> u32 {
+        1
+    }
+
+    /// Advances scripted crash/restart transitions to cycle `now` without
+    /// issuing traffic (cold restarts wipe the crashed shard's store here).
+    fn poll(&mut self, _now: u64) {}
+
+    /// Failover state of one shard.
+    fn shard_state(&self, _shard: usize) -> ShardState {
+        ShardState::Up
+    }
+
+    /// Restart epoch of one shard (0 until its first crash).
+    fn shard_epoch(&self, _shard: usize) -> u64 {
+        0
+    }
+
+    /// Declares a recovering shard re-synced (`Recovering → Up`), lifting
+    /// its epoch fence. Called by the owner after ledger replay.
+    fn mark_synced(&mut self, _shard: usize) {}
+
+    /// Re-writes `key`'s acknowledged version onto `shard` from a surviving
+    /// replica, charging `bytes` of writeback traffic, if the shard's copy
+    /// is stale or missing.
+    fn resync_key(&mut self, _shard: usize, _key: u64, _bytes: u64, _now: u64) -> ResyncOutcome {
+        ResyncOutcome::Clean
+    }
+
+    /// Restores `key`'s redundancy by copying it from a surviving replica
+    /// onto a substitute shard and re-homing the key off Down shard `from`
+    /// (the migration hook). Returns the copy's completion cycle if a copy
+    /// was made.
+    fn re_replicate(&mut self, _key: u64, _from: usize, _bytes: u64, _now: u64) -> Option<u64> {
+        None
+    }
+
+    /// Backend-driven recovery for callers without their own redo ledger
+    /// (the pager): re-syncs every acknowledged key hosted by `shard`, then
+    /// marks it synced. Returns `(resynced, lost)` counts.
+    fn recover_shard(&mut self, shard: usize, _bytes_per_key: u64, _now: u64) -> (u64, u64) {
+        self.mark_synced(shard);
+        (0, 0)
+    }
+
+    /// End-of-run durability audit; `None` unless the replication machinery
+    /// is armed.
+    fn audit(&self) -> Option<FailoverAudit> {
+        None
+    }
+
     /// Per-shard ledger + health, for reports. Cheap (copies counters).
     fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         (0..self.shard_count())
             .map(|s| ShardSnapshot {
                 stats: self.shard_stats(s),
                 health: self.shard_health(s),
+                state: self.shard_state(s),
+                epoch: self.shard_epoch(s),
+                failover_reads: 0,
+                divergent_writes: 0,
             })
             .collect()
     }
@@ -110,6 +259,15 @@ pub struct ShardSnapshot {
     pub stats: TransferStats,
     /// The shard's health tracker.
     pub health: LinkHealth,
+    /// The shard's failover state at snapshot time.
+    pub state: ShardState,
+    /// The shard's restart epoch (0 = never crashed).
+    pub epoch: u64,
+    /// Reads served by this shard on behalf of a dead or fenced primary.
+    pub failover_reads: u64,
+    /// Writebacks this shard missed while Down (replica divergence repaid
+    /// by resync/re-replication).
+    pub divergent_writes: u64,
 }
 
 impl StatGroup for ShardSnapshot {
@@ -123,6 +281,10 @@ impl StatGroup for ShardSnapshot {
         let mut fields = self.stats.stat_fields();
         fields.push(("ewma_fault_ppm", self.health.fault_rate_ppm()));
         fields.push(("degraded", u64::from(self.health.is_degraded())));
+        fields.push(("state", self.state.code()));
+        fields.push(("epoch", self.epoch));
+        fields.push(("failover_reads", self.failover_reads));
+        fields.push(("divergent_writes", self.divergent_writes));
         fields
     }
 }
@@ -186,6 +348,10 @@ pub enum BackendSpec {
         /// (the "one node dies" experiment); otherwise every shard runs the
         /// plan with a per-shard derived seed.
         fault_shard: Option<u32>,
+        /// Replication factor R: every object lives on R consecutive shards
+        /// of its placement ring. 1 (the default) is unreplicated and
+        /// bit-identical to the pre-replication backend.
+        replicas: u32,
     },
 }
 
@@ -195,12 +361,14 @@ impl BackendSpec {
         BackendSpec::SingleNode
     }
 
-    /// A sharded backend with `shards` nodes and hashed placement.
+    /// A sharded backend with `shards` nodes, hashed placement, and no
+    /// replication.
     pub fn sharded(shards: u32) -> Self {
         BackendSpec::Sharded {
             shards,
             placement: PlacementPolicy::Hash,
             fault_shard: None,
+            replicas: 1,
         }
     }
 
@@ -222,6 +390,23 @@ impl BackendSpec {
         self
     }
 
+    /// Returns a copy with replication factor `r` (sharded specs only; a
+    /// no-op on [`BackendSpec::SingleNode`]).
+    pub fn with_replicas(mut self, r: u32) -> Self {
+        if let BackendSpec::Sharded { replicas, .. } = &mut self {
+            *replicas = r;
+        }
+        self
+    }
+
+    /// The spec's replication factor (1 unless a sharded spec raised it).
+    pub fn replica_count(&self) -> u32 {
+        match self {
+            BackendSpec::SingleNode => 1,
+            BackendSpec::Sharded { replicas, .. } => *replicas,
+        }
+    }
+
     /// Number of shards this spec builds.
     pub fn shard_count(&self) -> u32 {
         match self {
@@ -235,26 +420,40 @@ impl BackendSpec {
         matches!(self, BackendSpec::SingleNode)
     }
 
-    /// Validates invariants, panicking with a descriptive message.
-    ///
-    /// # Panics
-    /// If a sharded spec has zero shards or targets a fault shard out of
-    /// range.
-    pub fn validate(&self) {
+    /// Validates invariants, returning a descriptive [`SpecError`] for a
+    /// sharded spec with zero shards, an out-of-range fault shard, or an
+    /// impossible replication factor. Callers that cannot proceed simply
+    /// unwrap — the error's `Display` is the panic message.
+    pub fn validate(&self) -> Result<(), SpecError> {
         if let BackendSpec::Sharded {
             shards,
             fault_shard,
+            replicas,
             ..
         } = self
         {
-            assert!(*shards >= 1, "a sharded backend needs at least one shard");
+            if *shards == 0 {
+                return Err(SpecError::ZeroShards);
+            }
             if let Some(fs) = fault_shard {
-                assert!(
-                    fs < shards,
-                    "fault shard {fs} out of range for {shards} shards"
-                );
+                if fs >= shards {
+                    return Err(SpecError::FaultShardOutOfRange {
+                        fault_shard: *fs,
+                        shards: *shards,
+                    });
+                }
+            }
+            if *replicas == 0 {
+                return Err(SpecError::ZeroReplicas);
+            }
+            if replicas > shards {
+                return Err(SpecError::ReplicasExceedShards {
+                    replicas: *replicas,
+                    shards: *shards,
+                });
             }
         }
+        Ok(())
     }
 }
 
@@ -266,8 +465,12 @@ impl fmt::Display for BackendSpec {
                 shards,
                 placement,
                 fault_shard,
+                replicas,
             } => {
                 write!(f, "sharded({shards}, {})", placement.name())?;
+                if *replicas > 1 {
+                    write!(f, " replicas={replicas}")?;
+                }
                 if let Some(fs) = fault_shard {
                     write!(f, " fault_shard={fs}")?;
                 }
@@ -289,7 +492,7 @@ pub fn build_backend(
     spec: BackendSpec,
     faults: FaultPlan,
 ) -> Box<dyn RemoteBackend> {
-    spec.validate();
+    spec.validate().unwrap_or_else(|e| panic!("{e}"));
     match spec {
         BackendSpec::SingleNode => {
             let mut b = SingleNode::new(params);
@@ -300,6 +503,7 @@ pub fn build_backend(
             shards,
             placement,
             fault_shard,
+            replicas,
         } => {
             let mut b = Sharded::new(params, shards.max(1), placement);
             match fault_shard {
@@ -315,6 +519,7 @@ pub fn build_backend(
                 }
                 None => {}
             }
+            b.set_replicas(replicas);
             Box::new(b)
         }
     }
@@ -409,6 +614,33 @@ impl RemoteBackend for SingleNode {
     fn clone_box(&self) -> Box<dyn RemoteBackend> {
         Box::new(self.clone())
     }
+
+    // With one node there is nowhere to fail over to: crashes surface as
+    // fail-fast faults and the state machine is visible, but there is no
+    // replica store to audit (a single-node cold restart's loss is the
+    // caller's problem — that is exactly what replication buys you).
+    fn failover_active(&self) -> bool {
+        self.link.fault_plan().crash.is_some()
+    }
+
+    fn poll(&mut self, now: u64) {
+        self.link.poll_failover(now);
+    }
+
+    fn shard_state(&self, shard: usize) -> ShardState {
+        assert_eq!(shard, 0, "single node has exactly one shard");
+        self.link.failover_state()
+    }
+
+    fn shard_epoch(&self, shard: usize) -> u64 {
+        assert_eq!(shard, 0, "single node has exactly one shard");
+        self.link.epoch()
+    }
+
+    fn mark_synced(&mut self, shard: usize) {
+        assert_eq!(shard, 0, "single node has exactly one shard");
+        self.link.mark_synced();
+    }
 }
 
 // ======================================================================
@@ -418,10 +650,44 @@ impl RemoteBackend for SingleNode {
 /// N remote nodes, each behind its own [`Link`]: independent bandwidth
 /// queues and occupancy horizons (fetches to different shards pipeline
 /// freely), independent fault schedules, independent health trackers.
+///
+/// With `replicas > 1` (or any scripted crash plan attached) the backend
+/// switches into *tracked* mode: every object lives on R consecutive shards
+/// of its placement ring, writebacks mirror synchronously to every live
+/// replica (quorum-free: an op is acknowledged only when *all* live
+/// replicas hold it), reads fail over to a surviving replica, and a
+/// version-fenced store model catches any acknowledged write a restarted
+/// shard would otherwise serve stale. With `replicas == 1` and no crash
+/// plan, every tracked-mode branch is skipped and the backend is
+/// bit-identical to the pre-replication `Sharded`.
 #[derive(Clone, Debug)]
 pub struct Sharded {
     links: Vec<Link>,
     placement: PlacementPolicy,
+    /// Replication factor R (1 = unreplicated).
+    replicas: u32,
+    /// Cached "tracked mode" flag: replicas > 1 or any crash plan armed.
+    /// Gates *all* replica bookkeeping (pay-for-use).
+    tracked: bool,
+    /// Store model, per shard: key → highest version the shard holds.
+    /// BTreeMap for deterministic iteration.
+    stores: Vec<BTreeMap<u64, u64>>,
+    /// key → latest version whose writeback was acknowledged to the caller.
+    acked: BTreeMap<u64, u64>,
+    /// Keys re-homed off a Down shard by the re-replicator: key → its new
+    /// replica set (overrides the placement ring).
+    moved: BTreeMap<u64, Vec<u32>>,
+    /// Monotone writeback version counter.
+    next_version: u64,
+    /// Acknowledged keys declared unrecoverable by resync (no surviving
+    /// copy at the acked version). Moved out of `acked` so the version
+    /// fence stops blocking reads of data that is provably gone, while the
+    /// audit still reports the loss.
+    lost_keys: BTreeSet<u64>,
+    /// Per shard: reads served on behalf of a dead or fenced primary.
+    failover_reads: Vec<u64>,
+    /// Per shard: writebacks missed while Down (replica divergence).
+    divergent_writes: Vec<u64>,
 }
 
 impl Sharded {
@@ -441,6 +707,15 @@ impl Sharded {
                 })
                 .collect(),
             placement,
+            replicas: 1,
+            tracked: false,
+            stores: vec![BTreeMap::new(); shards as usize],
+            acked: BTreeMap::new(),
+            moved: BTreeMap::new(),
+            next_version: 0,
+            lost_keys: BTreeSet::new(),
+            failover_reads: vec![0; shards as usize],
+            divergent_writes: vec![0; shards as usize],
         }
     }
 
@@ -450,6 +725,27 @@ impl Sharded {
     /// Panics if `shard` is out of range.
     pub fn set_fault_plan_on(&mut self, shard: usize, plan: FaultPlan) {
         self.links[shard].set_fault_plan(plan);
+        self.refresh_tracked();
+    }
+
+    /// Sets the replication factor.
+    ///
+    /// # Panics
+    /// Panics if `r` is zero or exceeds the shard count.
+    pub fn set_replicas(&mut self, r: u32) {
+        assert!(r >= 1, "replication factor must be at least 1");
+        assert!(
+            r as usize <= self.links.len(),
+            "replication factor {r} exceeds {} shards",
+            self.links.len()
+        );
+        self.replicas = r;
+        self.refresh_tracked();
+    }
+
+    fn refresh_tracked(&mut self) {
+        self.tracked =
+            self.replicas > 1 || self.links.iter().any(|l| l.fault_plan().crash.is_some());
     }
 
     /// The routing policy.
@@ -466,6 +762,140 @@ impl Sharded {
     fn route(&self, key: u64) -> usize {
         self.placement.shard_of(key, self.links.len())
     }
+
+    /// The shards hosting `key`: R consecutive ring positions starting at
+    /// the placement shard, unless the re-replicator has re-homed the key.
+    fn replica_set(&self, key: u64) -> Vec<usize> {
+        if let Some(m) = self.moved.get(&key) {
+            return m.iter().map(|&s| s as usize).collect();
+        }
+        let n = self.links.len();
+        let p = self.route(key);
+        (0..self.replicas as usize).map(|i| (p + i) % n).collect()
+    }
+
+    /// Drives every link's crash state machine to `now`; a cold restart
+    /// wipes the shard's store (that is what "cold" means).
+    fn poll_all(&mut self, now: u64) {
+        for s in 0..self.links.len() {
+            if let Some(cold) = self.links[s].poll_failover(now) {
+                if cold {
+                    self.stores[s].clear();
+                }
+            }
+        }
+    }
+
+    /// The fabricated fault for an operation with no serving replica:
+    /// connection refused everywhere, detected after one base latency. The
+    /// caller backs off, polls, and retries — by then a shard has usually
+    /// restarted.
+    fn unreachable_fault(&self, now: u64) -> LinkFault {
+        let lat = self.links[0].params().base_latency.max(1);
+        LinkFault {
+            kind: FaultKind::Crash,
+            detected_at: now + lat,
+        }
+    }
+
+    /// First replica fit to serve `key`: an `Up` shard if possible, else a
+    /// `Suspect` one. `Down`/`Recovering` shards never serve, and the
+    /// version fence skips any shard whose store misses the acknowledged
+    /// version (a restarted replica that has not been re-synced).
+    fn choose_serving(&self, set: &[usize], key: u64) -> Option<usize> {
+        let acked = self.acked.get(&key).copied();
+        let fenced_ok = |s: usize| match acked {
+            Some(v) => self.stores[s].get(&key).is_some_and(|&held| held >= v),
+            None => true,
+        };
+        let in_state = |want: ShardState| {
+            set.iter()
+                .copied()
+                .find(|&s| self.links[s].failover_state() == want && fenced_ok(s))
+        };
+        in_state(ShardState::Up).or_else(|| in_state(ShardState::Suspect))
+    }
+
+    /// Tracked-mode fetch: read failover across the replica set.
+    fn tracked_try_transfer(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.poll_all(now);
+        let set = self.replica_set(key);
+        let Some(s) = self.choose_serving(&set, key) else {
+            return Err(self.unreachable_fault(now));
+        };
+        let res = self.links[s].try_transfer(bytes, now);
+        if res.is_ok() && s != set[0] {
+            self.failover_reads[s] += 1;
+        }
+        res
+    }
+
+    /// Tracked-mode writeback: synchronous mirroring to every live replica.
+    /// The op is acknowledged (and the version recorded in `acked`) only
+    /// when *all* live replicas hold it; a Down replica is skipped and its
+    /// divergence recorded, to be repaid by resync or re-replication.
+    fn tracked_try_writeback(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.poll_all(now);
+        let set = self.replica_set(key);
+        self.next_version += 1;
+        let ver = self.next_version;
+        let mut done: Option<u64> = None;
+        let mut failed: Option<LinkFault> = None;
+        for &s in &set {
+            if self.links[s].failover_state() == ShardState::Down {
+                self.divergent_writes[s] += 1;
+                continue;
+            }
+            match self.links[s].try_writeback(bytes, now) {
+                Ok(d) => {
+                    self.stores[s].insert(key, ver);
+                    done = Some(done.map_or(d, |x: u64| x.max(d)));
+                }
+                Err(f) => {
+                    // Keep the latest detection time: the caller's retry
+                    // must not race a replica that is still timing out.
+                    failed = Some(match failed {
+                        Some(g) if g.detected_at >= f.detected_at => g,
+                        _ => f,
+                    });
+                }
+            }
+        }
+        match (failed, done) {
+            // A live replica missed the mirror: the op is NOT acknowledged
+            // (any partial copies carry a version nobody acked — harmless).
+            (Some(f), _) => Err(f),
+            (None, Some(d)) => {
+                self.acked.insert(key, ver);
+                Ok(d)
+            }
+            // Every replica is Down.
+            (None, None) => Err(self.unreachable_fault(now)),
+        }
+    }
+
+    /// Blind-retry wrapper for the blocking entry points in tracked mode.
+    fn tracked_blocking(&mut self, key: u64, bytes: u64, mut now: u64, writeback: bool) -> u64 {
+        let mut attempts = 0u32;
+        loop {
+            let res = if writeback {
+                self.tracked_try_writeback(key, bytes, now)
+            } else {
+                self.tracked_try_transfer(key, bytes, now)
+            };
+            match res {
+                Ok(done) => return done,
+                Err(f) => {
+                    attempts += 1;
+                    assert!(
+                        attempts < 10_000,
+                        "no replica of key {key} ever came back: {attempts} consecutive faults"
+                    );
+                    now = f.detected_at;
+                }
+            }
+        }
+    }
 }
 
 impl RemoteBackend for Sharded {
@@ -474,25 +904,41 @@ impl RemoteBackend for Sharded {
     }
 
     fn shard_of(&self, key: u64) -> usize {
-        self.route(key)
+        if self.tracked {
+            self.replica_set(key)[0]
+        } else {
+            self.route(key)
+        }
     }
 
     fn transfer(&mut self, key: u64, bytes: u64, now: u64) -> u64 {
+        if self.tracked {
+            return self.tracked_blocking(key, bytes, now, false);
+        }
         let s = self.route(key);
         self.links[s].transfer(bytes, now)
     }
 
     fn writeback(&mut self, key: u64, bytes: u64, now: u64) -> u64 {
+        if self.tracked {
+            return self.tracked_blocking(key, bytes, now, true);
+        }
         let s = self.route(key);
         self.links[s].writeback(bytes, now)
     }
 
     fn try_transfer(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        if self.tracked {
+            return self.tracked_try_transfer(key, bytes, now);
+        }
         let s = self.route(key);
         self.links[s].try_transfer(bytes, now)
     }
 
     fn try_writeback(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        if self.tracked {
+            return self.tracked_try_writeback(key, bytes, now);
+        }
         let s = self.route(key);
         self.links[s].try_writeback(bytes, now)
     }
@@ -536,10 +982,170 @@ impl RemoteBackend for Sharded {
         for l in &mut self.links {
             l.reset_stats();
         }
+        for s in &mut self.stores {
+            s.clear();
+        }
+        self.acked.clear();
+        self.moved.clear();
+        self.next_version = 0;
+        self.lost_keys.clear();
+        self.failover_reads.fill(0);
+        self.divergent_writes.fill(0);
     }
 
     fn clone_box(&self) -> Box<dyn RemoteBackend> {
         Box::new(self.clone())
+    }
+
+    fn failover_active(&self) -> bool {
+        self.tracked
+    }
+
+    fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    fn poll(&mut self, now: u64) {
+        if self.tracked {
+            self.poll_all(now);
+        }
+    }
+
+    fn shard_state(&self, shard: usize) -> ShardState {
+        self.links[shard].failover_state()
+    }
+
+    fn shard_epoch(&self, shard: usize) -> u64 {
+        self.links[shard].epoch()
+    }
+
+    fn mark_synced(&mut self, shard: usize) {
+        self.links[shard].mark_synced();
+    }
+
+    fn resync_key(&mut self, shard: usize, key: u64, bytes: u64, now: u64) -> ResyncOutcome {
+        if !self.tracked {
+            return ResyncOutcome::Clean;
+        }
+        let Some(&ver) = self.acked.get(&key) else {
+            return ResyncOutcome::Clean;
+        };
+        let set = self.replica_set(key);
+        if !set.contains(&shard) {
+            return ResyncOutcome::Clean;
+        }
+        if self.stores[shard].get(&key).is_some_and(|&h| h >= ver) {
+            return ResyncOutcome::Clean;
+        }
+        // The copy comes from a surviving replica holding the acked
+        // version; without one, the acknowledged write is gone.
+        let have_source = (0..self.links.len()).any(|s| {
+            s != shard
+                && self.links[s].failover_state() != ShardState::Down
+                && self.stores[s].get(&key).is_some_and(|&h| h >= ver)
+        });
+        if !have_source {
+            // The acked version is gone everywhere. Drop the fence (the
+            // restarted shard becomes the authoritative — empty — home, so
+            // future writes can land) but keep the loss on the books.
+            self.acked.remove(&key);
+            self.lost_keys.insert(key);
+            return ResyncOutcome::Lost;
+        }
+        // Cost model: one writeback's worth of traffic into the recovering
+        // shard (the source's read side is off the caller's critical path).
+        let done = self.links[shard].writeback(bytes, now);
+        self.stores[shard].insert(key, ver);
+        ResyncOutcome::Synced(done)
+    }
+
+    fn re_replicate(&mut self, key: u64, from: usize, bytes: u64, now: u64) -> Option<u64> {
+        if !self.tracked || self.replicas <= 1 {
+            return None;
+        }
+        let set = self.replica_set(key);
+        if !set.contains(&from) {
+            return None;
+        }
+        let &ver = self.acked.get(&key)?;
+        let have_source = set.iter().any(|&s| {
+            s != from
+                && self.links[s].failover_state() != ShardState::Down
+                && self.stores[s].get(&key).is_some_and(|&h| h >= ver)
+        });
+        if !have_source {
+            return None;
+        }
+        // Substitute: the first ring position after `from` that is neither
+        // already hosting the key nor Down itself.
+        let n = self.links.len();
+        let sub = (1..n)
+            .map(|i| (from + i) % n)
+            .find(|&c| !set.contains(&c) && self.links[c].failover_state() != ShardState::Down)?;
+        let done = self.links[sub].writeback(bytes, now);
+        self.stores[sub].insert(key, ver);
+        let new_set: Vec<u32> = set
+            .iter()
+            .map(|&s| if s == from { sub as u32 } else { s as u32 })
+            .collect();
+        self.moved.insert(key, new_set);
+        Some(done)
+    }
+
+    fn recover_shard(&mut self, shard: usize, bytes_per_key: u64, now: u64) -> (u64, u64) {
+        let keys: Vec<u64> = self.acked.keys().copied().collect();
+        let (mut resynced, mut lost) = (0u64, 0u64);
+        for key in keys {
+            match self.resync_key(shard, key, bytes_per_key, now) {
+                ResyncOutcome::Synced(_) => resynced += 1,
+                ResyncOutcome::Lost => lost += 1,
+                ResyncOutcome::Clean => {}
+            }
+        }
+        self.mark_synced(shard);
+        (resynced, lost)
+    }
+
+    fn audit(&self) -> Option<FailoverAudit> {
+        if !self.tracked {
+            return None;
+        }
+        let mut audit = FailoverAudit::default();
+        audit.acked_keys += self.lost_keys.len() as u64;
+        audit.lost += self.lost_keys.len() as u64;
+        for (&key, &ver) in &self.acked {
+            audit.acked_keys += 1;
+            let set = self.replica_set(key);
+            let in_set = set
+                .iter()
+                .filter(|&&s| self.stores[s].get(&key).is_some_and(|&h| h >= ver))
+                .count();
+            // Copies parked outside the current set (an old home that was
+            // re-homed away) still avert loss, though they don't count
+            // toward the set's redundancy.
+            let anywhere = (0..self.links.len())
+                .filter(|&s| self.stores[s].get(&key).is_some_and(|&h| h >= ver))
+                .count();
+            if anywhere == 0 {
+                audit.lost += 1;
+            } else if in_set < set.len() {
+                audit.under_replicated += 1;
+            }
+        }
+        Some(audit)
+    }
+
+    fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        (0..self.shard_count())
+            .map(|s| ShardSnapshot {
+                stats: self.shard_stats(s),
+                health: self.shard_health(s),
+                state: self.links[s].failover_state(),
+                epoch: self.links[s].epoch(),
+                failover_reads: self.failover_reads[s],
+                divergent_writes: self.divergent_writes[s],
+            })
+            .collect()
     }
 }
 
@@ -738,12 +1344,221 @@ mod tests {
         assert_eq!(s.to_string(), "sharded(4, interleave) fault_shard=1");
         assert_eq!(s.shard_count(), 4);
         assert!(!s.is_single());
-        s.validate();
+        assert_eq!(s.replica_count(), 1);
+        s.validate().unwrap();
+        let r = BackendSpec::sharded(4).with_replicas(2);
+        assert_eq!(r.to_string(), "sharded(4, hash) replicas=2");
+        assert_eq!(r.replica_count(), 2);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_validation_rejects_each_bad_shape() {
+        assert_eq!(
+            BackendSpec::sharded(0).validate(),
+            Err(SpecError::ZeroShards)
+        );
+        assert_eq!(
+            BackendSpec::sharded(2).with_fault_shard(5).validate(),
+            Err(SpecError::FaultShardOutOfRange {
+                fault_shard: 5,
+                shards: 2
+            })
+        );
+        assert_eq!(
+            BackendSpec::sharded(2).with_replicas(0).validate(),
+            Err(SpecError::ZeroReplicas)
+        );
+        assert_eq!(
+            BackendSpec::sharded(2).with_replicas(3).validate(),
+            Err(SpecError::ReplicasExceedShards {
+                replicas: 3,
+                shards: 2
+            })
+        );
+        assert!(BackendSpec::sharded(2).with_replicas(2).validate().is_ok());
+        assert!(BackendSpec::single().validate().is_ok());
+        // The Display text is descriptive — panicking callers surface it
+        // verbatim, so config-level #[should_panic] pins keep matching.
+        let msg = BackendSpec::sharded(2)
+            .with_fault_shard(5)
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("fault shard 5 out of range for 2 shards"));
+        assert!(BackendSpec::sharded(8)
+            .with_replicas(0)
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("replication factor"));
     }
 
     #[test]
     #[should_panic(expected = "fault shard")]
-    fn spec_rejects_out_of_range_fault_shard() {
-        BackendSpec::sharded(2).with_fault_shard(5).validate();
+    fn build_backend_panics_on_invalid_spec() {
+        build_backend(
+            LinkParams::tcp_25g(),
+            BackendSpec::sharded(2).with_fault_shard(5),
+            FaultPlan::none(),
+        );
+    }
+
+    #[test]
+    fn replicas_one_is_bit_identical_to_plain_sharded() {
+        // The pay-for-use pin: with_replicas(1) must leave every completion
+        // cycle, counter, and snapshot untouched — tracked mode stays off.
+        for faults in [FaultPlan::none(), FaultPlan::drops(0xFEED, 200_000)] {
+            let spec = BackendSpec::sharded(4);
+            let mut plain = build_backend(LinkParams::tcp_25g(), spec, faults);
+            let mut reppy = build_backend(LinkParams::tcp_25g(), spec.with_replicas(1), faults);
+            assert!(!reppy.failover_active());
+            for k in 0..512u64 {
+                let (bytes, at) = (64 + k * 97, k * 3000);
+                assert_eq!(
+                    plain.try_transfer(k, bytes, at).ok(),
+                    reppy.try_transfer(k, bytes, at).ok()
+                );
+                assert_eq!(
+                    plain.try_writeback(k, bytes, at).ok(),
+                    reppy.try_writeback(k, bytes, at).ok()
+                );
+            }
+            assert_eq!(plain.stats(), reppy.stats());
+            assert_eq!(plain.shard_snapshots(), reppy.shard_snapshots());
+            assert!(reppy.audit().is_none(), "untracked mode keeps no ledger");
+        }
+    }
+
+    #[test]
+    fn mirrored_writeback_lands_on_every_replica() {
+        let mut b = Sharded::new(LinkParams::instant(), 4, PlacementPolicy::Interleave);
+        b.set_replicas(2);
+        assert!(b.failover_active());
+        assert_eq!(b.replicas(), 2);
+        b.try_writeback(0, 4096, 0).unwrap(); // replicas on shards 0 and 1
+        assert_eq!(b.shard_stats(0).writebacks, 1);
+        assert_eq!(b.shard_stats(1).writebacks, 1);
+        assert_eq!(b.shard_stats(2).writebacks, 0);
+        let a = b.audit().unwrap();
+        assert_eq!(a.acked_keys, 1);
+        assert_eq!((a.lost, a.under_replicated), (0, 0));
+        // Reads hit only the primary.
+        b.try_transfer(0, 4096, 0).unwrap();
+        assert_eq!(b.shard_stats(0).fetches, 1);
+        assert_eq!(b.shard_stats(1).fetches, 0);
+    }
+
+    #[test]
+    fn reads_fail_over_to_the_replica_while_the_primary_is_down() {
+        let mut b = Sharded::new(LinkParams::tcp_25g(), 4, PlacementPolicy::Interleave);
+        b.set_replicas(2);
+        b.set_fault_plan_on(0, FaultPlan::none().with_crash(100_000, 900_000));
+        // Key 0's replicas are shards 0 (primary) and 1.
+        b.try_writeback(0, 4096, 0).unwrap();
+        // During the crash window the replica serves without a single
+        // failed attempt: the poll notices the crash before routing.
+        let done = b.try_transfer(0, 4096, 200_000).unwrap();
+        assert!(done > 200_000);
+        assert_eq!(b.shard_state(0), ShardState::Down);
+        assert_eq!(b.shard_stats(1).fetches, 1, "replica served the read");
+        assert_eq!(b.shard_snapshots()[1].failover_reads, 1);
+        // A writeback during the window lands only on the live replica and
+        // records the divergence — but is still acknowledged.
+        b.try_writeback(0, 4096, 300_000).unwrap();
+        assert_eq!(b.shard_snapshots()[0].divergent_writes, 1);
+        let a = b.audit().unwrap();
+        assert_eq!(a.lost, 0);
+        assert_eq!(a.under_replicated, 1, "shard 0 missed the second write");
+    }
+
+    #[test]
+    fn epoch_fence_blocks_a_stale_restarted_primary_until_resync() {
+        let mut b = Sharded::new(LinkParams::tcp_25g(), 4, PlacementPolicy::Interleave);
+        b.set_replicas(2);
+        b.set_fault_plan_on(0, FaultPlan::none().with_cold_crash(100_000, 500_000));
+        b.try_writeback(0, 4096, 0).unwrap();
+        // Shard 0 crashes cold; a write during the window bumps the acked
+        // version past anything shard 0 will hold at restart.
+        b.try_writeback(0, 4096, 200_000).unwrap();
+        // Past the window: shard 0 restarts (Recovering, epoch 1) — but the
+        // read must NOT come from it even after mark_synced flips it Up,
+        // until its store is re-synced.
+        b.poll(600_000);
+        assert_eq!(b.shard_state(0), ShardState::Recovering);
+        assert_eq!(b.shard_epoch(0), 1);
+        b.mark_synced(0);
+        assert_eq!(b.shard_state(0), ShardState::Up);
+        let before = b.shard_stats(1).fetches;
+        b.try_transfer(0, 4096, 600_000).unwrap();
+        assert_eq!(
+            b.shard_stats(1).fetches,
+            before + 1,
+            "fence must route the read to the replica, not the stale primary"
+        );
+        assert_eq!(b.shard_stats(0).fetches, 0);
+        // Resync repays the divergence; now the primary serves again.
+        let out = b.resync_key(0, 0, 4096, 700_000);
+        assert!(matches!(out, ResyncOutcome::Synced(_)), "{out:?}");
+        b.try_transfer(0, 4096, 800_000).unwrap();
+        assert_eq!(b.shard_stats(0).fetches, 1);
+        let a = b.audit().unwrap();
+        assert_eq!((a.lost, a.under_replicated), (0, 0));
+    }
+
+    #[test]
+    fn unreplicated_cold_crash_loses_acknowledged_writes() {
+        // The audit has teeth: with R=1 a cold crash destroys the only
+        // copy, and the audit says so.
+        let mut b = Sharded::new(LinkParams::tcp_25g(), 2, PlacementPolicy::Interleave);
+        b.set_fault_plan_on(0, FaultPlan::none().with_cold_crash(100_000, 500_000));
+        assert!(b.failover_active(), "a crash plan arms tracking even at R=1");
+        b.try_writeback(0, 4096, 0).unwrap();
+        assert_eq!(b.audit().unwrap().lost, 0);
+        b.poll(600_000);
+        assert_eq!(b.audit().unwrap().lost, 1, "the only copy was wiped");
+        assert!(matches!(b.resync_key(0, 0, 4096, 600_000), ResyncOutcome::Lost));
+    }
+
+    #[test]
+    fn re_replication_restores_redundancy_and_rehomes_the_key() {
+        let mut b = Sharded::new(LinkParams::tcp_25g(), 4, PlacementPolicy::Interleave);
+        b.set_replicas(2);
+        b.set_fault_plan_on(0, FaultPlan::none().with_cold_crash(100_000, 10_000_000));
+        b.try_writeback(0, 4096, 0).unwrap(); // shards {0, 1}
+        b.poll(200_000);
+        assert_eq!(b.shard_state(0), ShardState::Down);
+        // Drain key 0 off the dead shard: shard 1 is already a home, so the
+        // substitute is shard 2.
+        let done = b.re_replicate(0, 0, 4096, 200_000);
+        assert!(done.is_some());
+        assert_eq!(b.shard_stats(2).writebacks, 1);
+        assert_eq!(b.shard_of(0), 2, "primary re-homed to the substitute");
+        let a = b.audit().unwrap();
+        assert_eq!((a.lost, a.under_replicated), (0, 0), "redundancy restored");
+        // Subsequent writes mirror to the new set {2, 1} and skip the corpse.
+        b.try_writeback(0, 4096, 300_000).unwrap();
+        assert_eq!(b.shard_stats(2).writebacks, 2);
+        assert_eq!(b.shard_stats(1).writebacks, 2);
+        assert_eq!(b.shard_stats(0).writebacks, 1);
+        // Re-replicating an already-drained key is a no-op.
+        assert!(b.re_replicate(0, 0, 4096, 400_000).is_none());
+    }
+
+    #[test]
+    fn recover_shard_resyncs_every_hosted_key() {
+        let mut b = Sharded::new(LinkParams::instant(), 3, PlacementPolicy::Interleave);
+        b.set_replicas(2);
+        b.set_fault_plan_on(1, FaultPlan::none().with_cold_crash(1_000, 2_000));
+        // Keys 0 (shards {0,1}) and 1 (shards {1,2}) both live on shard 1.
+        b.try_writeback(0, 64, 0).unwrap();
+        b.try_writeback(1, 64, 0).unwrap();
+        b.poll(5_000);
+        assert_eq!(b.shard_state(1), ShardState::Recovering);
+        let (resynced, lost) = b.recover_shard(1, 64, 5_000);
+        assert_eq!((resynced, lost), (2, 0));
+        assert_eq!(b.shard_state(1), ShardState::Up);
+        let a = b.audit().unwrap();
+        assert_eq!((a.lost, a.under_replicated), (0, 0));
     }
 }

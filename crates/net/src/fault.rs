@@ -37,6 +37,10 @@ pub enum FaultKind {
     Stall,
     /// Congestion jitter: success, with drawn extra latency.
     Jitter,
+    /// Whole-node crash: the shard is down, every attempt fails fast
+    /// (connection refused — no bandwidth slot is burned, detection takes
+    /// one base latency instead of the drop timeout).
+    Crash,
 }
 
 impl FaultKind {
@@ -47,6 +51,7 @@ impl FaultKind {
             FaultKind::Outage => "outage",
             FaultKind::Stall => "stall",
             FaultKind::Jitter => "jitter",
+            FaultKind::Crash => "crash",
         }
     }
 
@@ -57,6 +62,7 @@ impl FaultKind {
             FaultKind::Outage => 1,
             FaultKind::Stall => 2,
             FaultKind::Jitter => 3,
+            FaultKind::Crash => 4,
         }
     }
 }
@@ -90,6 +96,79 @@ impl OutageWindow {
     }
 }
 
+/// A scripted whole-node crash/restart window: the shard is down for
+/// `[start, end)` and restarts at `end`. While down, every attempt fails
+/// fast ([`FaultKind::Crash`]); at restart the shard re-enters service
+/// through the failover state machine (`Down → Recovering → Up`) with a
+/// bumped epoch, and — if `cold` — with its un-synced store wiped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// First cycle the node is down.
+    pub start: u64,
+    /// First cycle after the restart (exclusive).
+    pub end: u64,
+    /// Cold restart: the node comes back empty and must be re-synced
+    /// before it may serve (a warm restart keeps its durable store).
+    pub cold: bool,
+}
+
+impl CrashWindow {
+    /// True if `cycle` falls inside the down window.
+    #[inline]
+    pub fn contains(&self, cycle: u64) -> bool {
+        (self.start..self.end).contains(&cycle)
+    }
+}
+
+/// Failover state of one shard, driven by fail-fast crash signals and
+/// [`LinkHealth`] (see DESIGN.md §6g).
+///
+/// `Up → Suspect` when the health EWMA degrades; `Suspect → Up` when it
+/// recovers. `→ Down` on a crash signal; `Down → Recovering` at restart
+/// (epoch bump, cold-restart store wipe); `Recovering → Up` once the
+/// owner has replayed its redo ledger onto the shard.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ShardState {
+    /// Healthy and serving.
+    #[default]
+    Up,
+    /// Degraded health: still serving, but reads prefer a replica.
+    Suspect,
+    /// Crashed: every attempt fails fast; reads fail over, writes skip it.
+    Down,
+    /// Restarted but not yet re-synced: it must not serve reads (epoch
+    /// fence) until the redo ledger has been replayed onto it.
+    Recovering,
+}
+
+impl ShardState {
+    /// Stable lowercase name (logs and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Up => "up",
+            ShardState::Suspect => "suspect",
+            ShardState::Down => "down",
+            ShardState::Recovering => "recovering",
+        }
+    }
+
+    /// Stable numeric code (report counters).
+    pub fn code(self) -> u64 {
+        match self {
+            ShardState::Up => 0,
+            ShardState::Suspect => 1,
+            ShardState::Down => 2,
+            ShardState::Recovering => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Scale of the per-attempt probability draws: rates are expressed in
 /// parts-per-million so the whole plan stays in deterministic integer math.
 pub const PPM: u32 = 1_000_000;
@@ -116,6 +195,8 @@ pub struct FaultPlan {
     pub max_jitter: u64,
     /// Scripted remote-node outage, if any.
     pub outage: Option<OutageWindow>,
+    /// Scripted whole-node crash/restart, if any.
+    pub crash: Option<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -129,6 +210,7 @@ impl FaultPlan {
             jitter_ppm: 0,
             max_jitter: 0,
             outage: None,
+            crash: None,
         }
     }
 
@@ -145,6 +227,30 @@ impl FaultPlan {
     pub fn with_outage(mut self, start: u64, end: u64) -> Self {
         assert!(start < end, "outage window must be non-empty");
         self.outage = Some(OutageWindow { start, end });
+        self
+    }
+
+    /// Returns a copy with a scripted warm crash/restart: the node is down
+    /// for `[start, end)`, restarts with its store intact.
+    pub fn with_crash(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "crash window must be non-empty");
+        self.crash = Some(CrashWindow {
+            start,
+            end,
+            cold: false,
+        });
+        self
+    }
+
+    /// Returns a copy with a scripted cold crash/restart: the node is down
+    /// for `[start, end)` and loses its un-synced store at restart.
+    pub fn with_cold_crash(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "crash window must be non-empty");
+        self.crash = Some(CrashWindow {
+            start,
+            end,
+            cold: true,
+        });
         self
     }
 
@@ -167,7 +273,11 @@ impl FaultPlan {
     /// True if this plan can ever perturb a transfer. The link skips all
     /// fault bookkeeping for inactive plans (pay-for-use).
     pub fn is_active(&self) -> bool {
-        self.drop_ppm > 0 || self.stall_ppm > 0 || self.jitter_ppm > 0 || self.outage.is_some()
+        self.drop_ppm > 0
+            || self.stall_ppm > 0
+            || self.jitter_ppm > 0
+            || self.outage.is_some()
+            || self.crash.is_some()
     }
 }
 
@@ -189,6 +299,10 @@ impl std::fmt::Display for FaultPlan {
         )?;
         if let Some(w) = self.outage {
             write!(f, " outage=[{}, {})", w.start, w.end)?;
+        }
+        if let Some(c) = self.crash {
+            let mode = if c.cold { "cold" } else { "warm" };
+            write!(f, " crash=[{}, {}) {mode}", c.start, c.end)?;
         }
         Ok(())
     }
@@ -472,11 +586,137 @@ mod tests {
             FaultKind::Outage,
             FaultKind::Stall,
             FaultKind::Jitter,
+            FaultKind::Crash,
         ];
         let mut codes: Vec<u64> = kinds.iter().map(|k| k.code()).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), kinds.len());
         assert_eq!(FaultKind::Outage.name(), "outage");
+        assert_eq!(FaultKind::Crash.name(), "crash");
+        assert_eq!(FaultKind::Crash.code(), 4);
+    }
+
+    #[test]
+    fn outage_window_boundaries_are_inclusive_exclusive() {
+        let w = OutageWindow { start: 10, end: 20 };
+        assert!(!w.contains(9), "cycle before start is outside");
+        assert!(w.contains(10), "start cycle is inside (inclusive)");
+        assert!(w.contains(19), "last cycle before end is inside");
+        assert!(!w.contains(20), "end cycle is outside (exclusive)");
+        assert!(!w.contains(21));
+        // Degenerate empty window contains nothing, even its own start.
+        let empty = OutageWindow { start: 5, end: 5 };
+        assert!(!empty.contains(5));
+        // u64 extremes behave: a window ending at u64::MAX excludes MAX.
+        let top = OutageWindow {
+            start: u64::MAX - 1,
+            end: u64::MAX,
+        };
+        assert!(top.contains(u64::MAX - 1));
+        assert!(!top.contains(u64::MAX));
+        // A window starting at 0 includes cycle 0.
+        let zero = OutageWindow { start: 0, end: 1 };
+        assert!(zero.contains(0));
+        assert!(!zero.contains(1));
+    }
+
+    #[test]
+    fn crash_window_boundaries_match_outage_semantics() {
+        let c = CrashWindow {
+            start: 100,
+            end: 200,
+            cold: true,
+        };
+        assert!(!c.contains(99));
+        assert!(c.contains(100));
+        assert!(c.contains(199));
+        assert!(!c.contains(200), "the restart cycle is already up");
+    }
+
+    #[test]
+    fn absorb_merges_degraded_and_recovered_states() {
+        // recovered ⊕ recovered = recovered
+        let well = {
+            let mut h = LinkHealth::default();
+            for _ in 0..8 {
+                h.on_attempt(false);
+            }
+            h
+        };
+        let sick = {
+            let mut h = LinkHealth::default();
+            for _ in 0..4 {
+                h.on_attempt(true);
+            }
+            h
+        };
+        let mut agg = LinkHealth::default();
+        agg.absorb(&well);
+        agg.absorb(&well);
+        assert!(!agg.is_degraded(), "two healthy shards stay healthy");
+        assert_eq!(agg.attempts(), 16);
+        assert_eq!(agg.faults(), 0);
+
+        // recovered ⊕ degraded = degraded, regardless of absorb order.
+        let mut a = LinkHealth::default();
+        a.absorb(&well);
+        a.absorb(&sick);
+        let mut b = LinkHealth::default();
+        b.absorb(&sick);
+        b.absorb(&well);
+        assert!(a.is_degraded() && b.is_degraded());
+        assert_eq!(a, b, "absorb is order-independent");
+
+        // degraded ⊕ degraded sums counters and keeps the worst EWMA.
+        let mut c = LinkHealth::default();
+        c.absorb(&sick);
+        c.absorb(&sick);
+        assert!(c.is_degraded());
+        assert_eq!(c.attempts(), 8);
+        assert_eq!(c.faults(), 8);
+        assert_eq!(c.fault_rate_ppm(), sick.fault_rate_ppm());
+
+        // A shard that degraded and then recovered merges as recovered.
+        let recovered = {
+            let mut h = sick;
+            for _ in 0..40 {
+                h.on_attempt(false);
+            }
+            assert!(!h.is_degraded());
+            h
+        };
+        let mut d = LinkHealth::default();
+        d.absorb(&recovered);
+        d.absorb(&well);
+        assert!(!d.is_degraded(), "a recovered shard does not taint the aggregate");
+        assert_eq!(d.faults(), 4, "its fault history still counts");
+    }
+
+    #[test]
+    fn crash_plan_is_active_and_displays() {
+        let p = FaultPlan::none().with_crash(1_000, 2_000);
+        assert!(p.is_active());
+        assert!(p.to_string().contains("crash=[1000, 2000) warm"));
+        let c = FaultPlan::none().with_cold_crash(5, 9);
+        assert!(c.to_string().contains("crash=[5, 9) cold"));
+        assert!(c.crash.unwrap().cold);
+        assert!(!p.crash.unwrap().cold);
+    }
+
+    #[test]
+    fn shard_state_codes_and_names_are_stable() {
+        let states = [
+            ShardState::Up,
+            ShardState::Suspect,
+            ShardState::Down,
+            ShardState::Recovering,
+        ];
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(s.code(), i as u64);
+        }
+        assert_eq!(ShardState::default(), ShardState::Up);
+        assert_eq!(ShardState::Recovering.name(), "recovering");
+        assert_eq!(ShardState::Down.to_string(), "down");
     }
 }

@@ -41,9 +41,12 @@ mod backend;
 mod fault;
 
 pub use backend::{
-    build_backend, BackendSpec, PlacementPolicy, RemoteBackend, ShardSnapshot, Sharded, SingleNode,
+    build_backend, BackendSpec, FailoverAudit, PlacementPolicy, RemoteBackend, ResyncOutcome,
+    ShardSnapshot, Sharded, SingleNode, SpecError,
 };
-pub use fault::{FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, PPM};
+pub use fault::{
+    CrashWindow, FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, ShardState, PPM,
+};
 use fault::{Fate, FaultState};
 
 /// Parameters of a simulated link.
@@ -218,6 +221,17 @@ pub struct Link {
     /// Shard index stamped on traced transfer spans (0 for a single-node
     /// backend; set by `Sharded` so each link gets its own trace track).
     shard: u32,
+    /// Failover state of the node behind this link (DESIGN.md §6g). Only
+    /// leaves `Up` when a crash plan is attached or health degrades.
+    fstate: ShardState,
+    /// Restart epoch: bumped every time the node comes back from a crash.
+    /// A fenced reader refuses replicas whose store predates the epoch's
+    /// resync.
+    epoch: u64,
+    /// Latched once the scripted crash's restart has been processed, so
+    /// the `Down → Recovering` edge fires exactly once even if no attempt
+    /// ever landed inside the window.
+    crash_done: bool,
 }
 
 /// Safety valve for the blocking [`Link::transfer`]/[`Link::writeback`]
@@ -237,6 +251,9 @@ impl Link {
             fault: None,
             health: LinkHealth::default(),
             shard: 0,
+            fstate: ShardState::Up,
+            epoch: 0,
+            crash_done: false,
         }
     }
 
@@ -277,17 +294,46 @@ impl Link {
     /// either way (a lost message still occupied the wire), and updates the
     /// ledger and health tracker.
     fn attempt(&mut self, bytes: u64, now: u64, writeback: bool) -> Result<u64, LinkFault> {
+        let span_kind = if writeback {
+            SpanKind::WritebackXfer
+        } else {
+            SpanKind::Transfer
+        };
+        if let Some(f) = &self.fault {
+            if f.plan.crash.is_some_and(|c| c.contains(now)) && !self.crash_done {
+                // Crashed node: connection refused. No bandwidth slot is
+                // burned (nothing went on the wire) and detection takes one
+                // base latency — the RST comes back in one trip, not the
+                // full drop timeout. Fail-fast is what lets the failover
+                // machinery react orders of magnitude sooner than a drop.
+                self.stats.faults += 1;
+                self.tel
+                    .emit(now, EventKind::FaultInjected, FaultKind::Crash.code());
+                self.health.on_attempt(true);
+                self.fstate = ShardState::Down;
+                let detected_at = now + self.params.base_latency.max(1);
+                self.tel.span_leaf(Span {
+                    kind: span_kind,
+                    start: now,
+                    end: detected_at,
+                    parent: Span::NO_PARENT,
+                    arg: bytes,
+                    wait: 0,
+                    shard: self.shard,
+                    fault: FaultKind::Crash.code() as u32,
+                });
+                return Err(LinkFault {
+                    kind: FaultKind::Crash,
+                    detected_at,
+                });
+            }
+        }
         let start = now.max(self.free_at);
         let fate = match &mut self.fault {
             Some(f) => f.decide(start),
             None => Fate::Deliver,
         };
         self.free_at = start + self.params.occupancy(bytes);
-        let span_kind = if writeback {
-            SpanKind::WritebackXfer
-        } else {
-            SpanKind::Transfer
-        };
         match fate {
             Fate::Deliver | Fate::Slow(..) => {
                 if writeback {
@@ -309,6 +355,7 @@ impl Link {
                 }
                 if self.fault.is_some() {
                     self.health.on_attempt(false);
+                    self.refresh_suspect();
                 }
                 self.tel.span_leaf(Span {
                     kind: span_kind,
@@ -327,6 +374,7 @@ impl Link {
                 self.stats.fault_wasted_bytes += bytes;
                 self.tel.emit(start, EventKind::FaultInjected, kind.code());
                 self.health.on_attempt(true);
+                self.refresh_suspect();
                 let detected_at = self.free_at + self.params.drop_timeout();
                 self.tel.span_leaf(Span {
                     kind: span_kind,
@@ -396,6 +444,63 @@ impl Link {
         self.retry_until_delivered(bytes, now, true)
     }
 
+    /// Health-driven `Up ↔ Suspect` hysteresis. Never touches `Down` /
+    /// `Recovering` — those edges belong to the crash machinery.
+    fn refresh_suspect(&mut self) {
+        match self.fstate {
+            ShardState::Up if self.health.is_degraded() => self.fstate = ShardState::Suspect,
+            ShardState::Suspect if !self.health.is_degraded() => self.fstate = ShardState::Up,
+            _ => {}
+        }
+    }
+
+    /// Advances the crash-driven failover transitions to cycle `now`
+    /// without issuing any traffic. Returns `Some(cold)` exactly once per
+    /// scripted crash, at the `Down → Recovering` edge (restart): the
+    /// epoch is bumped and the caller owns re-syncing the node (a `cold`
+    /// restart additionally lost its un-synced store). The edge fires even
+    /// if no attempt ever landed inside the window — the crash happened
+    /// whether or not anyone was talking to the node.
+    pub fn poll_failover(&mut self, now: u64) -> Option<bool> {
+        let c = self.fault.as_ref().and_then(|f| f.plan.crash)?;
+        // Once the restart has been processed the window is history: an
+        // attempt stamped with an in-window cycle can still arrive later
+        // (overlapping operations advance their own timelines at different
+        // rates) and must not knock the restarted node back Down.
+        if self.crash_done {
+            return None;
+        }
+        if c.contains(now) {
+            self.fstate = ShardState::Down;
+            return None;
+        }
+        if now >= c.end {
+            self.crash_done = true;
+            self.fstate = ShardState::Recovering;
+            self.epoch += 1;
+            return Some(c.cold);
+        }
+        None
+    }
+
+    /// The node's failover state.
+    pub fn failover_state(&self) -> ShardState {
+        self.fstate
+    }
+
+    /// The node's restart epoch (0 until it crashes for the first time).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `Recovering → Up`: the owner finished replaying the redo ledger
+    /// onto the restarted node, so it may serve reads again.
+    pub fn mark_synced(&mut self) {
+        if self.fstate == ShardState::Recovering {
+            self.fstate = ShardState::Up;
+        }
+    }
+
     /// First cycle at which a new transfer could start.
     pub fn free_at(&self) -> u64 {
         self.free_at
@@ -417,6 +522,9 @@ impl Link {
             f.reset();
         }
         self.health = LinkHealth::default();
+        self.fstate = ShardState::Up;
+        self.epoch = 0;
+        self.crash_done = false;
     }
 }
 
@@ -624,6 +732,80 @@ mod tests {
             now = l.transfer(64, now);
         }
         assert!(!l.health().is_degraded());
+    }
+
+    #[test]
+    fn crash_fails_fast_without_burning_the_wire() {
+        let p = LinkParams::tcp_25g();
+        let mut l = Link::new(p);
+        l.set_fault_plan(FaultPlan::none().with_crash(0, 500_000));
+        let f = l.try_transfer(4096, 100).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Crash);
+        // Connection refused: detection after one base latency, not the
+        // occupancy + drop timeout a lost message costs.
+        assert_eq!(f.detected_at, 100 + p.base_latency);
+        assert_eq!(l.free_at(), 0, "no bandwidth slot was burned");
+        assert_eq!(l.stats().fault_wasted_bytes, 0);
+        assert_eq!(l.stats().faults, 1);
+        assert_eq!(l.failover_state(), ShardState::Down);
+        // Past the window the node restarts: exactly one Recovering edge.
+        assert_eq!(l.poll_failover(600_000), Some(false));
+        assert_eq!(l.failover_state(), ShardState::Recovering);
+        assert_eq!(l.epoch(), 1);
+        assert_eq!(l.poll_failover(700_000), None, "restart fires once");
+        l.mark_synced();
+        assert_eq!(l.failover_state(), ShardState::Up);
+        let done = l.try_transfer(4096, 700_000).unwrap();
+        assert_eq!(done, 700_000 + p.solo_cost(4096));
+    }
+
+    #[test]
+    fn unobserved_crash_still_restarts_with_a_bumped_epoch() {
+        // Nobody talks to the node during its window; the restart edge must
+        // still fire on the first poll after the window (a cold crash wiped
+        // the store whether or not anyone noticed).
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::none().with_cold_crash(1_000, 2_000));
+        assert_eq!(l.poll_failover(500), None, "before the window: nothing");
+        assert_eq!(l.failover_state(), ShardState::Up);
+        assert_eq!(l.poll_failover(5_000), Some(true), "cold restart reported");
+        assert_eq!(l.epoch(), 1);
+        assert_eq!(l.failover_state(), ShardState::Recovering);
+    }
+
+    #[test]
+    fn health_suspects_a_degraded_link_and_clears_on_recovery() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::none().with_outage(0, 1_000_000));
+        let mut now = 0;
+        for _ in 0..4 {
+            now = match l.try_transfer(64, now) {
+                Ok(d) => d,
+                Err(f) => f.detected_at,
+            };
+        }
+        assert_eq!(l.failover_state(), ShardState::Suspect);
+        let mut now = 2_000_000;
+        for _ in 0..40 {
+            now = l.transfer(64, now);
+        }
+        assert_eq!(l.failover_state(), ShardState::Up);
+    }
+
+    #[test]
+    fn reset_stats_clears_failover_state_and_epoch() {
+        let mut l = Link::new(LinkParams::tcp_25g());
+        l.set_fault_plan(FaultPlan::none().with_crash(0, 1_000));
+        let _ = l.try_transfer(64, 10);
+        assert_eq!(l.failover_state(), ShardState::Down);
+        assert_eq!(l.poll_failover(5_000), Some(false));
+        assert_eq!(l.epoch(), 1);
+        l.reset_stats();
+        assert_eq!(l.failover_state(), ShardState::Up);
+        assert_eq!(l.epoch(), 0);
+        // The schedule rewound too: the crash can fire again.
+        let _ = l.try_transfer(64, 10);
+        assert_eq!(l.failover_state(), ShardState::Down);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct RetryPolicy {
     pub deadline: u64,
     /// Backoff multiplier applied while the link is degraded.
     pub degraded_backoff_mult: u64,
+    /// Seed of the deterministic per-attempt backoff jitter
+    /// ([`backoff_jittered`](Self::backoff_jittered)); 0 disables jitter,
+    /// restoring the pure exponential schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -34,8 +38,19 @@ impl Default for RetryPolicy {
             backoff_cap: 1 << 20,
             deadline: 8_000_000,
             degraded_backoff_mult: 4,
+            jitter_seed: 0x7C15_DA39_6A1B_44E3,
         }
     }
+}
+
+/// SplitMix64 finalizer (the workspace's standard seeded mixer), local so
+/// the jitter draw needs no cross-crate dependency on `tfm_net` internals.
+#[inline]
+fn jitter_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -47,6 +62,22 @@ impl RetryPolicy {
             return self.backoff_cap; // doubling any further would overflow
         }
         (self.backoff_base << shift).min(self.backoff_cap)
+    }
+
+    /// [`backoff`](Self::backoff) plus a deterministic jitter drawn in
+    /// `[0, backoff/4]`, keyed on `(jitter_seed, key, attempt)`. Concurrent
+    /// operations against the same recovering shard spread their retries
+    /// instead of re-arriving in lockstep, yet the same seed, key, and
+    /// attempt always draw the same jitter — runs stay bit-identical.
+    pub fn backoff_jittered(&self, attempt: u32, key: u64) -> u64 {
+        let base = self.backoff(attempt);
+        if self.jitter_seed == 0 {
+            return base;
+        }
+        let h = jitter_mix(
+            self.jitter_seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407) ^ u64::from(attempt),
+        );
+        base + h % (base / 4 + 1)
     }
 }
 
@@ -130,7 +161,7 @@ impl FarMemoryConfig {
             "heap size must be a positive multiple of the object size"
         );
         assert!(self.local_budget > 0, "local budget must be positive");
-        self.backend.validate();
+        self.backend.validate().unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Number of objects in the heap (= state-table entries).
@@ -178,6 +209,13 @@ impl FarMemoryConfig {
     pub fn with_shards(self, n: u32) -> Self {
         self.with_backend(BackendSpec::sharded(n))
     }
+
+    /// Returns a copy with replication factor `r` on the current backend
+    /// (sharded backends only; a no-op on a single node).
+    pub fn with_replicas(mut self, r: u32) -> Self {
+        self.backend = self.backend.with_replicas(r);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +253,69 @@ mod tests {
         assert_eq!(p.backoff(60), p.backoff_cap);
         // Huge attempt numbers must not overflow the shift.
         assert_eq!(p.backoff(u32::MAX), p.backoff_cap);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_spread() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=20 {
+            for key in [0u64, 1, 17, 0xDEAD_BEEF] {
+                let a = p.backoff_jittered(attempt, key);
+                let b = p.backoff_jittered(attempt, key);
+                assert_eq!(a, b, "same (seed, key, attempt) ⇒ same draw");
+                let base = p.backoff(attempt);
+                assert!(
+                    (base..=base + base / 4).contains(&a),
+                    "jitter must stay within 25% of the base: {a} vs {base}"
+                );
+            }
+        }
+        // Different keys de-synchronize: across many keys the draws are not
+        // all equal (that is the whole point).
+        let draws: Vec<u64> = (0..64).map(|k| p.backoff_jittered(3, k)).collect();
+        let mut uniq = draws.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 8, "keys retry in lockstep: {draws:?}");
+        // Two policies with different seeds draw different schedules.
+        let other = RetryPolicy {
+            jitter_seed: 0x1234,
+            ..p
+        };
+        assert!((0..64).any(|k| p.backoff_jittered(2, k) != other.backoff_jittered(2, k)));
+    }
+
+    #[test]
+    fn zero_jitter_seed_disables_jitter() {
+        let p = RetryPolicy {
+            jitter_seed: 0,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..=10 {
+            for key in 0..32 {
+                assert_eq!(p.backoff_jittered(attempt, key), p.backoff(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_builder_updates_the_backend_spec() {
+        let c = FarMemoryConfig::small().with_shards(4).with_replicas(2);
+        c.validate();
+        assert_eq!(c.backend.replica_count(), 2);
+        // A no-op on the single-node default.
+        let s = FarMemoryConfig::small().with_replicas(2);
+        s.validate();
+        assert!(s.backend.is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn rejects_more_replicas_than_shards() {
+        FarMemoryConfig::small()
+            .with_shards(2)
+            .with_replicas(3)
+            .validate();
     }
 
     #[test]

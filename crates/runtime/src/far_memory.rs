@@ -23,8 +23,11 @@ use crate::config::FarMemoryConfig;
 use crate::ptr::{ObjId, TfmPtr};
 use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
-use std::collections::VecDeque;
-use tfm_net::{build_backend, LinkHealth, RemoteBackend, ShardSnapshot, TransferStats};
+use std::collections::{BTreeSet, VecDeque};
+use tfm_net::{
+    build_backend, FailoverAudit, LinkHealth, RemoteBackend, ResyncOutcome, ShardSnapshot,
+    ShardState, TransferStats,
+};
 use tfm_telemetry::{EventKind, Span, SpanId, SpanKind, Telemetry};
 
 /// The far-memory runtime.
@@ -51,6 +54,19 @@ pub struct FarMemory {
     /// Cached `backend.faults_active()`: gates the retry machinery so the
     /// flawless fabric keeps the legacy single-attempt path.
     faults_active: bool,
+    /// Redo ledger: keys whose writeback has been acknowledged since the
+    /// last reset. Replayed onto a recovering shard to re-sync it, and
+    /// walked to drain a Down shard's objects onto substitutes. Empty (and
+    /// never written) unless the backend tracks failover.
+    redo: BTreeSet<u64>,
+    /// Per-shard mirror of the backend's failover state machine;
+    /// transitions emit `ShardDown`/`ShardRecovering`/`ShardUp` events and
+    /// trigger drain/replay exactly once per edge.
+    shard_states: Vec<ShardState>,
+    /// Cached `backend.failover_active()`: gates the redo ledger and the
+    /// failover service so untracked runs keep the legacy path
+    /// bit-identical.
+    failover_active: bool,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -73,7 +89,9 @@ impl FarMemory {
         cfg.validate();
         let backend = build_backend(cfg.link, cfg.backend, cfg.faults);
         let faults_active = backend.faults_active();
+        let failover_active = backend.failover_active();
         let degraded = vec![false; backend.shard_count()];
+        let shard_states = vec![ShardState::Up; backend.shard_count()];
         FarMemory {
             log2_obj: cfg.log2_object_size(),
             table: StateTable::new(cfg.num_objects()),
@@ -87,6 +105,9 @@ impl FarMemory {
             tel: Telemetry::disabled(),
             degraded,
             faults_active,
+            redo: BTreeSet::new(),
+            shard_states,
+            failover_active,
             cfg,
         }
     }
@@ -161,6 +182,22 @@ impl FarMemory {
         self.degraded[shard]
     }
 
+    /// Failover state of one shard (Up / Suspect / Down / Recovering).
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.backend.shard_state(shard)
+    }
+
+    /// The replica audit (acknowledged keys, losses, under-replication) —
+    /// `None` on backends that do not track failover.
+    pub fn failover_audit(&self) -> Option<FailoverAudit> {
+        self.backend.audit()
+    }
+
+    /// Number of acknowledged writebacks in the redo ledger.
+    pub fn redo_ledger_len(&self) -> usize {
+        self.redo.len()
+    }
+
     /// The remote backend (shard topology, per-shard ledgers and health).
     pub fn backend(&self) -> &dyn RemoteBackend {
         self.backend.as_ref()
@@ -183,6 +220,8 @@ impl FarMemory {
         self.stats = RuntimeStats::default();
         self.backend.reset_stats();
         self.degraded.fill(false);
+        self.redo.clear();
+        self.shard_states.fill(ShardState::Up);
     }
 
     // ------------------------------------------------------------------
@@ -207,6 +246,80 @@ impl FarMemory {
                 self.tel.emit(now, EventKind::Recovered, health.fault_rate_ppm());
             }
         }
+    }
+
+    /// Polls the backend's failover state machines and services any
+    /// transitions since the last call: a shard that went Down has its
+    /// ledger objects drained onto substitutes (re-replication), and a
+    /// shard that restarted into Recovering gets the redo ledger replayed
+    /// before rejoining as Up under its bumped epoch.
+    fn service_failover(&mut self, now: u64) {
+        if !self.failover_active {
+            return;
+        }
+        self.backend.poll(now);
+        for s in 0..self.shard_states.len() {
+            let cur = self.backend.shard_state(s);
+            if cur == self.shard_states[s] {
+                continue;
+            }
+            match cur {
+                ShardState::Down => {
+                    self.stats.shard_downs += 1;
+                    self.tel.emit(now, EventKind::ShardDown, s as u64);
+                    self.drain_shard(s, now);
+                }
+                ShardState::Recovering => self.replay_shard(s, now),
+                ShardState::Up | ShardState::Suspect => {}
+            }
+            // Replay may have advanced the shard past `cur` (to Up), so
+            // re-read rather than store the stale observation.
+            self.shard_states[s] = self.backend.shard_state(s);
+        }
+    }
+
+    /// Restores replication for every redo-ledger object hosted on a Down
+    /// shard by copying the acknowledged version from a surviving replica
+    /// onto a substitute node. Objects are permanently re-homed — the
+    /// ROADMAP-4 migration hook — so a later cold restart of the dead
+    /// shard cannot strand them.
+    fn drain_shard(&mut self, shard: usize, now: u64) {
+        let keys: Vec<u64> = self.redo.iter().copied().collect();
+        let size = self.cfg.object_size;
+        for key in keys {
+            if self.backend.re_replicate(key, shard, size, now).is_some() {
+                self.stats.re_replications += 1;
+                self.tel.emit(now, EventKind::ReReplicate, key);
+            }
+        }
+    }
+
+    /// Replays the redo ledger onto a restarted shard: every acknowledged
+    /// object it hosts whose copy is stale (or wiped by a cold restart) is
+    /// re-synced from a surviving replica, then the shard rejoins as Up.
+    /// An object with no surviving replica is counted lost — the chaos
+    /// suite asserts this stays zero whenever R ≥ 2.
+    fn replay_shard(&mut self, shard: usize, now: u64) {
+        self.tel.emit(now, EventKind::ShardRecovering, shard as u64);
+        let sp = self.tel.span_begin_root(SpanKind::Recovery, shard as u64, now);
+        let keys: Vec<u64> = self.redo.iter().copied().collect();
+        let size = self.cfg.object_size;
+        let mut end = now;
+        for key in keys {
+            match self.backend.resync_key(shard, key, size, now) {
+                ResyncOutcome::Synced(done) => {
+                    self.stats.resynced_objects += 1;
+                    self.tel.emit(now, EventKind::Resync, key);
+                    end = end.max(done);
+                }
+                ResyncOutcome::Clean => {}
+                ResyncOutcome::Lost => self.stats.lost_objects += 1,
+            }
+        }
+        self.backend.mark_synced(shard);
+        self.stats.shard_recoveries += 1;
+        self.tel.span_end(sp, end);
+        self.tel.emit(end, EventKind::ShardUp, shard as u64);
     }
 
     /// Drives one backend operation to completion under the retry policy:
@@ -242,6 +355,7 @@ impl FarMemory {
                 self.backend.try_transfer(key, bytes, at)
             };
             self.sync_shard_health(shard, at);
+            self.service_failover(at);
             match res {
                 Ok(done) => {
                     if attempt > 0 {
@@ -261,7 +375,7 @@ impl FarMemory {
                     if writeback && attempt >= pol.max_attempts {
                         return None;
                     }
-                    let mut backoff = pol.backoff(attempt);
+                    let mut backoff = pol.backoff_jittered(attempt, key);
                     if self.degraded[shard] {
                         backoff = backoff.saturating_mul(pol.degraded_backoff_mult);
                     }
@@ -493,6 +607,7 @@ impl FarMemory {
         let ready = if self.faults_active {
             let res = self.backend.try_transfer(o.0, size, now);
             self.sync_shard_health(shard, now);
+            self.service_failover(now);
             match res {
                 Ok(r) => r,
                 Err(f) => {
@@ -600,6 +715,11 @@ impl FarMemory {
                 }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);
+                if self.failover_active {
+                    // The writeback is acknowledged: ledger it for replay
+                    // onto a recovering shard.
+                    self.redo.insert(o.0);
+                }
             }
             self.table.clear(o, PRESENT | DIRTY | HOT);
             self.resident_bytes -= self.cfg.object_size;
@@ -645,6 +765,11 @@ impl FarMemory {
                 }
                 self.stats.writebacks += 1;
                 self.tel.emit(now, EventKind::Writeback, o.0);
+                if self.failover_active {
+                    // The writeback is acknowledged: ledger it for replay
+                    // onto a recovering shard.
+                    self.redo.insert(o.0);
+                }
             }
             self.table.clear(o, PRESENT | DIRTY | HOT);
             self.resident_bytes -= self.cfg.object_size;
@@ -1177,6 +1302,137 @@ mod tests {
             run(BackendSpec::sharded(1)),
             "one shard must be cost-identical to the single-node backend"
         );
+    }
+
+    #[test]
+    fn observed_crash_drains_the_shard_then_recovery_rejoins_it() {
+        use tfm_net::{BackendSpec, FaultPlan, PlacementPolicy, ShardState};
+        use tfm_telemetry::{EventKind, Telemetry};
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 4 * 4096,
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_backend(
+            BackendSpec::sharded(4)
+                .with_placement(PlacementPolicy::Interleave)
+                .with_replicas(2)
+                .with_fault_shard(2),
+        )
+        .with_faults(FaultPlan::none().with_cold_crash(1_000_000, 2_000_000));
+        let mut fm = FarMemory::new(cfg);
+        let tel = Telemetry::enabled();
+        fm.set_telemetry(tel.clone());
+        let p = fm.allocate(32 * 4096, 0).unwrap();
+        let base = fm.obj_of_offset(p.offset());
+        assert_eq!(base.0, 0, "interleave test assumes objects start at 0");
+        fm.evacuate_all(0);
+        assert_eq!(fm.redo_ledger_len(), 32, "every acked writeback is ledgered");
+
+        // Traffic inside the window observes the crash: object 2's primary
+        // is Down, so the read fails over to its replica and the Down
+        // transition drains every ledgered object off shard 2.
+        let stall = fm.localize(ObjId(2), false, 1_000_000);
+        assert!(fm.table().is_present(ObjId(2)), "replica served the read");
+        assert!(stall < 100_000, "failover read, not a retry storm: {stall}");
+        assert_eq!(fm.shard_state(2), ShardState::Down);
+        assert_eq!(fm.stats().shard_downs, 1);
+        assert!(
+            fm.stats().re_replications > 0,
+            "ledgered objects hosted on the dead shard get re-homed"
+        );
+        let snaps = fm.shard_snapshots();
+        assert!(snaps.iter().map(|s| s.failover_reads).sum::<u64>() > 0);
+
+        // Traffic after the window drives restart: epoch bump, redo-ledger
+        // replay, rejoin as Up — with zero acknowledged writes lost.
+        let mut now = 2_000_000;
+        for k in 0..32u64 {
+            now += fm.localize(ObjId(k), true, now);
+        }
+        fm.evacuate_all(now);
+        assert_eq!(fm.shard_state(2), ShardState::Up);
+        assert_eq!(fm.stats().shard_recoveries, 1);
+        assert_eq!(fm.stats().lost_objects, 0);
+        assert_eq!(fm.backend().shard_epoch(2), 1, "restart bumps the epoch");
+        let audit = fm.failover_audit().expect("replicated backend audits");
+        assert!(audit.acked_keys >= 32);
+        assert_eq!(audit.lost, 0, "R=2 rides through a cold crash");
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.count(EventKind::ShardDown), 1);
+        assert_eq!(snap.count(EventKind::ShardRecovering), 1);
+        assert_eq!(snap.count(EventKind::ShardUp), 1);
+        assert!(snap.count(EventKind::ReReplicate) > 0);
+    }
+
+    #[test]
+    fn unobserved_cold_crash_is_resynced_from_the_redo_ledger() {
+        use tfm_net::{BackendSpec, FaultPlan, PlacementPolicy, ShardState};
+        let cfg = FarMemoryConfig {
+            heap_size: 1 << 20,
+            object_size: 4096,
+            local_budget: 4 * 4096,
+            link: LinkParams::tcp_25g(),
+            ..FarMemoryConfig::small()
+        }
+        .with_backend(
+            BackendSpec::sharded(4)
+                .with_placement(PlacementPolicy::Interleave)
+                .with_replicas(2)
+                .with_fault_shard(2),
+        )
+        .with_faults(FaultPlan::none().with_cold_crash(1_000_000, 1_500_000));
+        let mut fm = FarMemory::new(cfg);
+        let p = fm.allocate(32 * 4096, 0).unwrap();
+        assert_eq!(fm.obj_of_offset(p.offset()).0, 0);
+        fm.evacuate_all(0);
+
+        // Nobody touches the backend during the crash window: the restart
+        // edge still fires on the first attempt after it, and the wiped
+        // store is rebuilt from the ledger instead of being drained.
+        let _ = fm.localize(ObjId(0), false, 2_000_000);
+        assert_eq!(fm.stats().shard_downs, 0, "the crash itself went unobserved");
+        assert_eq!(fm.stats().shard_recoveries, 1);
+        assert!(
+            fm.stats().resynced_objects >= 16,
+            "shard 2 hosts half the interleaved keys: {}",
+            fm.stats()
+        );
+        assert_eq!(fm.stats().lost_objects, 0);
+        assert_eq!(fm.shard_state(2), ShardState::Up);
+        assert_eq!(fm.failover_audit().unwrap().lost, 0);
+    }
+
+    #[test]
+    fn crash_failover_schedule_is_reproducible() {
+        use tfm_net::{BackendSpec, FaultPlan};
+        let run = || {
+            let cfg = FarMemoryConfig {
+                heap_size: 1 << 20,
+                object_size: 4096,
+                local_budget: 4 * 4096,
+                link: LinkParams::tcp_25g(),
+                ..FarMemoryConfig::small()
+            }
+            .with_backend(BackendSpec::sharded(4).with_replicas(2).with_fault_shard(1))
+            .with_faults(
+                FaultPlan::drops(0x5EED, 200_000).with_cold_crash(500_000, 1_200_000),
+            );
+            let mut fm = FarMemory::new(cfg);
+            let p = fm.allocate(16 * 4096, 0).unwrap();
+            let base = fm.obj_of_offset(p.offset());
+            fm.evacuate_all(0);
+            fm.reset_stats();
+            let mut now = 0;
+            for k in 0..16u64 {
+                now += fm.localize(ObjId(base.0 + k), true, now);
+            }
+            fm.evacuate_all(now);
+            (*fm.stats(), fm.transfer_stats(), fm.failover_audit(), now)
+        };
+        assert_eq!(run(), run(), "identical seeds, identical failover story");
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub struct RuntimeStats {
     pub writeback_deferrals: u64,
     /// Transitions into degraded mode.
     pub degradations: u64,
+    /// Shards observed crashing (Up/Suspect → Down transitions).
+    pub shard_downs: u64,
+    /// Shard recoveries completed (ledger replayed, shard rejoined).
+    pub shard_recoveries: u64,
+    /// Redo-ledger objects re-synced onto recovering shards.
+    pub resynced_objects: u64,
+    /// Objects re-replicated off Down shards onto substitutes.
+    pub re_replications: u64,
+    /// Acknowledged writebacks found unrecoverable during replay (must stay
+    /// zero under replication — the chaos suite pins this).
+    pub lost_objects: u64,
 }
 
 impl fmt::Display for RuntimeStats {
@@ -81,6 +92,17 @@ impl fmt::Display for RuntimeStats {
                 self.degradations
             )?;
         }
+        if self.shard_downs > 0 || self.shard_recoveries > 0 || self.re_replications > 0 {
+            write!(
+                f,
+                ", shard downs: {} / recoveries: {}, resynced: {} / re-replicated: {} / lost: {}",
+                self.shard_downs,
+                self.shard_recoveries,
+                self.resynced_objects,
+                self.re_replications,
+                self.lost_objects
+            )?;
+        }
         Ok(())
     }
 }
@@ -109,6 +131,11 @@ impl StatGroup for RuntimeStats {
             ("prefetch_suppressed", self.prefetch_suppressed),
             ("writeback_deferrals", self.writeback_deferrals),
             ("degradations", self.degradations),
+            ("shard_downs", self.shard_downs),
+            ("shard_recoveries", self.shard_recoveries),
+            ("resynced_objects", self.resynced_objects),
+            ("re_replications", self.re_replications),
+            ("lost_objects", self.lost_objects),
         ]
     }
 }
@@ -132,6 +159,11 @@ impl MergeStats for RuntimeStats {
         self.prefetch_suppressed += other.prefetch_suppressed;
         self.writeback_deferrals += other.writeback_deferrals;
         self.degradations += other.degradations;
+        self.shard_downs += other.shard_downs;
+        self.shard_recoveries += other.shard_recoveries;
+        self.resynced_objects += other.resynced_objects;
+        self.re_replications += other.re_replications;
+        self.lost_objects += other.lost_objects;
     }
 }
 
@@ -185,11 +217,16 @@ mod tests {
             prefetch_suppressed: 15,
             writeback_deferrals: 16,
             degradations: 17,
+            shard_downs: 18,
+            shard_recoveries: 19,
+            resynced_objects: 20,
+            re_replications: 21,
+            lost_objects: 22,
         };
         let fields = s.stat_fields();
-        assert_eq!(fields.len(), 17);
+        assert_eq!(fields.len(), 22);
         let vals: Vec<u64> = fields.iter().map(|(_, v)| *v).collect();
-        assert_eq!(vals, (1..=17).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=22).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -54,6 +54,20 @@ pub enum EventKind {
     /// The link recovered: the runtime restored the fast configuration
     /// (arg: EWMA fault rate in ppm).
     Recovered,
+    /// A shard was declared Down after a fail-fast crash signal (arg:
+    /// shard index).
+    ShardDown,
+    /// A crashed shard restarted and entered recovery (arg: shard index).
+    ShardRecovering,
+    /// A recovering shard finished its ledger replay and rejoined (arg:
+    /// shard index).
+    ShardUp,
+    /// One redo-ledger key was re-synced onto a recovering shard (arg:
+    /// object key).
+    Resync,
+    /// One key was re-replicated off a Down shard onto a substitute (arg:
+    /// object key).
+    ReReplicate,
 }
 
 /// Number of event kinds — derived from [`EventKind::ALL`] so adding a
@@ -85,6 +99,11 @@ impl EventKind {
         EventKind::Retry,
         EventKind::Degraded,
         EventKind::Recovered,
+        EventKind::ShardDown,
+        EventKind::ShardRecovering,
+        EventKind::ShardUp,
+        EventKind::Resync,
+        EventKind::ReReplicate,
     ];
 
     /// Stable snake_case name (used in reports and JSON).
@@ -110,6 +129,11 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Degraded => "degraded",
             EventKind::Recovered => "recovered",
+            EventKind::ShardDown => "shard_down",
+            EventKind::ShardRecovering => "shard_recovering",
+            EventKind::ShardUp => "shard_up",
+            EventKind::Resync => "resync",
+            EventKind::ReReplicate => "re_replicate",
         }
     }
 }

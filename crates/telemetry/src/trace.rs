@@ -131,6 +131,9 @@ pub enum SpanKind {
     Retry,
     /// One round of kernel fault handling (leaf).
     Kernel,
+    /// Redo-ledger replay onto a recovering shard (root; `arg` = shard
+    /// index, covers restart to rejoin).
+    Recovery,
 }
 
 impl SpanKind {
@@ -151,6 +154,7 @@ impl SpanKind {
         SpanKind::WritebackXfer,
         SpanKind::Retry,
         SpanKind::Kernel,
+        SpanKind::Recovery,
     ];
 
     /// Stable snake_case name (used in exported traces).
@@ -171,6 +175,7 @@ impl SpanKind {
             SpanKind::WritebackXfer => "writeback_transfer",
             SpanKind::Retry => "retry",
             SpanKind::Kernel => "kernel",
+            SpanKind::Recovery => "recovery",
         }
     }
 

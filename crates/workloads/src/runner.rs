@@ -177,6 +177,15 @@ impl RunConfig {
     pub fn with_shards(self, n: u32) -> Self {
         self.with_backend(BackendSpec::sharded(n))
     }
+
+    /// Keeps `r` copies of every object across the sharded backend (crash
+    /// failover; `r = 1` is free, and the single-node backend is
+    /// unaffected). `r` may not exceed the shard count — the run panics
+    /// when it builds its runtime.
+    pub fn with_replicas(mut self, r: u32) -> Self {
+        self.backend = self.backend.with_replicas(r);
+        self
+    }
 }
 
 /// The outcome of one run: results plus (for transformed binaries) the
@@ -569,6 +578,29 @@ mod tests {
         let (_, single) = execute_with_report(&spec, &RunConfig::trackfm(0.25));
         assert!(single.field("shard0", "fetches").is_none());
         assert!(!single.meta.iter().any(|(k, _)| k == "backend"));
+    }
+
+    #[test]
+    fn replicated_crash_run_report_publishes_failover_counters() {
+        use tfm_net::{BackendSpec, FaultPlan};
+        let spec = stream::sum(&StreamParams { elems: 16 << 10 });
+        let cfg = RunConfig::trackfm(0.25)
+            .with_backend(BackendSpec::sharded(4).with_replicas(2).with_fault_shard(1))
+            .with_faults(FaultPlan::none().with_cold_crash(100_000, 400_000));
+        let (_, rep) = execute_with_report(&spec, &cfg);
+        assert!(rep.meta.iter().any(|(k, v)| k == "backend" && v.contains("replicas=2")));
+        for s in 0..4 {
+            let section = format!("shard{s}");
+            for f in ["state", "epoch", "failover_reads", "divergent_writes"] {
+                assert!(rep.field(&section, f).is_some(), "missing {section}.{f}");
+            }
+        }
+        // The runtime section publishes the recovery story, and no
+        // acknowledged write may be lost under R=2.
+        for f in ["shard_downs", "shard_recoveries", "resynced_objects", "re_replications"] {
+            assert!(rep.field("runtime", f).is_some(), "missing runtime.{f}");
+        }
+        assert_eq!(rep.field("runtime", "lost_objects"), Some(0));
     }
 
     #[test]
