@@ -40,4 +40,12 @@ cargo bench -q -p tfm-bench --bench shard_scaling
 # rendered report vs the plain sharded backend; the crash row must end with
 # zero lost acknowledged writebacks. Emits BENCH_failover.json.
 cargo bench -q -p tfm-bench --bench failover_overhead
+# Concurrency suite: one wire transfer per in-flight object, a 200-seed
+# cores(1) bitwise-identity + cores(N) determinism sweep, and overlapping
+# demand-fetch spans in the multi-core trace.
+cargo test -q --test concurrency
+# Concurrency gate: cores(1) asserts bit-identical cycles and a byte-identical
+# rendered report vs a hand-driven synchronous machine; 8 cores must clear
+# >= 4x the open-loop throughput of 1. Emits BENCH_concurrency.json.
+cargo bench -q -p tfm-bench --bench concurrency_scaling
 cargo clippy --workspace --all-targets -- -D warnings

@@ -34,10 +34,10 @@
 //! assert_eq!(p.access(0x1008, 8, false, minor + major), 0);
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use tfm_net::{
-    build_backend, BackendSpec, FaultPlan, LinkParams, RemoteBackend, ShardSnapshot, ShardState,
-    TransferStats,
+    build_backend, drive_retries, BackendSpec, FaultPlan, LinkFault, LinkParams, RemoteBackend,
+    RetryOps, ShardSnapshot, ShardState, TransferStats,
 };
 use tfm_telemetry::{EventKind, MergeStats, Span, SpanKind, StatGroup, Telemetry};
 
@@ -111,6 +111,10 @@ pub struct PagerStats {
     /// Acknowledged page writebacks with no surviving copy after a cold
     /// restart (only possible unreplicated).
     pub lost_pages: u64,
+    /// Faults that joined an already-in-flight RDMA read for the same page
+    /// instead of issuing their own (multi-core in-flight page table;
+    /// always zero on the synchronous single-core machine).
+    pub fault_joins: u64,
 }
 
 impl StatGroup for PagerStats {
@@ -128,6 +132,7 @@ impl StatGroup for PagerStats {
             ("recoveries", self.recoveries),
             ("resynced_pages", self.resynced_pages),
             ("lost_pages", self.lost_pages),
+            ("fault_joins", self.fault_joins),
         ]
     }
 }
@@ -142,6 +147,7 @@ impl MergeStats for PagerStats {
         self.recoveries += other.recoveries;
         self.resynced_pages += other.resynced_pages;
         self.lost_pages += other.lost_pages;
+        self.fault_joins += other.fault_joins;
     }
 }
 
@@ -161,6 +167,19 @@ pub struct Pager {
     /// Cached `backend.failover_active()`: gates shard-restart polling so
     /// crash-free configurations keep the legacy fault path bit-identical.
     failover_active: bool,
+    /// Split issue/complete fault handling (multi-core scheduler only):
+    /// major faults issue their RDMA read and record the completion cycle
+    /// in `inflight` instead of stalling until it; later touches of the
+    /// page either join the pending read or find it landed. Off (the
+    /// synchronous path) by default.
+    async_fetch: bool,
+    /// Pages with an issued-but-unconsumed RDMA read: page → completion
+    /// cycle. Always empty when `async_fetch` is off.
+    inflight: BTreeMap<u64, u64>,
+    /// Latest completion cycle of any read issued asynchronously since the
+    /// scheduler last drained it — the core is charged to the issue point,
+    /// so request latency learns about the delivery through this horizon.
+    completion_horizon: u64,
 }
 
 impl Pager {
@@ -177,8 +196,29 @@ impl Pager {
             stats: PagerStats::default(),
             tel: Telemetry::disabled(),
             failover_active,
+            async_fetch: false,
+            inflight: BTreeMap::new(),
+            completion_horizon: 0,
             cfg,
         }
+    }
+
+    /// Switches major faults to the split issue/complete protocol (used by
+    /// the multi-core scheduler). Off, the pager is the synchronous
+    /// single-core baseline, bit-identical to before the split existed.
+    pub fn set_async_fetch(&mut self, on: bool) {
+        self.async_fetch = on;
+    }
+
+    /// Number of pages with an issued-but-unconsumed RDMA read.
+    pub fn inflight_pages(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Drains the completion horizon: the latest completion cycle of any
+    /// RDMA read issued asynchronously since the last call (0 if none).
+    pub fn take_completion_horizon(&mut self) -> u64 {
+        std::mem::take(&mut self.completion_horizon)
     }
 
     /// Attaches a telemetry sink (shared with the backend's links): fault,
@@ -258,6 +298,7 @@ impl Pager {
             wait: 0,
             shard: Span::NO_SHARD,
             fault: Span::NO_FAULT,
+            core: Span::NO_CORE,
         });
     }
 
@@ -284,11 +325,36 @@ impl Pager {
     }
 
     fn touch_page(&mut self, page: u64, write: bool, now: u64) -> u64 {
+        // Split-protocol path: an earlier fault may have issued this page's
+        // RDMA read without stalling for it. A touch after the completion
+        // cycle silently consumes the entry; before it, the toucher joins
+        // the pending read and stalls only for its remaining latency.
+        let pending = if self.async_fetch {
+            self.inflight.get(&page).copied()
+        } else {
+            None
+        };
+        if let Some(done) = pending {
+            if now >= done {
+                self.inflight.remove(&page);
+            }
+        }
         let meta = self.pages.entry(page).or_default();
         if meta.resident {
             meta.referenced = true;
             meta.dirty |= write;
             self.tel.timeline_access(now, false);
+            if let Some(done) = pending {
+                if now < done {
+                    // Join the pending read: no second transfer, and the
+                    // joining core moves on too — the shared completion
+                    // cycle reaches the scheduler through the horizon.
+                    self.stats.fault_joins += 1;
+                    self.tel.emit(now, EventKind::FetchJoin, page);
+                    self.completion_horizon = self.completion_horizon.max(done);
+                    return 0;
+                }
+            }
             return 0;
         }
         self.tel.timeline_access(now, true);
@@ -306,25 +372,19 @@ impl Pager {
             // The RDMA read can fault; the kernel re-drives the fault after
             // the timeout, charging another round of fault handling each
             // time (there is no backoff in the kernel fast path).
-            let mut attempt = 0u32;
-            let done = loop {
-                match self.backend.try_transfer(page, PAGE_SIZE, now + cycles) {
-                    Ok(done) => break done,
-                    Err(f) => {
-                        attempt += 1;
-                        assert!(
-                            attempt < 10_000,
-                            "link permanently dead: {attempt} consecutive faults on one page fault"
-                        );
-                        self.stats.fault_retries += 1;
-                        self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
-                        self.kernel_leaf(f.detected_at, attempt as u64);
-                        self.service_failover(f.detected_at);
-                        cycles = f.detected_at.saturating_sub(now) + self.cfg.kernel_fault_cycles;
-                    }
-                }
-            };
-            cycles += done.saturating_sub(now + cycles);
+            let mut ops = PagerRetry { pager: self, page };
+            let r = drive_retries(&mut ops, now + cycles)
+                .expect("the kernel re-drives forever; it never abandons a fault");
+            cycles = r.issued_at - now;
+            if self.async_fetch {
+                // Issue/complete split: record the completion cycle and
+                // return without stalling for the wire; a later touch (any
+                // core) joins or consumes it.
+                self.inflight.insert(page, r.done);
+                self.completion_horizon = self.completion_horizon.max(r.done);
+            } else {
+                cycles += r.done.saturating_sub(now + cycles);
+            }
             self.stats.major_faults += 1;
             self.tel.span_finish(sp, now + cycles, SpanKind::MajorFault, true);
             if self.tel.is_enabled() {
@@ -369,6 +429,12 @@ impl Pager {
                 self.clock.push_back(page);
                 continue;
             }
+            if self.async_fetch && self.inflight.contains_key(&page) {
+                // The page's RDMA read is still in flight; reclaiming it now
+                // would tear the transfer. Give it a second chance instead.
+                self.clock.push_back(page);
+                continue;
+            }
             // Reclaim.
             let dirty = meta.dirty;
             meta.resident = false;
@@ -386,6 +452,7 @@ impl Pager {
                 wait: 0,
                 shard: Span::NO_SHARD,
                 fault: Span::NO_FAULT,
+                core: Span::NO_CORE,
             });
             if dirty {
                 self.backend.writeback(page, PAGE_SIZE, now + cycles);
@@ -404,6 +471,9 @@ impl Pager {
     /// after setup for a cold start, then [`Pager::reset_stats`].
     pub fn evacuate_all(&mut self, now: u64) {
         while let Some(page) = self.clock.pop_front() {
+            // Any pending read has logically landed by a full evacuation
+            // point (benchmarks call this between phases).
+            self.inflight.remove(&page);
             let Some(meta) = self.pages.get_mut(&page) else {
                 continue;
             };
@@ -427,6 +497,35 @@ impl Pager {
                 self.tel.note_evicted(page, now);
             }
         }
+    }
+}
+
+/// [`RetryOps`] adapter for the kernel fault path: issue over the RDMA
+/// backend; on each fault, charge another round of kernel fault handling at
+/// the detection cycle and re-drive (the kernel fast path has no backoff
+/// and never gives up).
+struct PagerRetry<'a> {
+    pager: &'a mut Pager,
+    page: u64,
+}
+
+impl RetryOps for PagerRetry<'_> {
+    fn issue(&mut self, at: u64, _attempts: u32) -> Result<u64, LinkFault> {
+        self.pager.backend.issue_transfer(self.page, PAGE_SIZE, at)
+    }
+
+    fn on_fault(&mut self, attempts: u32, fault: LinkFault) -> Option<u64> {
+        self.pager.stats.fault_retries += 1;
+        self.pager
+            .tel
+            .emit(fault.detected_at, EventKind::Retry, attempts as u64);
+        self.pager.kernel_leaf(fault.detected_at, attempts as u64);
+        self.pager.service_failover(fault.detected_at);
+        Some(fault.detected_at + self.pager.cfg.kernel_fault_cycles)
+    }
+
+    fn describe_dead(&self, attempts: u32) -> String {
+        format!("link permanently dead: {attempts} consecutive faults on one page fault")
     }
 }
 
@@ -674,6 +773,43 @@ mod tests {
         let audit = p.backend().audit().unwrap();
         assert_eq!(audit.lost, 0, "R=2 loses nothing to a cold crash");
         assert_eq!(p.backend().shard_epoch(0), 1);
+    }
+
+    #[test]
+    fn async_fetch_splits_issue_from_completion_and_joins() {
+        let mut p = pager(8);
+        p.access(0, 8, true, 0);
+        p.evacuate_all(0);
+        p.reset_stats();
+        let sync_stall = {
+            let mut q = pager(8);
+            q.access(0, 8, true, 0);
+            q.evacuate_all(0);
+            q.reset_stats();
+            q.access(0, 8, false, 0)
+        };
+        p.set_async_fetch(true);
+        // Issue: the faulting core is charged only up to the RDMA issue
+        // point, not the wire time.
+        let issue_stall = p.access(0, 8, false, 0);
+        assert!(issue_stall < sync_stall, "{issue_stall} vs {sync_stall}");
+        assert_eq!(p.stats().major_faults, 1);
+        assert_eq!(p.inflight_pages(), 1);
+        let done = issue_stall + (sync_stall - issue_stall); // == sync_stall
+        assert_eq!(p.take_completion_horizon(), done, "delivery cycle reported");
+        // A second touch before completion joins the pending read: no new
+        // transfer, no stall — the joining request completes at the shared
+        // delivery cycle, reported through the horizon.
+        let join_stall = p.access(0, 8, false, issue_stall);
+        assert_eq!(join_stall, 0);
+        assert_eq!(p.take_completion_horizon(), done);
+        assert_eq!(p.stats().fault_joins, 1);
+        assert_eq!(p.stats().major_faults, 1, "no second fault");
+        assert_eq!(p.transfer_stats().fetches, 1, "one wire transfer total");
+        // A touch after completion consumes the entry silently and is free.
+        assert_eq!(p.access(0, 8, false, done), 0);
+        assert_eq!(p.inflight_pages(), 0);
+        assert_eq!(p.stats().fault_joins, 1);
     }
 
     #[test]

@@ -132,6 +132,30 @@ pub trait RemoteBackend: fmt::Debug {
     /// One writeback attempt; the caller owns retry policy on failure.
     fn try_writeback(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault>;
 
+    // --- issue/poll-completion surface (DESIGN.md §6h) --------------------
+    //
+    // The link model computes a transfer's completion cycle analytically at
+    // issue time (bandwidth slot + pipelined latency), so the asynchronous
+    // protocol is a thin split over `try_transfer`: issue the attempt now,
+    // learn the completion cycle immediately, poll it against the caller's
+    // advancing clock. Sharding, replicas, and the fault fabric compose
+    // unchanged underneath — a default method, not a per-backend feature.
+
+    /// Issues one asynchronous fetch attempt for `key` at cycle `now`.
+    /// Returns the cycle the data will be resident (the wire is occupied
+    /// and the ledger charged immediately; the *caller* keeps computing
+    /// until it polls the completion). Fault contract matches
+    /// [`try_transfer`](Self::try_transfer).
+    fn issue_transfer(&mut self, key: u64, bytes: u64, now: u64) -> Result<u64, LinkFault> {
+        self.try_transfer(key, bytes, now)
+    }
+
+    /// True once an issued transfer with completion cycle `done` has
+    /// delivered by cycle `now`.
+    fn poll_complete(&self, done: u64, now: u64) -> bool {
+        now >= done
+    }
+
     /// True if any shard has an active fault plan attached. Callers use
     /// this to keep the flawless-fabric fast path (no retry bookkeeping).
     fn faults_active(&self) -> bool;

@@ -39,6 +39,7 @@ use tfm_telemetry::{EventKind, MergeStats, Span, SpanKind, StatGroup, Telemetry}
 
 mod backend;
 mod fault;
+mod retry;
 
 pub use backend::{
     build_backend, BackendSpec, FailoverAudit, PlacementPolicy, RemoteBackend, ResyncOutcome,
@@ -47,6 +48,7 @@ pub use backend::{
 pub use fault::{
     CrashWindow, FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, ShardState, PPM,
 };
+pub use retry::{drive_retries, Retried, RetryOps, MAX_DRIVEN_RETRIES};
 use fault::{Fate, FaultState};
 
 /// Parameters of a simulated link.
@@ -321,6 +323,7 @@ impl Link {
                     wait: 0,
                     shard: self.shard,
                     fault: FaultKind::Crash.code() as u32,
+                    core: Span::NO_CORE,
                 });
                 return Err(LinkFault {
                     kind: FaultKind::Crash,
@@ -366,6 +369,7 @@ impl Link {
                     wait: start - now,
                     shard: self.shard,
                     fault: fault_code,
+                    core: Span::NO_CORE,
                 });
                 Ok(done)
             }
@@ -385,6 +389,7 @@ impl Link {
                     wait: start - now,
                     shard: self.shard,
                     fault: kind.code() as u32,
+                    core: Span::NO_CORE,
                 });
                 Err(LinkFault { kind, detected_at })
             }

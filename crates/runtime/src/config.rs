@@ -79,6 +79,25 @@ impl RetryPolicy {
         );
         base + h % (base / 4 + 1)
     }
+
+    /// [`backoff_jittered`](Self::backoff_jittered) with the issuing core
+    /// folded into the seed: each simulated core draws an independent,
+    /// deterministic retry schedule, so two cores backing off from the same
+    /// shard never re-arrive in lockstep. Core 0 (and the synchronous
+    /// single-core machine, which always passes 0) draws exactly the
+    /// un-threaded schedule — the `cores(1)` identity gate depends on it.
+    pub fn backoff_jittered_on(&self, attempt: u32, key: u64, core: u32) -> u64 {
+        if core == 0 {
+            return self.backoff_jittered(attempt, key);
+        }
+        let base = self.backoff(attempt);
+        if self.jitter_seed == 0 {
+            return base;
+        }
+        let seed = self.jitter_seed ^ jitter_mix(u64::from(core));
+        let h = jitter_mix(seed ^ key.wrapping_mul(0xA24B_AED4_963E_E407) ^ u64::from(attempt));
+        base + h % (base / 4 + 1)
+    }
 }
 
 /// Prefetcher configuration.
@@ -283,6 +302,45 @@ mod tests {
             ..p
         };
         assert!((0..64).any(|k| p.backoff_jittered(2, k) != other.backoff_jittered(2, k)));
+    }
+
+    #[test]
+    fn core_zero_jitter_matches_the_unthreaded_schedule() {
+        // The synchronous machine passes core 0 everywhere; its schedule
+        // must be bit-identical to the pre-multi-core draw.
+        let p = RetryPolicy::default();
+        for attempt in 1..=12 {
+            for key in 0..32 {
+                assert_eq!(
+                    p.backoff_jittered_on(attempt, key, 0),
+                    p.backoff_jittered(attempt, key)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_core_jitter_is_deterministic_bounded_and_independent() {
+        let p = RetryPolicy::default();
+        for core in 1..8u32 {
+            for attempt in 1..=12 {
+                for key in [0u64, 3, 0xFEED] {
+                    let a = p.backoff_jittered_on(attempt, key, core);
+                    assert_eq!(a, p.backoff_jittered_on(attempt, key, core));
+                    let base = p.backoff(attempt);
+                    assert!((base..=base + base / 4).contains(&a));
+                }
+            }
+        }
+        // Distinct cores draw distinct schedules for the same (key, attempt)
+        // somewhere — otherwise threading the core id bought nothing.
+        assert!((0..64u64)
+            .any(|k| p.backoff_jittered_on(2, k, 1) != p.backoff_jittered_on(2, k, 2)));
+        // Zero seed still disables jitter on every core.
+        let off = RetryPolicy { jitter_seed: 0, ..p };
+        for core in 0..4 {
+            assert_eq!(off.backoff_jittered_on(3, 9, core), off.backoff(3));
+        }
     }
 
     #[test]

@@ -25,8 +25,8 @@ use crate::state::{StateTable, DIRTY, HOT, INFLIGHT, PRESENT};
 use crate::stats::RuntimeStats;
 use std::collections::{BTreeSet, VecDeque};
 use tfm_net::{
-    build_backend, FailoverAudit, LinkHealth, RemoteBackend, ResyncOutcome, ShardSnapshot,
-    ShardState, TransferStats,
+    build_backend, drive_retries, FailoverAudit, LinkFault, LinkHealth, RemoteBackend,
+    ResyncOutcome, RetryOps, ShardSnapshot, ShardState, TransferStats,
 };
 use tfm_telemetry::{EventKind, Span, SpanId, SpanKind, Telemetry};
 
@@ -67,6 +67,23 @@ pub struct FarMemory {
     /// failover service so untracked runs keep the legacy path
     /// bit-identical.
     failover_active: bool,
+    /// The simulated core currently driving this runtime (0 on the
+    /// synchronous single-core machine). Folded into the retry jitter seed
+    /// so each core draws an independent deterministic backoff schedule.
+    core: u32,
+    /// Split issue/complete demand fetches (DESIGN.md §6h). Engaged only by
+    /// the multi-core scheduler; the synchronous machine never sets it, so
+    /// `cores(1)` keeps the legacy blocking path bit-identical.
+    async_fetch: bool,
+    /// In-flight fetch table: demand fetches issued but not yet claimed.
+    /// A second core missing the same object joins the pending entry — one
+    /// transfer on the wire serves both. Empty unless `async_fetch` is on.
+    demand_inflight: BTreeSet<u64>,
+    /// Latest delivery cycle of any fetch issued asynchronously since the
+    /// scheduler last drained it: a core is charged only to the issue
+    /// point, so the request's semantic completion (data actually landed)
+    /// is reported out of band for latency accounting.
+    completion_horizon: u64,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -108,8 +125,41 @@ impl FarMemory {
             redo: BTreeSet::new(),
             shard_states,
             failover_active,
+            core: 0,
+            async_fetch: false,
+            demand_inflight: BTreeSet::new(),
+            completion_horizon: 0,
             cfg,
         }
+    }
+
+    /// Sets the simulated core driving subsequent operations (retry jitter
+    /// is drawn per core; core 0 reproduces the single-core schedule).
+    pub fn set_core(&mut self, core: u32) {
+        self.core = core;
+    }
+
+    /// Switches demand fetches to the split issue/complete protocol: a miss
+    /// charges the wire immediately but parks the object in the in-flight
+    /// fetch table instead of blocking, and a second core missing the same
+    /// object joins the pending entry. Only the multi-core scheduler turns
+    /// this on — the synchronous machine keeps the blocking path.
+    pub fn set_async_fetch(&mut self, on: bool) {
+        self.async_fetch = on;
+    }
+
+    /// Number of demand fetches currently parked in the in-flight table.
+    pub fn demand_inflight_len(&self) -> usize {
+        self.demand_inflight.len()
+    }
+
+    /// Drains the completion horizon: the latest delivery cycle of any
+    /// demand fetch issued asynchronously since the last call (0 if none).
+    /// The multi-core scheduler folds this into per-request latency — the
+    /// core moves on at the issue point, but the request is not complete
+    /// until its data lands.
+    pub fn take_completion_horizon(&mut self) -> u64 {
+        std::mem::take(&mut self.completion_horizon)
     }
 
     /// Attaches a telemetry sink (shared with the backend's links):
@@ -343,64 +393,23 @@ impl FarMemory {
             });
         }
         let shard = self.backend.shard_of(key);
-        let pol = self.cfg.retry;
-        let deadline = now.saturating_add(pol.deadline);
-        let mut at = now;
-        let mut attempt: u32 = 0;
-        let mut deadline_counted = false;
-        loop {
-            let res = if writeback {
-                self.backend.try_writeback(key, bytes, at)
-            } else {
-                self.backend.try_transfer(key, bytes, at)
-            };
-            self.sync_shard_health(shard, at);
-            self.service_failover(at);
-            match res {
-                Ok(done) => {
-                    if attempt > 0 {
-                        // Penalty = detect timeouts + backoffs accumulated
-                        // before the attempt that finally delivered.
-                        self.tel.record_retry_latency(at - now);
-                    }
-                    return Some(done);
-                }
-                Err(f) => {
-                    attempt += 1;
-                    self.stats.link_faults += 1;
-                    assert!(
-                        attempt < 10_000,
-                        "shard {shard} permanently dead: {attempt} consecutive faults on one operation"
-                    );
-                    if writeback && attempt >= pol.max_attempts {
-                        return None;
-                    }
-                    let mut backoff = pol.backoff_jittered(attempt, key);
-                    if self.degraded[shard] {
-                        backoff = backoff.saturating_mul(pol.degraded_backoff_mult);
-                    }
-                    at = f.detected_at + backoff;
-                    self.stats.retries += 1;
-                    self.tel.emit(f.detected_at, EventKind::Retry, attempt as u64);
-                    // The retry interval: fault detection through the end of
-                    // the backoff wait, after which the next attempt issues.
-                    self.tel.span_leaf(Span {
-                        kind: SpanKind::Retry,
-                        start: f.detected_at,
-                        end: at,
-                        parent: Span::NO_PARENT,
-                        arg: attempt as u64,
-                        wait: backoff,
-                        shard: shard as u32,
-                        fault: f.kind.code() as u32,
-                    });
-                    if !deadline_counted && at > deadline {
-                        self.stats.deadline_exceeded += 1;
-                        deadline_counted = true;
-                    }
-                }
-            }
+        let deadline = now.saturating_add(self.cfg.retry.deadline);
+        let mut ops = RuntimeRetry {
+            fm: self,
+            key,
+            bytes,
+            writeback,
+            shard,
+            deadline,
+            deadline_counted: false,
+        };
+        let r = drive_retries(&mut ops, now)?;
+        if r.attempts > 0 {
+            // Penalty = detect timeouts + backoffs accumulated before the
+            // attempt that finally delivered.
+            self.tel.record_retry_latency(r.issued_at - now);
         }
+        Some(r.done)
     }
 
     // ------------------------------------------------------------------
@@ -482,18 +491,42 @@ impl FarMemory {
             return 0;
         }
         let stall = if self.table.is_inflight(o) {
-            // A prefetch is outstanding; wait for it if it has not landed.
-            let ready = self.table.ready_cycle(o);
-            self.table.clear(o, INFLIGHT);
-            self.table.set(o, PRESENT | mark);
-            if ready > now {
-                self.stats.prefetch_late += 1;
-                self.tel.emit(now, EventKind::PrefetchLate, o.0);
-                ready - now
+            if self.demand_inflight.contains(&o.0) {
+                // Another core's demand fetch is pending on this object.
+                let ready = self.table.ready_cycle(o);
+                if ready > now {
+                    // Join the in-flight entry: one transfer on the wire
+                    // serves both cores. The joining core also moves on at
+                    // the issue point — its request completes at the shared
+                    // delivery cycle, reported through the completion
+                    // horizon.
+                    self.stats.fetch_joins += 1;
+                    self.tel.emit(now, EventKind::FetchJoin, o.0);
+                    self.table.set(o, mark);
+                    self.completion_horizon = self.completion_horizon.max(ready);
+                    0
+                } else {
+                    // The fetch landed unclaimed; silent conversion.
+                    self.demand_inflight.remove(&o.0);
+                    self.table.clear(o, INFLIGHT);
+                    self.table.set(o, PRESENT | mark);
+                    0
+                }
             } else {
-                self.stats.prefetch_hits += 1;
-                self.tel.emit(now, EventKind::PrefetchHit, o.0);
-                0
+                // A prefetch is outstanding; wait for it if it has not
+                // landed.
+                let ready = self.table.ready_cycle(o);
+                self.table.clear(o, INFLIGHT);
+                self.table.set(o, PRESENT | mark);
+                if ready > now {
+                    self.stats.prefetch_late += 1;
+                    self.tel.emit(now, EventKind::PrefetchLate, o.0);
+                    ready - now
+                } else {
+                    self.stats.prefetch_hits += 1;
+                    self.tel.emit(now, EventKind::PrefetchHit, o.0);
+                    0
+                }
             }
         } else {
             // Demand fetch. A localize must succeed for correctness: it
@@ -513,7 +546,22 @@ impl FarMemory {
                 .transfer_with_retry(o.0, size, now, false)
                 .expect("demand fetches retry until delivered");
             self.tel.span_end(sp, done);
-            self.table.set(o, PRESENT | mark);
+            let charged = if self.async_fetch {
+                // Issue/complete split: the core is charged only to the
+                // issue point — queueing for the wire plus occupancy, not
+                // the propagation latency. The object parks in the
+                // in-flight fetch table so other cores can join it, and
+                // the delivery cycle flows to the scheduler through the
+                // completion horizon for per-request latency.
+                self.table.set(o, INFLIGHT | mark);
+                self.table.set_ready_cycle(o, done);
+                self.demand_inflight.insert(o.0);
+                self.completion_horizon = self.completion_horizon.max(done);
+                done.saturating_sub(self.cfg.link.base_latency).max(now) - now
+            } else {
+                self.table.set(o, PRESENT | mark);
+                done - now
+            };
             self.resident_bytes += size;
             self.stats.peak_resident_bytes =
                 self.stats.peak_resident_bytes.max(self.resident_bytes);
@@ -525,7 +573,7 @@ impl FarMemory {
                 self.tel.note_resident(o.0, now);
                 self.tel.timeline_occupancy(now, self.resident_bytes);
             }
-            done - now
+            charged
         };
         self.stride_detect(o, now + stall);
         stall
@@ -686,6 +734,8 @@ impl FarMemory {
             if e & (PRESENT | INFLIGHT) == 0 {
                 continue; // stale queue entry
             }
+            self.claim_landed_fetch(o, now);
+            let e = self.table.entry(o);
             if self.table.pins(o) > 0 || e & INFLIGHT != 0 {
                 self.clock.push_back(o);
                 continue;
@@ -734,6 +784,19 @@ impl FarMemory {
         }
     }
 
+    /// Converts a completed-but-unclaimed demand fetch back to `PRESENT`
+    /// under the evacuator's scan: the data landed at `ready_cycle` but no
+    /// core has touched the object since, so it is evictable like any other
+    /// resident object. No-op unless the in-flight fetch table holds it.
+    fn claim_landed_fetch(&mut self, o: ObjId, now: u64) {
+        if !self.demand_inflight.contains(&o.0) || self.table.ready_cycle(o) > now {
+            return;
+        }
+        self.demand_inflight.remove(&o.0);
+        self.table.clear(o, INFLIGHT);
+        self.table.set(o, PRESENT);
+    }
+
     /// Evacuates every resident, unpinned object (writing dirty ones back).
     /// Benchmarks call this after setup to start from a cold far-memory
     /// state, then [`FarMemory::reset_stats`].
@@ -748,6 +811,8 @@ impl FarMemory {
             if e & (PRESENT | INFLIGHT) == 0 {
                 continue;
             }
+            self.claim_landed_fetch(o, now);
+            let e = self.table.entry(o);
             if self.table.pins(o) > 0 || e & INFLIGHT != 0 {
                 self.clock.push_back(o);
                 continue;
@@ -779,6 +844,76 @@ impl FarMemory {
                 self.tel.note_evicted(o.0, now);
             }
         }
+    }
+}
+
+/// [`RetryOps`] adapter driving one backend operation for the runtime. It
+/// owns every per-attempt side effect — stats, events, spans, health and
+/// failover polling — so the shared [`drive_retries`] loop stays
+/// attempt-for-attempt identical to the pre-refactor in-place loop.
+struct RuntimeRetry<'a> {
+    fm: &'a mut FarMemory,
+    key: u64,
+    bytes: u64,
+    writeback: bool,
+    shard: usize,
+    deadline: u64,
+    deadline_counted: bool,
+}
+
+impl RetryOps for RuntimeRetry<'_> {
+    fn issue(&mut self, at: u64, _attempts: u32) -> Result<u64, LinkFault> {
+        let res = if self.writeback {
+            self.fm.backend.try_writeback(self.key, self.bytes, at)
+        } else {
+            self.fm.backend.try_transfer(self.key, self.bytes, at)
+        };
+        // Every attempt — delivered or faulted — feeds the health tracker
+        // and advances the failover state machines.
+        self.fm.sync_shard_health(self.shard, at);
+        self.fm.service_failover(at);
+        res
+    }
+
+    fn on_fault(&mut self, attempts: u32, f: LinkFault) -> Option<u64> {
+        let fm = &mut *self.fm;
+        fm.stats.link_faults += 1;
+        let pol = fm.cfg.retry;
+        if self.writeback && attempts >= pol.max_attempts {
+            return None;
+        }
+        let mut backoff = pol.backoff_jittered_on(attempts, self.key, fm.core);
+        if fm.degraded[self.shard] {
+            backoff = backoff.saturating_mul(pol.degraded_backoff_mult);
+        }
+        let at = f.detected_at + backoff;
+        fm.stats.retries += 1;
+        fm.tel.emit(f.detected_at, EventKind::Retry, attempts as u64);
+        // The retry interval: fault detection through the end of the
+        // backoff wait, after which the next attempt issues.
+        fm.tel.span_leaf(Span {
+            kind: SpanKind::Retry,
+            start: f.detected_at,
+            end: at,
+            parent: Span::NO_PARENT,
+            arg: attempts as u64,
+            wait: backoff,
+            shard: self.shard as u32,
+            fault: f.kind.code() as u32,
+            core: Span::NO_CORE,
+        });
+        if !self.deadline_counted && at > self.deadline {
+            fm.stats.deadline_exceeded += 1;
+            self.deadline_counted = true;
+        }
+        Some(at)
+    }
+
+    fn describe_dead(&self, attempts: u32) -> String {
+        format!(
+            "shard {} permanently dead: {} consecutive faults on one operation",
+            self.shard, attempts
+        )
     }
 }
 

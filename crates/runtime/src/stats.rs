@@ -58,6 +58,10 @@ pub struct RuntimeStats {
     /// Acknowledged writebacks found unrecoverable during replay (must stay
     /// zero under replication — the chaos suite pins this).
     pub lost_objects: u64,
+    /// Demand misses that joined another core's pending fetch instead of
+    /// issuing their own transfer (multi-core in-flight fetch table; always
+    /// zero on the synchronous single-core machine).
+    pub fetch_joins: u64,
 }
 
 impl fmt::Display for RuntimeStats {
@@ -103,6 +107,9 @@ impl fmt::Display for RuntimeStats {
                 self.lost_objects
             )?;
         }
+        if self.fetch_joins > 0 {
+            write!(f, ", fetch joins: {}", self.fetch_joins)?;
+        }
         Ok(())
     }
 }
@@ -136,6 +143,7 @@ impl StatGroup for RuntimeStats {
             ("resynced_objects", self.resynced_objects),
             ("re_replications", self.re_replications),
             ("lost_objects", self.lost_objects),
+            ("fetch_joins", self.fetch_joins),
         ]
     }
 }
@@ -164,6 +172,7 @@ impl MergeStats for RuntimeStats {
         self.resynced_objects += other.resynced_objects;
         self.re_replications += other.re_replications;
         self.lost_objects += other.lost_objects;
+        self.fetch_joins += other.fetch_joins;
     }
 }
 
@@ -222,11 +231,12 @@ mod tests {
             resynced_objects: 20,
             re_replications: 21,
             lost_objects: 22,
+            fetch_joins: 23,
         };
         let fields = s.stat_fields();
-        assert_eq!(fields.len(), 22);
+        assert_eq!(fields.len(), 23);
         let vals: Vec<u64> = fields.iter().map(|(_, v)| *v).collect();
-        assert_eq!(vals, (1..=22).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=23).collect::<Vec<u64>>());
     }
 
     #[test]

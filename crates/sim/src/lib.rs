@@ -60,10 +60,12 @@
 
 mod machine;
 mod memsys;
+mod sched;
 mod stats;
 mod trap;
 
 pub use machine::Machine;
 pub use memsys::{FastswapMem, HybridMem, LocalMem, MemSummary, MemorySystem, TrackFmMem, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+pub use sched::CoreSet;
 pub use stats::{ExecStats, RunResult};
 pub use trap::Trap;

@@ -183,6 +183,23 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         self.clock
     }
 
+    /// Sets the simulated clock. The multi-core scheduler uses this to run
+    /// one request at each core's local time: it warps the shared machine
+    /// to `max(core clock, arrival cycle)` before dispatching. Plain
+    /// single-machine runs never call it.
+    pub fn set_clock(&mut self, clock: u64) {
+        self.clock = clock;
+    }
+
+    /// Tags subsequent execution with a worker core id: telemetry stamps it
+    /// onto spans and timeline lanes, and the memory system threads it into
+    /// per-core retry jitter. Single-core runs never call it, keeping their
+    /// output byte-identical.
+    pub fn set_core(&mut self, core: u32) {
+        self.tel.set_core(core);
+        self.mem.set_core(core);
+    }
+
     /// The cost model in use.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost

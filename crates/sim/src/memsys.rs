@@ -154,6 +154,25 @@ pub trait MemorySystem {
     /// Attaches a telemetry sink. Systems with nothing to report (e.g.
     /// [`LocalMem`]) keep the default no-op.
     fn set_telemetry(&mut self, _tel: Telemetry) {}
+
+    /// Tells the system which simulated worker core is about to execute
+    /// (multi-core scheduler only; threads into per-core retry jitter).
+    /// Systems without core-dependent behavior keep the default no-op.
+    fn set_core(&mut self, _core: u32) {}
+
+    /// Switches demand misses to the split issue/complete protocol
+    /// (multi-core scheduler only). Off — the default everywhere — keeps
+    /// the synchronous single-core path bit-identical to before the split.
+    fn set_async_fetch(&mut self, _on: bool) {}
+
+    /// Drains the completion horizon: the latest delivery cycle of any
+    /// miss issued asynchronously since the last call (0 if none, and
+    /// always 0 on the synchronous path). The scheduler folds it into
+    /// per-request latency — a core moves on at the issue point, but the
+    /// request only completes when its data lands.
+    fn take_completion_horizon(&mut self) -> u64 {
+        0
+    }
 }
 
 // ======================================================================
@@ -392,6 +411,14 @@ impl MemorySystem for FastswapMem {
 
     fn set_telemetry(&mut self, tel: Telemetry) {
         self.pager.set_telemetry(tel);
+    }
+
+    fn set_async_fetch(&mut self, on: bool) {
+        self.pager.set_async_fetch(on);
+    }
+
+    fn take_completion_horizon(&mut self) -> u64 {
+        self.pager.take_completion_horizon()
     }
 }
 
@@ -792,6 +819,18 @@ impl MemorySystem for TrackFmMem {
     fn set_telemetry(&mut self, tel: Telemetry) {
         self.fm.set_telemetry(tel);
     }
+
+    fn set_core(&mut self, core: u32) {
+        self.fm.set_core(core);
+    }
+
+    fn set_async_fetch(&mut self, on: bool) {
+        self.fm.set_async_fetch(on);
+    }
+
+    fn take_completion_horizon(&mut self) -> u64 {
+        self.fm.take_completion_horizon()
+    }
 }
 
 // ======================================================================
@@ -947,6 +986,18 @@ impl MemorySystem for HybridMem {
 
     fn set_telemetry(&mut self, tel: Telemetry) {
         self.inner.set_telemetry(tel);
+    }
+
+    fn set_core(&mut self, core: u32) {
+        self.inner.set_core(core);
+    }
+
+    fn set_async_fetch(&mut self, on: bool) {
+        self.inner.set_async_fetch(on);
+    }
+
+    fn take_completion_horizon(&mut self) -> u64 {
+        self.inner.take_completion_horizon()
     }
 }
 

@@ -68,6 +68,9 @@ pub enum EventKind {
     /// One key was re-replicated off a Down shard onto a substitute (arg:
     /// object key).
     ReReplicate,
+    /// A demand miss joined another core's pending fetch instead of issuing
+    /// its own transfer (arg: object id). Multi-core scheduler only.
+    FetchJoin,
 }
 
 /// Number of event kinds — derived from [`EventKind::ALL`] so adding a
@@ -104,6 +107,7 @@ impl EventKind {
         EventKind::ShardUp,
         EventKind::Resync,
         EventKind::ReReplicate,
+        EventKind::FetchJoin,
     ];
 
     /// Stable snake_case name (used in reports and JSON).
@@ -134,6 +138,7 @@ impl EventKind {
             EventKind::ShardUp => "shard_up",
             EventKind::Resync => "resync",
             EventKind::ReReplicate => "re_replicate",
+            EventKind::FetchJoin => "fetch_join",
         }
     }
 }

@@ -260,13 +260,32 @@ impl Telemetry {
         false
     }
 
+    /// Sets the worker core stamped onto subsequently recorded spans and
+    /// timeline lanes. Called only by the multi-core scheduler before
+    /// dispatching each request; single-core runs never call it, so their
+    /// traces carry no core tags and render byte-identically.
+    #[inline]
+    pub fn set_core(&self, core: u32) {
+        if let Some(i) = &self.inner {
+            if let Some(t) = &mut i.borrow_mut().trace {
+                t.set_core(core);
+            }
+        }
+    }
+
     /// Timeline probe: one guarded/paged access (`miss` when it went
-    /// remote).
+    /// remote). On a multi-core machine the access also lands on the
+    /// current core's lane.
     #[inline]
     pub fn timeline_access(&self, cycle: u64, miss: bool) {
         if let Some(i) = &self.inner {
             if let Some(t) = &mut i.borrow_mut().trace {
-                t.timeline_mut().access(cycle, miss);
+                let core = t.current_core();
+                let tl = t.timeline_mut();
+                tl.access(cycle, miss);
+                if core != Span::NO_CORE {
+                    tl.core_access(cycle, core);
+                }
             }
         }
     }
@@ -409,6 +428,7 @@ mod tests {
             wait: 0,
             shard: 0,
             fault: Span::NO_FAULT,
+            core: Span::NO_CORE,
         });
         t.span_end(root, 200);
         t.timeline_access(100, true);

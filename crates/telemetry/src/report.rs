@@ -444,6 +444,7 @@ mod tests {
             occupancy_bytes: vec![0, 4096],
             shard_ppm: vec![],
             shard_degraded: vec![],
+            core_accesses: vec![],
         });
         let json = r.to_json().to_string_pretty();
         let doc = Json::parse(&json).unwrap();

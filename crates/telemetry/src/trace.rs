@@ -230,6 +230,10 @@ pub struct Span {
     /// Injected-fault code when the span was faulted or delayed
     /// ([`Span::NO_FAULT`] otherwise).
     pub fault: u32,
+    /// Simulated worker core that recorded the span ([`Span::NO_CORE`] on
+    /// the synchronous single-core machine). Stamped centrally by the
+    /// tracer, so probe sites never set it themselves.
+    pub core: u32,
 }
 
 impl Span {
@@ -239,6 +243,8 @@ impl Span {
     pub const NO_SHARD: u32 = u32::MAX;
     /// `fault` sentinel: nothing was injected.
     pub const NO_FAULT: u32 = u32::MAX;
+    /// `core` sentinel: not recorded on a multi-core machine.
+    pub const NO_CORE: u32 = u32::MAX;
 
     /// Duration in cycles.
     #[inline]
@@ -284,6 +290,9 @@ pub struct Timeline {
     /// observation landed.
     occupancy: Vec<u64>,
     shards: Vec<ShardSeries>,
+    /// Per-core access lanes, populated only on a multi-core machine (the
+    /// tracer routes accesses here when a current core is set).
+    core_accesses: Vec<Vec<u64>>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -302,6 +311,7 @@ impl Timeline {
             misses: Vec::new(),
             occupancy: Vec::new(),
             shards: Vec::new(),
+            core_accesses: Vec::new(),
         }
     }
 
@@ -333,6 +343,21 @@ impl Timeline {
         let Some(b) = self.bucket(cycle) else { return };
         Self::grow(&mut self.occupancy, b);
         self.occupancy[b] = bytes;
+    }
+
+    /// Records one guarded/paged access on a specific worker core's lane
+    /// (on top of the aggregate series — call [`Timeline::access`] too).
+    pub fn core_access(&mut self, cycle: u64, core: u32) {
+        let Some(b) = self.bucket(cycle) else { return };
+        let c = core as usize;
+        if c >= 64 {
+            return; // sanity bound, mirrors the shard lane cap
+        }
+        if self.core_accesses.len() <= c {
+            self.core_accesses.resize(c + 1, Vec::new());
+        }
+        Self::grow(&mut self.core_accesses[c], b);
+        self.core_accesses[c][b] += 1;
     }
 
     /// Records one shard-health sample.
@@ -367,6 +392,13 @@ impl Timeline {
                     .map(|s| s.ppm.len().max(s.degraded.len()))
                     .max()
                     .unwrap_or(0),
+            )
+            .max(
+                self.core_accesses
+                    .iter()
+                    .map(Vec::len)
+                    .max()
+                    .unwrap_or(0),
             );
         let pad = |v: &[u64]| {
             let mut out = v.to_vec();
@@ -388,6 +420,7 @@ impl Timeline {
                     d
                 })
                 .collect(),
+            core_accesses: self.core_accesses.iter().map(|c| pad(c)).collect(),
         }
     }
 }
@@ -407,6 +440,9 @@ pub struct TimelineSnapshot {
     pub shard_ppm: Vec<Vec<u64>>,
     /// Per shard: whether the shard was degraded in each bucket.
     pub shard_degraded: Vec<Vec<bool>>,
+    /// Per worker core: accesses per bucket (empty on the single-core
+    /// machine, so reports stay byte-identical there).
+    pub core_accesses: Vec<Vec<u64>>,
 }
 
 /// Unicode sparkline of a series, max-scaled (empty string for an empty or
@@ -462,6 +498,12 @@ impl TimelineSnapshot {
                 ),
             ));
         }
+        if !self.core_accesses.is_empty() {
+            pairs.push((
+                "core_accesses".into(),
+                Json::Arr(self.core_accesses.iter().map(|c| ints(c)).collect()),
+            ));
+        }
         Json::Obj(pairs)
     }
 
@@ -488,6 +530,9 @@ impl TimelineSnapshot {
                 sparkline(ppm)
             );
         }
+        for (c, accesses) in self.core_accesses.iter().enumerate() {
+            let _ = writeln!(out, "  core{c} load {}", sparkline(accesses));
+        }
         out
     }
 }
@@ -506,6 +551,9 @@ pub struct SpanTracer {
     stack: Vec<u32>,
     dropped: u64,
     timeline: Timeline,
+    /// Worker core stamped onto every span recorded from here on
+    /// ([`Span::NO_CORE`] until a multi-core scheduler sets one).
+    current_core: u32,
 }
 
 impl SpanTracer {
@@ -516,8 +564,22 @@ impl SpanTracer {
             stack: Vec::with_capacity(16),
             dropped: 0,
             timeline: Timeline::new(cfg.bucket_cycles),
+            current_core: Span::NO_CORE,
             cfg,
         }
+    }
+
+    /// Sets the worker core stamped onto subsequently recorded spans. The
+    /// multi-core scheduler calls this before dispatching each request;
+    /// nothing else does, so single-core traces carry [`Span::NO_CORE`]
+    /// everywhere and render byte-identically to before.
+    pub fn set_core(&mut self, core: u32) {
+        self.current_core = core;
+    }
+
+    /// The core stamped onto new spans ([`Span::NO_CORE`] when unset).
+    pub fn current_core(&self) -> u32 {
+        self.current_core
     }
 
     /// Number of retained spans.
@@ -560,6 +622,7 @@ impl SpanTracer {
             wait: 0,
             shard: Span::NO_SHARD,
             fault: Span::NO_FAULT,
+            core: self.current_core,
         });
         if id != u32::MAX {
             self.stack.push(id);
@@ -615,9 +678,11 @@ impl SpanTracer {
     }
 
     /// Records a complete leaf span attached to the innermost open span.
-    /// The caller fills everything but `parent`.
+    /// The caller fills everything but `parent` and `core` (both stamped
+    /// here, overriding whatever the caller put in them).
     pub fn leaf(&mut self, mut span: Span) {
         span.parent = self.stack.last().copied().unwrap_or(Span::NO_PARENT);
+        span.core = self.current_core;
         self.alloc(span);
     }
 
@@ -654,6 +719,9 @@ const TID_RUNTIME: u64 = 1;
 const TID_ASYNC: u64 = 2;
 /// Chrome track ids: first per-shard link track (`3 + shard`).
 const TID_SHARD0: u64 = 3;
+/// Chrome track ids: first per-core track (`100 + core`) — only emitted
+/// for core-tagged spans from the multi-core scheduler.
+const TID_CORE0: u64 = 100;
 
 impl TraceSnapshot {
     /// Indices of the direct children of span `idx`.
@@ -696,9 +764,12 @@ impl TraceSnapshot {
     /// Track layout: tid 1 carries synchronous runtime operations (guards,
     /// demand fetches, page faults and their retry/kernel leaves), tid 2
     /// the asynchronous ones (prefetches, writebacks), and tid `3 + shard`
-    /// one track per remote shard with its transfer attempts. Every event's
-    /// `args` carries `id`/`parent`, so causality is machine-checkable even
-    /// across tracks.
+    /// one track per remote shard with its transfer attempts. On a
+    /// multi-core machine, core-tagged spans move to tid `100 + core`
+    /// ("core N") so overlapping demand fetches from different cores render
+    /// as concurrent tracks; transfer leaves stay on their shard tracks
+    /// (with the issuing core in `args`). Every event's `args` carries
+    /// `id`/`parent`, so causality is machine-checkable even across tracks.
     ///
     /// `label_of` resolves guard-span args (packed site keys) to the stable
     /// guard-site labels; return `None` to fall back to the kind name.
@@ -740,9 +811,26 @@ impl TraceSnapshot {
                 &format!("shard {s}"),
             ));
         }
+        let mut cores: Vec<u32> = self
+            .spans
+            .iter()
+            .filter(|s| s.core != Span::NO_CORE && !(s.kind.is_transfer() && s.shard != Span::NO_SHARD))
+            .map(|s| s.core)
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        for &c in &cores {
+            events.push(meta(
+                "thread_name",
+                Some(TID_CORE0 + c as u64),
+                &format!("core {c}"),
+            ));
+        }
         for (i, s) in self.spans.iter().enumerate() {
             let tid = if s.kind.is_transfer() && s.shard != Span::NO_SHARD {
                 TID_SHARD0 + s.shard as u64
+            } else if s.core != Span::NO_CORE {
+                TID_CORE0 + s.core as u64
             } else if self.spans[roots[i] as usize].kind.is_async_op() {
                 TID_ASYNC
             } else {
@@ -759,6 +847,9 @@ impl TraceSnapshot {
             }
             if s.fault != Span::NO_FAULT {
                 args.push(("fault".into(), Json::Int(s.fault as u64)));
+            }
+            if s.core != Span::NO_CORE {
+                args.push(("core".into(), Json::Int(s.core as u64)));
             }
             events.push(Json::Obj(vec![
                 ("name".into(), Json::str(Self::span_name(s, label_of))),
@@ -837,6 +928,7 @@ mod tests {
             wait: 0,
             shard: Span::NO_SHARD,
             fault: Span::NO_FAULT,
+            core: Span::NO_CORE,
         }
     }
 
@@ -987,6 +1079,73 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+    }
+
+    #[test]
+    fn core_tagging_stamps_spans_and_moves_chrome_tracks() {
+        let mut t = SpanTracer::new(TraceConfig::on());
+        // Untagged span first: stays on the runtime track.
+        let g0 = t.begin(SpanKind::GuardSlowRemote, 1, 0);
+        t.end(g0, 10);
+        // Tag core 2: spans and leaves pick it up centrally, even when the
+        // caller passed NO_CORE in the literal.
+        t.set_core(2);
+        assert_eq!(t.current_core(), 2);
+        let g2 = t.begin(SpanKind::DemandFetch, 5, 100);
+        t.leaf(Span {
+            shard: 1,
+            ..leaf(SpanKind::Transfer, 100, 150)
+        });
+        t.end(g2, 160);
+        t.timeline_mut().core_access(100, 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans[0].core, Span::NO_CORE);
+        assert_eq!(snap.spans[1].core, 2);
+        assert_eq!(snap.spans[2].core, 2, "leaf stamped too");
+        let doc = snap.chrome_trace(&|_| None);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let fetch = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("demand_fetch"))
+            .unwrap();
+        assert_eq!(fetch.get("tid").and_then(Json::as_u64), Some(TID_CORE0 + 2));
+        assert_eq!(
+            fetch.get("args").unwrap().get("core").and_then(Json::as_u64),
+            Some(2)
+        );
+        let xfer = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("transfer"))
+            .unwrap();
+        assert_eq!(
+            xfer.get("tid").and_then(Json::as_u64),
+            Some(TID_SHARD0 + 1),
+            "transfers stay on their shard track"
+        );
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("args").unwrap().get("name").and_then(Json::as_str) == Some("core 2")
+        }));
+        // Core lane landed in the timeline and its exports.
+        assert_eq!(snap.timeline.core_accesses.len(), 3);
+        assert_eq!(snap.timeline.core_accesses[2], vec![1]);
+        assert!(snap.timeline.render().contains("core2 load"));
+        assert!(snap.timeline.to_json().get("core_accesses").is_some());
+    }
+
+    #[test]
+    fn untagged_traces_render_without_core_artifacts() {
+        let mut t = SpanTracer::new(TraceConfig::on());
+        let g = t.begin(SpanKind::GuardSlowRemote, 1, 0);
+        t.leaf(leaf(SpanKind::Transfer, 0, 10));
+        t.end(g, 20);
+        t.timeline_mut().access(5, true);
+        let snap = t.snapshot();
+        let text = snap.chrome_trace(&|_| None).to_string_pretty();
+        assert!(!text.contains("core"), "no core track or arg leaks: {text}");
+        assert!(snap.timeline.core_accesses.is_empty());
+        assert!(snap.timeline.to_json().get("core_accesses").is_none());
+        assert!(!snap.timeline.render().contains("core"));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   values under Zipfian `get`s (Fig. 16);
 //! * [`nas`] — NAS-like kernels CG/FT/IS/MG/SP with the originals' access
 //!   patterns (Fig. 17);
+//! * [`openloop`] — an open-loop variant of the key-value store: seeded
+//!   Zipf arrivals served on N deterministic simulated cores with
+//!   per-request latency accounting;
 //! * [`zipf`] — the Gray et al. bounded-Zipf sampler the traces use.
 //!
 //! [`autotune`] implements the paper's §3.2 future-work object-size
@@ -34,6 +37,7 @@ pub mod hashmap;
 pub mod kmeans;
 pub mod memcached;
 pub mod nas;
+pub mod openloop;
 pub mod rng;
 pub mod runner;
 pub mod spec;
@@ -41,6 +45,10 @@ pub mod stream;
 pub mod zipf;
 
 pub use autotune::{autotune_object_size, AutotuneReport, CANDIDATE_SIZES};
+pub use openloop::{
+    execute_open_loop, execute_open_loop_with_report, open_loop, OpenLoopParams, OpenLoopRun,
+    OpenLoopSpec, Request,
+};
 pub use rng::SplitMix64;
 pub use runner::{collect_profile, execute, execute_with_profile, Outcome, RunConfig, SystemKind};
 pub use spec::{ArgSpec, InputData, WorkloadSpec};

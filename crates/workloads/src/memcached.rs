@@ -14,8 +14,8 @@ use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
 
 /// Value payload size (bytes); USR-style small objects.
 pub const VALUE_BYTES: usize = 64;
-const VALUE_WORDS: usize = VALUE_BYTES / 8;
-const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const VALUE_WORDS: usize = VALUE_BYTES / 8;
+pub(crate) const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Key-value store parameters.
 #[derive(Copy, Clone, Debug)]
@@ -41,7 +41,7 @@ impl Default for MemcachedParams {
     }
 }
 
-fn hash_slot(key: u64, mask: u64) -> u64 {
+pub(crate) fn hash_slot(key: u64, mask: u64) -> u64 {
     (key.wrapping_mul(HASH_MULT) >> 32) & mask
 }
 
@@ -49,10 +49,10 @@ fn word_of(slab_idx: u64, w: u64) -> u64 {
     (slab_idx * VALUE_WORDS as u64 + w).wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
-struct Store {
-    index: Vec<u64>,
-    slab: Vec<u64>,
-    mask: u64,
+pub(crate) struct Store {
+    pub(crate) index: Vec<u64>,
+    pub(crate) slab: Vec<u64>,
+    pub(crate) mask: u64,
 }
 
 /// Host-side store construction: key `rank+1` lives in slab slot `rank`
@@ -60,7 +60,7 @@ struct Store {
 /// slab is written in insertion order, like a real slab allocator — the §5
 /// "lesson" about batched small allocations limiting I/O-amplification
 /// mitigation applies to the index, not the values).
-fn build(p: &MemcachedParams) -> Store {
+pub(crate) fn build(p: &MemcachedParams) -> Store {
     let capacity = (p.keys * 2).next_power_of_two() as u64;
     let mask = capacity - 1;
     let mut index = vec![0u64; (capacity * 2) as usize];

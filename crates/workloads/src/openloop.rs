@@ -1,0 +1,511 @@
+//! Open-loop key-value serving on the deterministic multi-core machine.
+//!
+//! The closed-loop workloads ([`crate::memcached`] et al.) issue their next
+//! request the instant the previous one retires, so a single simulated core
+//! is always the right machine model. Real memcached front-ends are open
+//! loop: requests arrive on their own schedule (here, seeded Zipf keys with
+//! seeded integer inter-arrival gaps — no floats, no wall clocks), queue
+//! when every worker is busy, and their latency includes that queueing. This
+//! module generates such a workload and drives it through
+//! [`execute_open_loop`], which dispatches each request on the
+//! earliest-free core of a [`CoreSet`] and lets the far-memory layer's
+//! split issue/complete protocol overlap fetches across cores.
+//!
+//! With `cores = 1` the driver degenerates to today's synchronous machine —
+//! async fetch stays off, no core is ever tagged — which the concurrency
+//! tests and the `concurrency_scaling` bench gate pin bit-for-bit.
+
+use crate::memcached::{self, MemcachedParams, Store, HASH_MULT, VALUE_WORDS};
+use crate::rng::SplitMix64;
+use crate::runner::{self, Outcome, RunConfig, SystemKind};
+use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use crate::zipf::ZipfGen;
+use tfm_fastswap::PagerConfig;
+use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
+use tfm_sim::{
+    CoreSet, FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem,
+};
+use tfm_telemetry::{Histogram, RunReport, Telemetry};
+use trackfm::TrackFmCompiler;
+
+/// Open-loop key-value workload parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct OpenLoopParams {
+    /// Number of stored keys.
+    pub keys: usize,
+    /// Number of `get` requests.
+    pub requests: usize,
+    /// Zipf skew over the key ranks.
+    pub skew: f64,
+    /// Trace RNG seed (keys and arrival gaps).
+    pub seed: u64,
+    /// Mean inter-arrival gap in simulated cycles. Gaps are drawn uniformly
+    /// from `[mean/2, mean/2 + mean]` with integer arithmetic, so arrival
+    /// times are exact and platform-independent.
+    pub mean_gap_cycles: u64,
+}
+
+impl Default for OpenLoopParams {
+    fn default() -> Self {
+        OpenLoopParams {
+            keys: 100_000,
+            requests: 200_000,
+            skew: 1.01,
+            seed: 17,
+            mean_gap_cycles: 2_000,
+        }
+    }
+}
+
+/// One request: when it arrives and which key it asks for.
+#[derive(Copy, Clone, Debug)]
+pub struct Request {
+    /// Arrival time in simulated cycles.
+    pub arrival: u64,
+    /// The key to `get` (always present in the store).
+    pub key: u64,
+}
+
+/// A generated open-loop workload: the store + `get` program, the request
+/// schedule, and the host-computed checksum oracle.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// The store arrays and the single-`get` program (`get(index, mask,
+    /// slab, key) -> i64` returns the xor of the value's eight words).
+    pub spec: WorkloadSpec,
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+    /// Wrapping sum of every request's `get` return — the semantic oracle
+    /// the driver asserts regardless of core count or schedule.
+    pub expected: u64,
+}
+
+fn get_ref(store: &Store, key: u64) -> u64 {
+    let mut h = memcached::hash_slot(key, store.mask);
+    loop {
+        let i = (h * 2) as usize;
+        if store.index[i] == key {
+            let slab_idx = store.index[i + 1] - 1;
+            let mut x = 0u64;
+            for w in 0..VALUE_WORDS as u64 {
+                x ^= store.slab[(slab_idx * VALUE_WORDS as u64 + w) as usize];
+            }
+            return x;
+        }
+        if store.index[i] == 0 {
+            return 0;
+        }
+        h = (h + 1) & store.mask;
+    }
+}
+
+/// Builds the open-loop workload: the memcached-style store, a `get`
+/// function over it, and a seeded Zipf request schedule.
+pub fn open_loop(p: &OpenLoopParams) -> OpenLoopSpec {
+    let store = memcached::build(&MemcachedParams {
+        keys: p.keys,
+        gets: 0,
+        skew: 1.01, // unused by store construction
+        seed: 0,
+    });
+
+    let mut rng = SplitMix64::seed_from_u64(p.seed);
+    let gen = ZipfGen::new(p.keys as u64, p.skew);
+    let mean = p.mean_gap_cycles;
+    let mut arrival = 0u64;
+    let requests: Vec<Request> = (0..p.requests)
+        .map(|_| {
+            let key = gen.sample(&mut rng) + 1;
+            arrival += mean / 2 + rng.next_u64() % (mean + 1);
+            Request { arrival, key }
+        })
+        .collect();
+
+    let mut expected = 0u64;
+    for r in &requests {
+        expected = expected.wrapping_add(get_ref(&store, r.key));
+    }
+
+    let mut m = Module::new("kv_openloop");
+    let id = m.declare_function(
+        "get",
+        Signature::new(
+            vec![Type::Ptr, Type::I64, Type::Ptr, Type::I64],
+            Some(Type::I64),
+        ),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let index = b.param(0);
+        let mask_v = b.param(1);
+        let slab = b.param(2);
+        let key = b.param(3);
+        let zero = b.iconst(Type::I64, 0);
+        let res = b.alloca(8, 8);
+        b.store(res, zero);
+
+        let mult = b.iconst(Type::I64, HASH_MULT as i64);
+        let hm = b.binop(BinOp::Mul, key, mult);
+        let c32 = b.iconst(Type::I64, 32);
+        let hs = b.binop(BinOp::Lshr, hm, c32);
+        let h0 = b.binop(BinOp::And, hs, mask_v);
+
+        let pre = b.current_block();
+        let probe = b.create_block();
+        let check_empty = b.create_block();
+        let found = b.create_block();
+        let next = b.create_block();
+        let done = b.create_block();
+
+        b.br(probe);
+        b.switch_to_block(probe);
+        let h = b.phi(Type::I64, &[(pre, h0)]);
+        let slot = b.gep(index, h, 16, 0);
+        let skey = b.load(Type::I64, slot);
+        let hit = b.icmp(CmpOp::Eq, skey, key);
+        b.cond_br(hit, found, check_empty);
+
+        b.switch_to_block(check_empty);
+        let zz = b.iconst(Type::I64, 0);
+        let empty = b.icmp(CmpOp::Eq, skey, zz);
+        b.cond_br(empty, done, next);
+
+        b.switch_to_block(next);
+        let one = b.iconst(Type::I64, 1);
+        let h1 = b.binop(BinOp::Add, h, one);
+        let h2 = b.binop(BinOp::And, h1, mask_v);
+        b.add_phi_incoming(h, next, h2);
+        b.br(probe);
+
+        // Read the whole 64-byte value, folding it into the result.
+        b.switch_to_block(found);
+        let iaddr = b.gep(index, h, 16, 8);
+        let slabp1 = b.load(Type::I64, iaddr);
+        let one2 = b.iconst(Type::I64, 1);
+        let slab_idx = b.binop(BinOp::Sub, slabp1, one2);
+        let vwords = b.iconst(Type::I64, VALUE_WORDS as i64);
+        let base_w = b.binop(BinOp::Mul, slab_idx, vwords);
+        let vbase = b.gep(slab, base_w, 8, 0);
+        let z2 = b.iconst(Type::I64, 0);
+        b.counted_loop(z2, vwords, 1, |b, w| {
+            let wa = b.gep(vbase, w, 8, 0);
+            let wv = b.load(Type::I64, wa);
+            let s = b.load(Type::I64, res);
+            let s2 = b.binop(BinOp::Xor, s, wv);
+            b.store(res, s2);
+        });
+        b.br(done);
+
+        b.switch_to_block(done);
+        let out = b.load(Type::I64, res);
+        b.ret(Some(out));
+    }
+    m.verify().expect("kv_openloop is well-formed");
+
+    OpenLoopSpec {
+        spec: WorkloadSpec {
+            name: format!("kv-openloop/{}k-{}", p.keys / 1000, p.skew),
+            module: m,
+            inputs: vec![InputData::U64(store.index), InputData::U64(store.slab)],
+            args: vec![
+                ArgSpec::Input(0),
+                ArgSpec::Const(store.mask as i64),
+                ArgSpec::Input(1),
+            ],
+            expected: None, // checked per-request by the driver instead
+        },
+        requests,
+        expected,
+    }
+}
+
+/// The outcome of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopRun {
+    /// Cumulative execution result (`stats.cycles` is the makespan — the
+    /// latest core clock — rather than whichever core happened to retire
+    /// the final request).
+    pub outcome: Outcome,
+    /// Per-request latency (retire − arrival, queueing included).
+    pub latency: Histogram,
+    /// Final per-core clocks.
+    pub core_clocks: Vec<u64>,
+    /// The run's makespan in simulated cycles.
+    pub makespan: u64,
+    /// The accumulated checksum (already asserted against the oracle).
+    pub checksum: u64,
+}
+
+impl OpenLoopRun {
+    /// Requests served per thousand simulated cycles of makespan, ×1000
+    /// (integer fixed-point so comparisons stay exact).
+    pub fn throughput_milli(&self, requests: usize) -> u64 {
+        if self.makespan == 0 {
+            return 0;
+        }
+        (requests as u64).saturating_mul(1_000_000) / self.makespan
+    }
+}
+
+/// Runs the open-loop workload under `cfg` on `cfg.cores` simulated cores.
+///
+/// # Panics
+/// Panics if any request traps or the accumulated checksum disagrees with
+/// the host oracle — under *any* core count or schedule.
+pub fn execute_open_loop(ol: &OpenLoopSpec, cfg: &RunConfig) -> OpenLoopRun {
+    let heap = ol.spec.heap_size(cfg.object_size);
+    match cfg.system {
+        SystemKind::Local => {
+            drive(ol, &ol.spec.module, LocalMem::new(heap), cfg, heap, None)
+        }
+        SystemKind::Fastswap => {
+            let pcfg = PagerConfig {
+                local_budget: ol.spec.local_budget(cfg.local_fraction, 4096),
+                faults: cfg.faults,
+                backend: cfg.backend,
+                ..PagerConfig::default()
+            };
+            drive(ol, &ol.spec.module, FastswapMem::new(heap, pcfg), cfg, heap, None)
+        }
+        SystemKind::TrackFm | SystemKind::Aifm => {
+            let mut module = ol.spec.module.clone();
+            let compiler = TrackFmCompiler::new(cfg.compiler);
+            let report = compiler.compile(&mut module, None);
+            let fm_cfg = runner::far_config(&ol.spec, cfg);
+            let mem = match cfg.system {
+                SystemKind::TrackFm => TrackFmMem::new(fm_cfg, cfg.cost),
+                _ => TrackFmMem::new_aifm(fm_cfg, cfg.cost),
+            };
+            drive(ol, &module, mem, cfg, heap, Some(report))
+        }
+        SystemKind::Hybrid => {
+            let mut module = ol.spec.module.clone();
+            let mut copts = cfg.compiler;
+            copts.guards = false;
+            let compiler = TrackFmCompiler::new(copts);
+            let report = compiler.compile(&mut module, None);
+            let mem = HybridMem::new(runner::far_config(&ol.spec, cfg), cfg.cost);
+            drive(ol, &module, mem, cfg, heap, Some(report))
+        }
+    }
+}
+
+/// [`execute_open_loop`] with telemetry forced on, returning the run and a
+/// [`RunReport`] extended with the open-loop-only `request_latency_cycles`
+/// histogram and scheduling metadata.
+pub fn execute_open_loop_with_report(
+    ol: &OpenLoopSpec,
+    cfg: &RunConfig,
+) -> (OpenLoopRun, RunReport) {
+    let cfg = cfg.with_telemetry(true);
+    let run = execute_open_loop(ol, &cfg);
+    let mut rep = runner::build_report(&ol.spec, &cfg, &run.outcome);
+    rep.push_meta("cores", cfg.cores.max(1));
+    rep.push_meta("requests", ol.requests.len() as u64);
+    rep.push_histogram("request_latency_cycles", run.latency.clone());
+    (run, rep)
+}
+
+/// The multi-core dispatch loop: one shared machine, N simulated core
+/// clocks, requests served in arrival order on the earliest-free core.
+/// See [`CoreSet`] for the scheduling contract.
+fn drive<M: MemorySystem>(
+    ol: &OpenLoopSpec,
+    module: &Module,
+    mem: M,
+    cfg: &RunConfig,
+    heap: u64,
+    report: Option<trackfm::CompileReport>,
+) -> OpenLoopRun {
+    let mut machine = Machine::new(module, mem, cfg.cost, heap);
+    let args = runner::setup(&ol.spec, &mut machine, false);
+    let tel = if cfg.trace.enabled {
+        Telemetry::with_trace(cfg.trace)
+    } else if cfg.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    machine.set_telemetry(tel.clone());
+
+    let mut cores = CoreSet::new(cfg.cores);
+    let multi = cores.len() > 1;
+    if multi {
+        // Only multi-core runs split issue from completion: with one core
+        // there is nothing to overlap with, and staying synchronous keeps
+        // the run bit-identical to the plain machine.
+        machine.mem.set_async_fetch(true);
+    }
+
+    let mut latency = Histogram::new();
+    let mut checksum = 0u64;
+    let mut last: Option<RunResult> = None;
+    let mut call = Vec::with_capacity(args.len() + 1);
+    for req in &ol.requests {
+        let core = cores.pick();
+        let start = cores.begin(core, req.arrival);
+        machine.set_clock(start);
+        if multi {
+            machine.set_core(core);
+        }
+        call.clear();
+        call.extend_from_slice(&args);
+        call.push(req.key);
+        let r = machine
+            .run("get", &call)
+            .unwrap_or_else(|t| panic!("{}: request trapped: {t}", ol.spec.name));
+        let end = machine.clock();
+        cores.finish(core, end);
+        // The core is free at `end` (misses charge only to the issue
+        // point), but the request itself is not complete until every fetch
+        // it issued has landed — the completion horizon carries that cycle.
+        let retire = end.max(machine.mem.take_completion_horizon());
+        latency.record(retire - req.arrival);
+        checksum = checksum.wrapping_add(r.ret);
+        last = Some(r);
+    }
+    assert_eq!(
+        checksum, ol.expected,
+        "{}: open-loop checksum diverged — the schedule broke semantics",
+        ol.spec.name
+    );
+
+    let mut result = last.expect("open-loop workloads serve at least one request");
+    // The final request's retire time is one core's clock; the run's wall
+    // time is the latest core's.
+    result.stats.cycles = cores.makespan();
+    let mut telemetry = tel.snapshot();
+    if let Some(rep) = &report {
+        runner::attribute_elision(rep, &mut telemetry);
+    }
+    OpenLoopRun {
+        outcome: Outcome {
+            result,
+            report,
+            telemetry,
+        },
+        latency,
+        core_clocks: (0..cores.len() as u32).map(|c| cores.clock(c)).collect(),
+        makespan: cores.makespan(),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OpenLoopParams {
+        OpenLoopParams {
+            keys: 2_000,
+            requests: 4_000,
+            skew: 1.05,
+            seed: 11,
+            mean_gap_cycles: 500,
+        }
+    }
+
+    #[test]
+    fn checksum_holds_under_every_system_and_core_count() {
+        let ol = open_loop(&small());
+        for cores in [1, 2, 4] {
+            execute_open_loop(&ol, &RunConfig::local().with_cores(cores));
+            execute_open_loop(
+                &ol,
+                &RunConfig::trackfm(0.2).with_object_size(64).with_cores(cores),
+            );
+            execute_open_loop(&ol, &RunConfig::fastswap(0.2).with_cores(cores));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_seeded() {
+        let a = open_loop(&small());
+        let b = open_loop(&small());
+        assert_eq!(a.requests.len(), 4_000);
+        for w in a.requests.windows(2) {
+            assert!(w[0].arrival < w[1].arrival, "gaps are at least mean/2 > 0");
+        }
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!((x.arrival, x.key), (y.arrival, y.key));
+        }
+        let c = open_loop(&OpenLoopParams { seed: 12, ..small() });
+        assert!(
+            a.requests.iter().zip(&c.requests).any(|(x, y)| x.key != y.key),
+            "a different seed must reshuffle the trace"
+        );
+    }
+
+    #[test]
+    fn open_loop_report_adds_the_latency_histogram() {
+        let ol = open_loop(&small());
+        let cfg = RunConfig::trackfm(0.25).with_object_size(64).with_cores(4);
+        let (run, rep) = execute_open_loop_with_report(&ol, &cfg);
+        // The five standard distributions plus the open-loop-only one.
+        assert_eq!(rep.histograms.len(), 6);
+        let lat = rep.histogram("request_latency_cycles").unwrap();
+        assert_eq!(lat.count(), 4_000);
+        assert!(lat.p99() >= lat.p50());
+        assert!(rep.meta.iter().any(|(k, v)| k == "cores" && v == "4"));
+        assert_eq!(run.core_clocks.len(), 4);
+        assert_eq!(run.makespan, *run.core_clocks.iter().max().unwrap());
+        assert_eq!(run.outcome.result.stats.cycles, run.makespan);
+    }
+
+    #[test]
+    fn multi_core_overlap_beats_one_core_on_miss_heavy_gets() {
+        // Miss-heavy small-object serving: most gets issue a wire fetch, so
+        // splitting issue from completion lets cores pipeline the link.
+        let ol = open_loop(&OpenLoopParams {
+            mean_gap_cycles: 100,
+            ..small()
+        });
+        let cfg = RunConfig::trackfm(0.1).with_object_size(64).with_prefetch(false);
+        let one = execute_open_loop(&ol, &cfg);
+        let four = execute_open_loop(&ol, &cfg.with_cores(4));
+        assert!(
+            four.makespan * 2 < one.makespan,
+            "4 cores should overlap fetches: {} vs {}",
+            four.makespan,
+            one.makespan
+        );
+        // Joined fetches surface in the runtime's counter when two requests
+        // race to the same in-flight object.
+        let rt = four.outcome.result.runtime.as_ref().unwrap();
+        assert!(rt.remote_fetches > 0);
+    }
+
+    #[test]
+    fn one_core_run_is_the_synchronous_machine_bit_for_bit() {
+        // The scheduler with one core must be indistinguishable from a
+        // hand-rolled synchronous loop over the same machine.
+        let ol = open_loop(&small());
+        let cfg = RunConfig::trackfm(0.2).with_object_size(64);
+        let sched = execute_open_loop(&ol, &cfg);
+
+        let mut module = ol.spec.module.clone();
+        TrackFmCompiler::new(cfg.compiler).compile(&mut module, None);
+        let fm_cfg = runner::far_config(&ol.spec, &cfg);
+        let mem = TrackFmMem::new(fm_cfg, cfg.cost);
+        let heap = ol.spec.heap_size(cfg.object_size);
+        let mut machine = Machine::new(&module, mem, cfg.cost, heap);
+        let args = runner::setup(&ol.spec, &mut machine, false);
+        let mut last = None;
+        for req in &ol.requests {
+            let start = machine.clock().max(req.arrival);
+            machine.set_clock(start);
+            let mut call = args.clone();
+            call.push(req.key);
+            last = Some(machine.run("get", &call).unwrap());
+        }
+        let manual = last.unwrap();
+        assert_eq!(sched.makespan, machine.clock());
+        let mut want = manual.stats;
+        want.cycles = machine.clock();
+        assert_eq!(sched.outcome.result.stats, want);
+        assert_eq!(
+            sched.outcome.result.runtime.as_ref().unwrap(),
+            manual.runtime.as_ref().unwrap()
+        );
+    }
+}

@@ -74,6 +74,11 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// Remote-memory topology: one node (the default) or N sharded nodes.
     pub backend: BackendSpec,
+    /// Simulated worker cores for open-loop workloads (see
+    /// [`crate::openloop`]). The closed-loop `execute` path ignores this;
+    /// `1` keeps even open-loop runs on the synchronous single-machine
+    /// path, bit-identical to every other run.
+    pub cores: u32,
 }
 
 impl RunConfig {
@@ -91,6 +96,7 @@ impl RunConfig {
             trace: TraceConfig::default(),
             faults: FaultPlan::none(),
             backend: BackendSpec::SingleNode,
+            cores: 1,
         }
     }
 
@@ -178,6 +184,13 @@ impl RunConfig {
         self.with_backend(BackendSpec::sharded(n))
     }
 
+    /// Sets the simulated worker-core count for open-loop workloads
+    /// (floored to 1; closed-loop runs are unaffected).
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
     /// Keeps `r` copies of every object across the sharded backend (crash
     /// failover; `r = 1` is free, and the single-node backend is
     /// unaffected). `r` may not exceed the shard count — the run panics
@@ -200,7 +213,10 @@ pub struct Outcome {
     pub telemetry: Option<TelemetrySnapshot>,
 }
 
-fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
+/// The far-memory configuration a run of `spec` under `cfg` uses. Public so
+/// identity harnesses (tests, benches) can drive a raw [`Machine`] with
+/// exactly the runner's setup.
+pub fn far_config(spec: &WorkloadSpec, cfg: &RunConfig) -> FarMemoryConfig {
     FarMemoryConfig {
         heap_size: spec.heap_size(cfg.object_size),
         object_size: cfg.object_size,
@@ -299,7 +315,7 @@ pub fn execute_with_profile(
 /// run's site table: each surviving site's `elided` counter records how
 /// many duplicate guards were statically folded into it, so the per-site
 /// report shows which hot sites absorbed deleted checks.
-fn attribute_elision(report: &CompileReport, telemetry: &mut Option<TelemetrySnapshot>) {
+pub(crate) fn attribute_elision(report: &CompileReport, telemetry: &mut Option<TelemetrySnapshot>) {
     if let Some(snap) = telemetry {
         for s in &report.elision.sites {
             snap.sites

@@ -7,6 +7,7 @@
 //! ```
 
 use trackfm_suite::workloads::memcached::{memcached, MemcachedParams};
+use trackfm_suite::workloads::openloop::{execute_open_loop, open_loop, OpenLoopParams};
 use trackfm_suite::workloads::runner::{execute, execute_with_report, RunConfig};
 
 fn main() {
@@ -64,6 +65,41 @@ fn main() {
         println!(
             "hottest guard site: {} — {} hits, {} stall cycles",
             hot.label, hot.stats.hits, hot.stats.stall_cycles
+        );
+    }
+
+    // Serving mode: the same store behind an open-loop Zipf arrival stream
+    // on the deterministic multi-core machine. Misses issue their fetch and
+    // yield (issue/complete split), so four cores pipeline the wire where
+    // one core would block on it.
+    let ol = open_loop(&OpenLoopParams {
+        keys: 20_000,
+        requests: 40_000,
+        skew: 1.05,
+        seed: 99,
+        mean_gap_cycles: 100,
+    });
+    let serving = RunConfig::trackfm(frac).with_object_size(64).with_prefetch(false);
+    println!(
+        "\nserving: {} open-loop gets, zipf {} arrivals every ~100 cycles",
+        ol.requests.len(),
+        1.05
+    );
+    println!(
+        "{:<8} {:>14} {:>10} {:>22}",
+        "cores", "cycles", "KOps/s", "latency p50/p90/p99"
+    );
+    for cores in [1u32, 4] {
+        let run = execute_open_loop(&ol, &serving.with_cores(cores));
+        let secs = run.makespan as f64 / 2.4e9;
+        println!(
+            "{:<8} {:>14} {:>10.1} {:>10}/{}/{} cycles",
+            cores,
+            run.makespan,
+            ol.requests.len() as f64 / secs / 1e3,
+            run.latency.p50(),
+            run.latency.p90(),
+            run.latency.p99(),
         );
     }
 
