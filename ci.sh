@@ -2,6 +2,7 @@
 # Tier-1 gate: everything a PR must keep green.
 set -eux
 
+cargo fmt --check
 cargo build --workspace --release
 cargo test -q --workspace
 # Chaos suite: seeded fault schedules (fixed seeds inside the tests) —
@@ -17,35 +18,41 @@ cargo test -q --test sharding
 cargo test -q --test failover
 # Soundness gate: tfm-lint must report zero uncovered heap accesses on
 # every workload/example/config, and the static lint must agree with the
-# dynamic guard sanitizer over the randomized corpus.
+# dynamic guard sanitizer over the randomized corpus — including the
+# 200-seed interprocedural sweep that runs every on/off combination of
+# {interproc, call_aware_kills, guard_motion} against a LocalMem oracle.
 cargo test -q --test lint_gate
 cargo test -q --test random_programs
-# Elision gate: redundant-guard elimination is deterministic, preserves
-# results, and never increases simulated cycles.
-TFM_SCALE=8 cargo bench -q -p tfm-bench --bench guard_elision
-# Pay-for-use gate: the no-fault fast path asserts bit-identical costs.
-cargo bench -q -p tfm-bench --bench fault_overhead
-# Tracing gate: span tracing off asserts bit-identical simulated cycles;
-# on, the recording overhead must stay bounded. Emits
-# BENCH_trace_overhead.json for trend tracking.
-cargo bench -q -p tfm-bench --bench trace_overhead
 # Tracing suite: causal decomposition of guard latency under chaos,
 # byte-identical trace exports across same-seed runs, and the pay-for-use
 # report identity.
 cargo test -q --test tracing
-# Scaling gate: sharded(1) asserts bit-identity with SingleNode before the
-# 1/2/4/8-shard occupancy sweep.
-cargo bench -q -p tfm-bench --bench shard_scaling
-# Failover gate: replicas(1) asserts bit-identical cycles and a byte-identical
-# rendered report vs the plain sharded backend; the crash row must end with
-# zero lost acknowledged writebacks. Emits BENCH_failover.json.
-cargo bench -q -p tfm-bench --bench failover_overhead
 # Concurrency suite: one wire transfer per in-flight object, a 200-seed
 # cores(1) bitwise-identity + cores(N) determinism sweep, and overlapping
 # demand-fetch spans in the multi-core trace.
 cargo test -q --test concurrency
-# Concurrency gate: cores(1) asserts bit-identical cycles and a byte-identical
-# rendered report vs a hand-driven synchronous machine; 8 cores must clear
-# >= 4x the open-loop throughput of 1. Emits BENCH_concurrency.json.
-cargo bench -q -p tfm-bench --bench concurrency_scaling
+
+# Bench gates (each asserts its own invariants and aborts on violation):
+#   guard_elision       — elision is deterministic, preserves results, never
+#                         increases cycles (TFM_SCALE=8 for a quick pass).
+#   guard_motion        — interproc custody + guard motion: deterministic,
+#                         result-preserving, never slower, and *strictly*
+#                         faster than elide-only on the serving loop.
+#                         Emits BENCH_guard_motion.json.
+#   fault_overhead      — the no-fault fast path is bit-identical.
+#   trace_overhead      — tracing off is bit-identical; on, bounded.
+#                         Emits BENCH_trace_overhead.json.
+#   shard_scaling       — sharded(1) == SingleNode, then the shard sweep.
+#   failover_overhead   — replicas(1) bit-identical; crash row loses zero
+#                         acknowledged writebacks. Emits BENCH_failover.json.
+#   concurrency_scaling — cores(1) bit-identical; 8 cores >= 4x throughput.
+#                         Emits BENCH_concurrency.json.
+for bench in guard_elision guard_motion fault_overhead trace_overhead \
+    shard_scaling failover_overhead concurrency_scaling; do
+    case "$bench" in
+    guard_elision | guard_motion) TFM_SCALE=8 cargo bench -q -p tfm-bench --bench "$bench" ;;
+    *) cargo bench -q -p tfm-bench --bench "$bench" ;;
+    esac
+done
+
 cargo clippy --workspace --all-targets -- -D warnings

@@ -111,6 +111,31 @@ impl Cover {
 /// The covered-value set at one program point.
 pub type CoverMap = HashMap<Value, Cover>;
 
+/// Interprocedural call effects for one function, precomputed from the
+/// module summaries (see `crate::summaries`): which call instructions are
+/// custody-transparent, which call results carry custody, and which
+/// parameters enter the function already covered at every call site.
+///
+/// This is plain per-instruction data so the dataflow core stays independent
+/// of how the facts were derived; [`crate::summaries::ModuleSummaries`]
+/// builds it bottom-up over the call graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CallEffects {
+    /// Call instructions whose callee is custody-transparent (provably never
+    /// frees, allocates, or otherwise clobbers custody): they do **not**
+    /// clear the available set.
+    pub transparent: std::collections::HashSet<Value>,
+    /// Call instructions whose result is a localized pointer guarded on
+    /// every return path of the callee; the call gens a cover of this kind
+    /// for its own result.
+    pub ret_cover: HashMap<Value, GuardKind>,
+    /// Parameter values holding custody established at *every* call site of
+    /// this function; they seed the entry block's in-state with a
+    /// [`CoverSrc::Merged`] cover (lint-usable, never elimination-usable —
+    /// the establishing guard lives in another function).
+    pub entry_cover: HashMap<Value, GuardKind>,
+}
+
 fn meet_maps(a: &CoverMap, b: &CoverMap) -> CoverMap {
     let mut out = CoverMap::new();
     for (v, ca) in a {
@@ -127,6 +152,13 @@ fn meet_maps(a: &CoverMap, b: &CoverMap) -> CoverMap {
 /// helper ignores them, so consumers can walk a block's instructions from
 /// the block-in state and query coverage before each access.
 pub fn apply(f: &Function, map: &mut CoverMap, v: Value) {
+    apply_ctx(f, map, v, None);
+}
+
+/// [`apply`], with optional interprocedural call effects: transparent
+/// callees keep the set alive, and calls returning guarded pointers gen a
+/// cover for their result.
+pub fn apply_ctx(f: &Function, map: &mut CoverMap, v: Value, fx: Option<&CallEffects>) {
     match f.kind(v) {
         InstKind::IntrinsicCall { intr, args } => match intr {
             Intrinsic::GuardRead | Intrinsic::GuardWrite => {
@@ -156,7 +188,21 @@ pub fn apply(f: &Function, map: &mut CoverMap, v: Value) {
             }
             _ => map.clear(),
         },
-        InstKind::Call { .. } => map.clear(),
+        InstKind::Call { .. } => {
+            let transparent = fx.is_some_and(|fx| fx.transparent.contains(&v));
+            if !transparent {
+                map.clear();
+            }
+            if let Some(&kind) = fx.and_then(|fx| fx.ret_cover.get(&v)) {
+                map.insert(
+                    v,
+                    Cover {
+                        src: CoverSrc::Guard(v),
+                        kind,
+                    },
+                );
+            }
+        }
         // Custody flows through pointer arithmetic on the covered value
         // (within-object offsets; the same rule `points_to` uses to keep
         // `Localized` on derived pointers).
@@ -192,11 +238,22 @@ pub fn apply(f: &Function, map: &mut CoverMap, v: Value) {
 #[derive(Clone, Debug)]
 pub struct AvailableGuards {
     block_in: Vec<Option<CoverMap>>,
+    effects: Option<CallEffects>,
 }
 
 impl AvailableGuards {
-    /// Runs the forward dataflow to its greatest fixpoint.
+    /// Runs the forward dataflow to its greatest fixpoint with the
+    /// conservative intraprocedural call model (every call kills).
     pub fn compute(f: &Function) -> Self {
+        Self::compute_with(f, None)
+    }
+
+    /// [`AvailableGuards::compute`], with optional interprocedural call
+    /// effects: custody-transparent callees no longer clear the set, calls
+    /// returning guarded pointers gen covers, and parameters guarded at
+    /// every call site seed the entry state.
+    pub fn compute_with(f: &Function, effects: Option<CallEffects>) -> Self {
+        let fx = effects.as_ref();
         let nblocks = f.num_blocks();
         let rpo = cfg::reverse_postorder(f);
         let preds = cfg::predecessors(f);
@@ -205,13 +262,29 @@ impl AvailableGuards {
         let mut ins: Vec<Option<CoverMap>> = vec![None; nblocks];
         let mut outs: Vec<Option<CoverMap>> = vec![None; nblocks];
         let entry = f.entry_block();
+        let entry_map: CoverMap = fx
+            .map(|fx| {
+                fx.entry_cover
+                    .iter()
+                    .map(|(&p, &kind)| {
+                        (
+                            p,
+                            Cover {
+                                src: CoverSrc::Merged,
+                                kind,
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
 
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &rpo {
                 let mut inb = if b == entry {
-                    CoverMap::new()
+                    entry_map.clone()
                 } else {
                     // Intersection over predecessors with known out-state;
                     // ⊤ predecessors are skipped (optimism).
@@ -266,7 +339,7 @@ impl AvailableGuards {
                 }
                 let mut outb = inb;
                 for &v in f.block_insts(b) {
-                    apply(f, &mut outb, v);
+                    apply_ctx(f, &mut outb, v, fx);
                 }
                 if outs[b.index()].as_ref() != Some(&outb) {
                     outs[b.index()] = Some(outb);
@@ -274,7 +347,18 @@ impl AvailableGuards {
                 }
             }
         }
-        AvailableGuards { block_in: ins }
+        AvailableGuards {
+            block_in: ins,
+            effects,
+        }
+    }
+
+    /// Applies one instruction's transfer function under the same call
+    /// effects this analysis was computed with. Consumers walking a block
+    /// from [`AvailableGuards::block_in`] must use this (not the free
+    /// [`apply`]) so their view matches the fixpoint.
+    pub fn apply(&self, f: &Function, map: &mut CoverMap, v: Value) {
+        apply_ctx(f, map, v, self.effects.as_ref());
     }
 
     /// Covered values at `b`'s entry (after phi resolution); `None` when the
@@ -293,7 +377,7 @@ impl AvailableGuards {
             if v == at {
                 break;
             }
-            apply(f, &mut map, v);
+            apply_ctx(f, &mut map, v, self.effects.as_ref());
         }
         map.get(&ptr).copied()
     }
@@ -414,7 +498,10 @@ mod tests {
         }
         let f = m.function(id);
         let ag = AvailableGuards::compute(f);
-        assert!(ag.cover_before(f, join_load, p).is_none(), "one-sided guard");
+        assert!(
+            ag.cover_before(f, join_load, p).is_none(),
+            "one-sided guard"
+        );
         let cq = ag.cover_before(f, join_load, q).unwrap();
         assert_eq!(cq.src, CoverSrc::Merged, "two different guards merge");
         assert_eq!(cq.kind, GuardKind::Read);
@@ -584,6 +671,42 @@ mod tests {
         let cs = ag.cover_before(f, use_load, sel).unwrap();
         assert_eq!(cs.src, CoverSrc::Merged);
         assert_eq!(cs.kind, GuardKind::Read, "chunk meets write as read");
+    }
+
+    #[test]
+    fn dead_blocks_grant_no_coverage_to_live_joins() {
+        // ⊤-predecessor optimism, pinned: a guard inside an *unreachable*
+        // block must not leak coverage into a reachable join that lists the
+        // dead block as a predecessor. The dead block's state stays ⊤ and
+        // is skipped at the meet — the join's in-state comes from live
+        // paths only, which here never guard `p`.
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], None));
+        let (join, dead);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            join = b.create_block();
+            dead = b.create_block();
+            b.br(join); // entry falls through without guarding p
+            b.switch_to_block(dead); // no predecessors: unreachable
+            let _g = guard(&mut b, p, true);
+            b.br(join);
+            b.switch_to_block(join);
+            let _ = b.load(Type::I64, p);
+            b.ret(None);
+        }
+        m.verify().unwrap();
+        let f = m.function(id);
+        let ag = AvailableGuards::compute(f);
+        // The dead block is never computed ...
+        assert_eq!(ag.block_in(dead), None);
+        // ... and the join sees no cover for p despite dead's guard.
+        let inb = ag.block_in(join).expect("join is reachable");
+        assert!(
+            !inb.contains_key(&f.param(0)),
+            "coverage must not flow out of an unreachable block"
+        );
     }
 
     #[test]

@@ -396,4 +396,166 @@ mod tests {
         // `0 < i` form with const bound and init: trip count = 50.
         assert_eq!(static_trip_count(f, lp, &ivs), Some(50));
     }
+
+    #[test]
+    fn derived_iv_through_cast_and_constant_offset() {
+        // index = sext(trunc(i)) + 5: the cast chain and the constant
+        // offset are both peeled, so the access is still IV-strided.
+        let (m, id) = {
+            let mut m = Module::new("t");
+            let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let arr = b.param(0);
+                let zero = b.iconst(Type::I64, 0);
+                let n = b.iconst(Type::I64, 12);
+                b.counted_loop(zero, n, 1, |b, i| {
+                    let t = b.cast(CastOp::Trunc, i, Type::I32);
+                    let w = b.cast(CastOp::Sext, t, Type::I64);
+                    let five = b.iconst(Type::I64, 5);
+                    let j = b.binop(tfm_ir::BinOp::Add, w, five);
+                    let addr = b.gep(arr, j, 4, 0);
+                    let _ = b.load(Type::I32, addr);
+                });
+                b.ret(Some(zero));
+            }
+            m.verify().unwrap();
+            (m, id)
+        };
+        let (ivs, accesses, tc) = analyse(&m, id);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].stride, 4);
+        assert_eq!(tc, Some(12));
+    }
+
+    #[test]
+    fn negative_stride_survives_an_index_cast() {
+        // Downward loop with a cast on the index: the derived IV is found
+        // through the cast and keeps the negative stride.
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let arr = b.param(0);
+            let n = b.iconst(Type::I64, 64);
+            let zero = b.iconst(Type::I64, 0);
+            let pre = b.current_block();
+            let hdr = b.create_block();
+            let body = b.create_block();
+            let exit = b.create_block();
+            b.br(hdr);
+            b.switch_to_block(hdr);
+            let i = b.phi(Type::I64, &[(pre, n)]);
+            let c = b.icmp(tfm_ir::CmpOp::Slt, zero, i);
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let t = b.cast(CastOp::Trunc, i, Type::I32);
+            let w = b.cast(CastOp::Zext, t, Type::I64);
+            let addr = b.gep(arr, w, 8, 0);
+            let _ = b.load(Type::I64, addr);
+            let one = b.iconst(Type::I64, 1);
+            let i2 = b.binop(tfm_ir::BinOp::Sub, i, one);
+            b.add_phi_incoming(i, body, i2);
+            b.br(hdr);
+            b.switch_to_block(exit);
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        let f = m.function(id);
+        let dt = DomTree::compute(f);
+        let forest = LoopForest::compute(f, &dt);
+        let lp = &forest.loops[0];
+        let ivs = basic_ivs(f, lp);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, -1);
+        let acc = strided_accesses(f, lp, &ivs);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].stride, -8);
+        assert!(!acc[0].is_sequential());
+        assert_eq!(static_trip_count(f, lp, &ivs), Some(64));
+    }
+
+    #[test]
+    fn non_unit_step_access_and_rounded_trip_count() {
+        // for (i = 0; i < 10; i += 3): four iterations (ceil), and the
+        // access stride multiplies scale by the step.
+        let mut m = Module::new("t");
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let arr = b.param(0);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 10);
+            b.counted_loop(zero, n, 3, |b, i| {
+                let addr = b.gep(arr, i, 4, 0);
+                let _ = b.load(Type::I32, addr);
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        let (ivs, accesses, tc) = analyse(&m, id);
+        assert_eq!(ivs[0].step, 3);
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].stride, 12);
+        assert_eq!(accesses[0].access_size, 4);
+        assert_eq!(accesses[0].element_size(), 12);
+        assert!(accesses[0].is_sequential());
+        assert_eq!(tc, Some(4));
+    }
+
+    #[test]
+    fn zero_trip_and_wrong_direction_loops_have_no_static_count() {
+        // init == bound (never entered) and init > bound with a positive
+        // step (never entered) both yield None, not Some(0): the analysis
+        // only promises counts >= 1.
+        for (init, bound) in [(10i64, 10i64), (20, 10)] {
+            let mut m = Module::new("t");
+            let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let arr = b.param(0);
+                let i0 = b.iconst(Type::I64, init);
+                let n = b.iconst(Type::I64, bound);
+                b.counted_loop(i0, n, 1, |b, i| {
+                    let addr = b.gep(arr, i, 8, 0);
+                    let _ = b.load(Type::I64, addr);
+                });
+                b.ret(Some(i0));
+            }
+            m.verify().unwrap();
+            let (_, _, tc) = analyse(&m, id);
+            assert_eq!(tc, None, "init={init} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn derived_iv_chain_deeper_than_the_cap_is_rejected() {
+        // index_iv peels at most 4 wrappers; a 5-deep chain is dropped
+        // rather than mis-attributed.
+        let (m, id) = {
+            let mut m = Module::new("t");
+            let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let arr = b.param(0);
+                let zero = b.iconst(Type::I64, 0);
+                let n = b.iconst(Type::I64, 8);
+                b.counted_loop(zero, n, 1, |b, i| {
+                    let one = b.iconst(Type::I64, 1);
+                    let mut j = i;
+                    for _ in 0..5 {
+                        j = b.binop(tfm_ir::BinOp::Add, j, one);
+                    }
+                    let addr = b.gep(arr, j, 8, 0);
+                    let _ = b.load(Type::I64, addr);
+                });
+                b.ret(Some(zero));
+            }
+            m.verify().unwrap();
+            (m, id)
+        };
+        let (_, accesses, _) = analyse(&m, id);
+        assert!(accesses.is_empty(), "5-deep chain must not be claimed");
+    }
 }

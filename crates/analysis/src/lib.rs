@@ -20,9 +20,17 @@
 //!   redundant-guard elimination pass;
 //! * [`induction`] — basic and derived induction variables plus strided
 //!   loop accesses, the backbone of loop chunking and prefetch planning;
+//! * [`callgraph`] — the module call graph with Tarjan SCC condensation,
+//!   giving the bottom-up order interprocedural analyses run in;
+//! * [`summaries`] — per-function effect summaries (custody transparency,
+//!   may-free / may-evacuate, region read/write sets, parameter and
+//!   return-value memory classes and custody) propagated across call
+//!   sites, the whole-program layer behind call-aware guard checking,
+//!   interprocedural parameter classification, and guard motion;
 //! * [`profile`] — edge/block execution profiles gathered by the simulator
 //!   and consumed by the chunking cost model.
 
+pub mod callgraph;
 pub mod cfg;
 pub mod defuse;
 pub mod dom;
@@ -31,10 +39,13 @@ pub mod induction;
 pub mod loops;
 pub mod points_to;
 pub mod profile;
+pub mod summaries;
 
-pub use dom::DomTree;
-pub use guard_check::{AvailableGuards, Cover, CoverSrc, GuardKind};
+pub use callgraph::{CallGraph, CallSite};
+pub use dom::{DomTree, PostDomTree};
+pub use guard_check::{AvailableGuards, CallEffects, Cover, CoverSrc, GuardKind};
 pub use induction::{BasicIv, LoopAccess};
 pub use loops::{LoopForest, NaturalLoop};
 pub use points_to::{MemClass, PointsTo};
 pub use profile::Profile;
+pub use summaries::{FnSummary, ModuleSummaries, RegionSet};

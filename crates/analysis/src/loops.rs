@@ -430,6 +430,9 @@ mod irreducible_tests {
         let f = m.function(id);
         let dt = crate::dom::DomTree::compute(f);
         let forest = LoopForest::compute(f, &dt);
-        assert!(forest.loops.is_empty(), "irreducible cycle is not a natural loop");
+        assert!(
+            forest.loops.is_empty(),
+            "irreducible cycle is not a natural loop"
+        );
     }
 }

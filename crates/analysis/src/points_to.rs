@@ -14,7 +14,7 @@
 //! parameters) must be guarded; the run-time custody check (Fig. 4) keeps
 //! this conservative answer correct and merely costs a few cycles.
 
-use tfm_ir::{Function, InstKind, Intrinsic, Type, Value};
+use tfm_ir::{FuncId, Function, InstKind, Intrinsic, Type, Value};
 
 /// Conservative classification of what a value may point to.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -68,6 +68,22 @@ impl PointsTo {
         f: &Function,
         local_sites: &std::collections::HashSet<Value>,
     ) -> Self {
+        Self::compute_with_env(f, local_sites, &[], &|_| MemClass::Unknown)
+    }
+
+    /// [`PointsTo::compute_with_locals`], with interprocedural facts: the
+    /// classes of this function's own pointer parameters (by parameter
+    /// index; missing entries fall back to [`MemClass::Unknown`]) and the
+    /// return-value class of each callee. Both refine values the
+    /// intraprocedural analysis writes off as `Unknown`; non-pointer-typed
+    /// parameters and call results keep the legacy `NonPtr` treatment, so
+    /// refinement can only *narrow* the guarded set, never grow it.
+    pub fn compute_with_env(
+        f: &Function,
+        local_sites: &std::collections::HashSet<Value>,
+        param_class: &[MemClass],
+        ret_class_of: &dyn Fn(FuncId) -> MemClass,
+    ) -> Self {
         let n = f.num_insts();
         let mut class = vec![MemClass::NonPtr; n];
         let live = f.live_insts();
@@ -78,7 +94,7 @@ impl PointsTo {
                 let new = if local_sites.contains(&v) {
                     MemClass::LocalHeap
                 } else {
-                    Self::transfer(f, &class, v)
+                    Self::transfer(f, &class, v, param_class, ret_class_of)
                 };
                 let joined = class[v.index()].join(new);
                 if joined != class[v.index()] {
@@ -90,7 +106,13 @@ impl PointsTo {
         PointsTo { class }
     }
 
-    fn transfer(f: &Function, class: &[MemClass], v: Value) -> MemClass {
+    fn transfer(
+        f: &Function,
+        class: &[MemClass],
+        v: Value,
+        param_class: &[MemClass],
+        ret_class_of: &dyn Fn(FuncId) -> MemClass,
+    ) -> MemClass {
         use MemClass::*;
         match f.kind(v) {
             InstKind::Alloca { .. } => Stack,
@@ -108,9 +130,9 @@ impl PointsTo {
                     NonPtr
                 }
             },
-            InstKind::Param(_) => {
+            InstKind::Param(i) => {
                 if f.ty(v) == Some(Type::Ptr) {
-                    Unknown
+                    param_class.get(*i as usize).copied().unwrap_or(Unknown)
                 } else {
                     NonPtr
                 }
@@ -122,9 +144,9 @@ impl PointsTo {
                     NonPtr
                 }
             }
-            InstKind::Call { .. } => {
+            InstKind::Call { func, .. } => {
                 if f.ty(v) == Some(Type::Ptr) {
-                    Unknown
+                    ret_class_of(*func)
                 } else {
                     NonPtr
                 }

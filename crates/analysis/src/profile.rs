@@ -27,10 +27,7 @@ impl Profile {
 
     /// Records a block execution.
     pub fn count_block(&mut self, func: &str, b: Block) {
-        *self
-            .block_counts
-            .entry((func.to_string(), b))
-            .or_insert(0) += 1;
+        *self.block_counts.entry((func.to_string(), b)).or_insert(0) += 1;
     }
 
     /// Records an edge traversal.

@@ -92,7 +92,10 @@ fn main() {
     // ------------------------------------------------------------------
     let mut rows = Vec::new();
     // Run fully local so guard CPU cost (not network stall) is on display.
-    for (name, spec) in [("hashmap (guard-heavy)", &map_spec), ("stream (chunked)", &stream_spec)] {
+    for (name, spec) in [
+        ("hashmap (guard-heavy)", &map_spec),
+        ("stream (chunked)", &stream_spec),
+    ] {
         let with_table = execute(spec, &RunConfig::trackfm(1.0));
         let without = {
             let mut c = RunConfig::trackfm(1.0);
@@ -158,5 +161,7 @@ fn main() {
         &rows,
     );
     println!("  hybrid = chunk streams + guard-free raw accesses with 1.3K-cycle faults on miss:");
-    println!("  it wins where residency is high (no guard tax), and leans on prefetch like TrackFM.");
+    println!(
+        "  it wins where residency is high (no guard tax), and leans on prefetch like TrackFM."
+    );
 }

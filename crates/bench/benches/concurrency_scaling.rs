@@ -32,7 +32,9 @@ fn workload() -> OpenLoopSpec {
 }
 
 fn config() -> RunConfig {
-    RunConfig::trackfm(0.1).with_object_size(64).with_prefetch(false)
+    RunConfig::trackfm(0.1)
+        .with_object_size(64)
+        .with_prefetch(false)
 }
 
 /// Drives the requests by hand on a plain synchronous machine — exactly
@@ -62,7 +64,9 @@ fn manual_sync(ol: &OpenLoopSpec, cfg: &RunConfig) -> (tfm_workloads::Outcome, H
     let mut telemetry = tel.snapshot();
     if let Some(snap) = &mut telemetry {
         for s in &report.elision.sites {
-            snap.sites.stats_mut(SiteKey::new(s.func, s.survivor)).elided += s.absorbed as u64;
+            snap.sites
+                .stats_mut(SiteKey::new(s.func, s.survivor))
+                .elided += s.absorbed as u64;
         }
     }
     (

@@ -61,9 +61,15 @@ fn main() {
     let crashed = execute(&spec, &crash_cfg);
 
     assert_eq!(r2.result.ret, single.result.ret);
-    assert_eq!(crashed.result.ret, single.result.ret, "a crash must not change the answer");
+    assert_eq!(
+        crashed.result.ret, single.result.ret,
+        "a crash must not change the answer"
+    );
     let crt = crashed.result.runtime.as_ref().unwrap();
-    assert_eq!(crt.lost_objects, 0, "replicas=2 must not lose acknowledged data");
+    assert_eq!(
+        crt.lost_objects, 0,
+        "replicas=2 must not lose acknowledged data"
+    );
     assert!(crt.shard_recoveries >= 1, "the crashed shard must rejoin");
 
     println!("\nfailover_overhead (simulated cycles, full run):");
@@ -102,7 +108,10 @@ fn main() {
                         Json::Obj(vec![
                             ("config".into(), Json::Str((*name).into())),
                             ("cycles".into(), Json::Int(out.result.stats.cycles)),
-                            ("bytes_written_back".into(), Json::Int(tx.bytes_written_back)),
+                            (
+                                "bytes_written_back".into(),
+                                Json::Int(tx.bytes_written_back),
+                            ),
                             ("shard_downs".into(), Json::Int(rt.shard_downs)),
                             ("shard_recoveries".into(), Json::Int(rt.shard_recoveries)),
                             ("resynced_objects".into(), Json::Int(rt.resynced_objects)),

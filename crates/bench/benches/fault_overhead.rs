@@ -74,7 +74,10 @@ fn check_simulated_costs_identical() {
     // Full runtime slow path: demand localize costs the same cycles.
     let a = demand_fetch_cycles(FaultPlan::none());
     let b = demand_fetch_cycles(FaultPlan::default());
-    assert_eq!(a, b, "demand fetch cost must not depend on the inactive plan");
+    assert_eq!(
+        a, b,
+        "demand fetch cost must not depend on the inactive plan"
+    );
     println!("  demand_fetch: {a} cycles with and without the inactive plan");
 }
 

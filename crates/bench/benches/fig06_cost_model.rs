@@ -39,7 +39,12 @@ fn main() {
         rows.push(vec![
             density.to_string(),
             f2(speedup),
-            if (density as f64) > predicted { "chunk" } else { "skip" }.to_string(),
+            if (density as f64) > predicted {
+                "chunk"
+            } else {
+                "skip"
+            }
+            .to_string(),
         ]);
     }
     rows.reverse(); // ascending density, like the figure's x-axis
@@ -49,7 +54,10 @@ fn main() {
         &["elems/object", "speedup vs. naive", "Eq.3 decision"],
         &rows,
     );
-    println!("  predicted crossover: d* = {:.0} elements/object", predicted);
+    println!(
+        "  predicted crossover: d* = {:.0} elements/object",
+        predicted
+    );
     measured.sort_by_key(|(d, _)| *d);
     if let Some((d, _)) = measured.iter().find(|(_, s)| *s >= 1.0) {
         println!("  empirical crossover: first density with speedup >= 1 is {d}");

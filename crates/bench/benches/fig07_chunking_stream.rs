@@ -44,5 +44,7 @@ fn main() {
             &rows,
         );
     }
-    println!("  paper: speedups ~1.5-2.0, higher for Copy (more accesses/loop), rising to the right.");
+    println!(
+        "  paper: speedups ~1.5-2.0, higher for Copy (more accesses/loop), rising to the right."
+    );
 }

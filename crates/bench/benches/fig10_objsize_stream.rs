@@ -41,7 +41,11 @@ fn main() {
         rows.push(vec![
             format!("{os}B"),
             format!("{mbs:.0}"),
-            out.result.runtime.map(|r| r.remote_fetches + r.prefetch_issued).unwrap_or(0).to_string(),
+            out.result
+                .runtime
+                .map(|r| r.remote_fetches + r.prefetch_issued)
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     print_table(

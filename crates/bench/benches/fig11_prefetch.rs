@@ -15,8 +15,7 @@ fn main() {
         for f in fractions() {
             let with_pf = execute(&spec, &RunConfig::trackfm(f).with_prefetch(true));
             let without = execute(&spec, &RunConfig::trackfm(f).with_prefetch(false));
-            let speedup =
-                without.result.stats.cycles as f64 / with_pf.result.stats.cycles as f64;
+            let speedup = without.result.stats.cycles as f64 / with_pf.result.stats.cycles as f64;
             let rt = with_pf.result.runtime.unwrap();
             rows.push(vec![
                 f2(f),

@@ -22,7 +22,11 @@ fn main() {
             rows.push(vec![
                 f2(f),
                 f2(speedup),
-                fsw.result.pager.map(|p| p.major_faults).unwrap_or(0).to_string(),
+                fsw.result
+                    .pager
+                    .map(|p| p.major_faults)
+                    .unwrap_or(0)
+                    .to_string(),
                 tfm.result
                     .runtime
                     .map(|r| r.remote_fetches + r.prefetch_issued)

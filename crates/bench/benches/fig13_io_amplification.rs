@@ -60,7 +60,9 @@ fn main() {
         mib(fsw_total.total_bytes()),
     );
     let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    println!("  mean TrackFM speedup over Fastswap: {mean:.1}x (paper: ~12x; amplification 2.3x vs 43x)");
+    println!(
+        "  mean TrackFM speedup over Fastswap: {mean:.1}x (paper: ~12x; amplification 2.3x vs 43x)"
+    );
     println!("  note: the paper's 12x needs AIFM's concurrent fetches to hide per-miss latency; our single-threaded");
     println!("  execution model pays full latency per miss on both systems, so the win shows up in bytes moved.");
 }

@@ -35,7 +35,11 @@ fn main() {
         rows_b.push(vec![
             f2(f),
             tfm.result.stats.slow_guards().to_string(),
-            fsw.result.pager.map(|p| p.major_faults).unwrap_or(0).to_string(),
+            fsw.result
+                .pager
+                .map(|p| p.major_faults)
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     print_table(

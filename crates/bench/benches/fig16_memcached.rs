@@ -42,7 +42,11 @@ fn main() {
         rows_b.push(vec![
             f2(skew),
             tfm.result.stats.total_guards().to_string(),
-            fsw.result.pager.map(|p| p.major_faults).unwrap_or(0).to_string(),
+            fsw.result
+                .pager
+                .map(|p| p.major_faults)
+                .unwrap_or(0)
+                .to_string(),
         ]);
         rows_c.push(vec![
             f2(skew),

@@ -48,7 +48,11 @@ fn main() {
             f2(s_fsw),
             f2(s_tfm),
             tfm.result.stats.total_guards().to_string(),
-            fsw.result.pager.map(|p| p.major_faults).unwrap_or(0).to_string(),
+            fsw.result
+                .pager
+                .map(|p| p.major_faults)
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     rows.push(vec![

@@ -60,9 +60,7 @@ fn workloads() -> Vec<(&'static str, WorkloadSpec, RunConfig)> {
         ),
         (
             "nas-cg",
-            nas::cg(&nas::NasParams {
-                shrink: 25 * s,
-            }),
+            nas::cg(&nas::NasParams { shrink: 25 * s }),
             RunConfig::trackfm(0.25),
         ),
     ]
@@ -116,8 +114,14 @@ fn main() {
     print_table(
         "guard_elision (cycles at the row's budget; guards = static sites)",
         &[
-            "workload", "inserted", "elided", "surviving", "upgraded", "cycles(off)",
-            "cycles(on)", "saved",
+            "workload",
+            "inserted",
+            "elided",
+            "surviving",
+            "upgraded",
+            "cycles(off)",
+            "cycles(on)",
+            "saved",
         ],
         &rows,
     );

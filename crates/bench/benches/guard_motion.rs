@@ -1,0 +1,168 @@
+//! Interprocedural custody + loop-invariant guard motion: what the new
+//! transforms buy over redundant-guard elimination alone (the prior
+//! baseline, which had no summaries and no motion).
+//!
+//! For each workload, compile and run under two configurations:
+//!
+//!   * **elide-only** — `interproc`, `call_aware_kills`, and
+//!     `guard_motion` all off; same-block elision on (the old pipeline);
+//!   * **full** — everything on (today's defaults).
+//!
+//! The gate asserts:
+//!
+//!   1. **Determinism** — compiling twice yields identical
+//!      [`MotionOutcome`]s (counts *and* per-site attribution);
+//!   2. **Soundness dividend** — results are unchanged (the runner checks
+//!      the checksum) and simulated cycles never increase;
+//!   3. **Strict win** — on the serving loop, whose invariant-slot guard
+//!      is only hoistable interprocedurally, `full` must *strictly* beat
+//!      `elide-only`.
+//!
+//! Emits `BENCH_guard_motion.json` for CI trend tracking.
+//!
+//! ```sh
+//! cargo bench -q -p tfm-bench --bench guard_motion
+//! ```
+
+use tfm_bench::{print_table, scale};
+use tfm_telemetry::Json;
+use tfm_workloads::runner::{execute, RunConfig};
+use tfm_workloads::{memcached, serving, stream, WorkloadSpec};
+use trackfm::{CompilerOptions, TrackFmCompiler};
+
+fn elide_only(mut opts: CompilerOptions) -> CompilerOptions {
+    opts.interproc = false;
+    opts.call_aware_kills = false;
+    opts.guard_motion = false;
+    opts
+}
+
+fn workloads() -> Vec<(&'static str, WorkloadSpec, RunConfig, bool)> {
+    let s = scale();
+    vec![
+        (
+            "serving",
+            serving::serving(&serving::ServingParams {
+                ops: (1 << 16) / s,
+                buckets: 256,
+                seed: 42,
+            }),
+            RunConfig::trackfm(0.25).with_object_size(64),
+            true, // the strict-win workload
+        ),
+        (
+            "quickstart(stream-sum)",
+            stream::sum(&stream::StreamParams {
+                elems: (1 << 20) / s,
+            }),
+            RunConfig::trackfm(0.25),
+            false,
+        ),
+        (
+            "kv_store(memcached)",
+            memcached::memcached(&memcached::MemcachedParams {
+                keys: 20_000 / s,
+                gets: 60_000 / s,
+                skew: 1.05,
+                seed: 99,
+            }),
+            RunConfig::trackfm(0.10).with_object_size(64),
+            false,
+        ),
+    ]
+}
+
+fn main() {
+    println!("guard_motion: interprocedural custody + guard motion gate");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut strict_win = false;
+
+    for (name, spec, base, must_win) in workloads() {
+        // Determinism: identical motion outcome (counts and per-site
+        // attribution) on every compile of the same module.
+        let r1 = TrackFmCompiler::new(base.compiler).compile(&mut spec.module.clone(), None);
+        let r2 = TrackFmCompiler::new(base.compiler).compile(&mut spec.module.clone(), None);
+        assert_eq!(
+            r1.motion, r2.motion,
+            "{name}: motion outcome must be deterministic"
+        );
+        assert_eq!(r1.elision, r2.elision);
+
+        // Execute under both configurations; the runner asserts the
+        // checksum, so a semantic deviation aborts loudly.
+        let mut off_cfg = base;
+        off_cfg.compiler = elide_only(off_cfg.compiler);
+        let off = execute(&spec, &off_cfg);
+        let on = execute(&spec, &base);
+
+        let off_rep = off.report.as_ref().unwrap();
+        let on_rep = on.report.as_ref().unwrap();
+        assert_eq!(off_rep.motion, Default::default());
+
+        let (c_off, c_on) = (off.result.stats.cycles, on.result.stats.cycles);
+        assert!(
+            c_on <= c_off,
+            "{name}: interproc+motion increased cycles ({c_off} -> {c_on})"
+        );
+        if must_win {
+            assert!(
+                c_on < c_off,
+                "{name}: interproc+motion must strictly beat elide-only \
+                 ({c_off} -> {c_on})"
+            );
+            assert!(on_rep.motion.hoisted >= 1, "{name}: nothing was hoisted");
+            strict_win = true;
+        }
+
+        let surviving_off = off_rep.total_guards() - off_rep.elision.eliminated;
+        let surviving_on =
+            on_rep.total_guards() - on_rep.elision.eliminated - on_rep.motion.upgraded;
+        rows.push(vec![
+            name.to_string(),
+            surviving_off.to_string(),
+            surviving_on.to_string(),
+            on_rep.motion.hoisted.to_string(),
+            on_rep.motion.upgraded.to_string(),
+            c_off.to_string(),
+            c_on.to_string(),
+            format!("{:.2}%", 100.0 * (c_off - c_on) as f64 / c_off as f64),
+        ]);
+        json_rows.push(Json::Obj(vec![
+            ("workload".into(), Json::str(name)),
+            ("guards_elide_only".into(), Json::Int(surviving_off as u64)),
+            ("guards_full".into(), Json::Int(surviving_on as u64)),
+            ("hoisted".into(), Json::Int(on_rep.motion.hoisted as u64)),
+            ("upgraded".into(), Json::Int(on_rep.motion.upgraded as u64)),
+            ("cycles_elide_only".into(), Json::Int(c_off)),
+            ("cycles_full".into(), Json::Int(c_on)),
+        ]));
+    }
+
+    print_table(
+        "guard_motion (cycles at the row's budget; guards = static sites)",
+        &[
+            "workload",
+            "guards(old)",
+            "guards(new)",
+            "hoisted",
+            "upgraded",
+            "cycles(old)",
+            "cycles(new)",
+            "saved",
+        ],
+        &rows,
+    );
+    println!("\n  gate: motion outcomes deterministic; results unchanged;");
+    println!("  cycles(full) <= cycles(elide-only) everywhere, strictly less on serving.");
+
+    assert!(strict_win, "the strict-win workload must run");
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("guard_motion")),
+        ("strict_win_on_serving".into(), Json::Bool(strict_win)),
+        ("rows".into(), Json::Arr(json_rows)),
+    ]);
+    std::fs::write("BENCH_guard_motion.json", doc.to_string_pretty())
+        .expect("write BENCH_guard_motion.json");
+    println!("  wrote BENCH_guard_motion.json");
+}

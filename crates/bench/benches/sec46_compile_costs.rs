@@ -12,8 +12,12 @@ use trackfm::{CompilerOptions, TrackFmCompiler};
 fn main() {
     let sc = scale();
     let specs = vec![
-        stream::sum(&stream::StreamParams { elems: (2 << 20) / sc }),
-        stream::copy(&stream::StreamParams { elems: (2 << 20) / sc }),
+        stream::sum(&stream::StreamParams {
+            elems: (2 << 20) / sc,
+        }),
+        stream::copy(&stream::StreamParams {
+            elems: (2 << 20) / sc,
+        }),
         kmeans::kmeans(&kmeans::KmeansParams::default()),
         hashmap::hashmap(&hashmap::HashmapParams {
             keys: 50_000,

@@ -37,7 +37,10 @@ fn main() {
     let mut rows = Vec::new();
     for shards in [1u32, 2, 4, 8] {
         let out = execute(&spec, &cfg.with_shards(shards));
-        assert_eq!(out.result.ret, single.result.ret, "sharding changed the answer");
+        assert_eq!(
+            out.result.ret, single.result.ret,
+            "sharding changed the answer"
+        );
         let stats = out.result.stats;
         let tx = out.result.transfers.unwrap();
         // Aggregate occupancy: wire-busy cycles summed over shards (the
@@ -49,7 +52,12 @@ fn main() {
             (tx.fetches, tx.fetches)
         } else {
             (
-                out.result.shards.iter().map(|s| s.stats.fetches).max().unwrap(),
+                out.result
+                    .shards
+                    .iter()
+                    .map(|s| s.stats.fetches)
+                    .max()
+                    .unwrap(),
                 out.result.shards.iter().map(|s| s.stats.fetches).sum(),
             )
         };

@@ -113,7 +113,11 @@ pub fn report_line(rep: &RunReport) -> String {
         rep.workload,
         rep.system,
         cycles,
-        if cycles > 0 { 100.0 * stall as f64 / cycles as f64 } else { 0.0 },
+        if cycles > 0 {
+            100.0 * stall as f64 / cycles as f64
+        } else {
+            0.0
+        },
         slow,
         total,
         hot

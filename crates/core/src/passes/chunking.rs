@@ -125,15 +125,7 @@ pub fn run(
         } else {
             None
         };
-        let o = run_on_loop(
-            module,
-            func,
-            &lp,
-            cost,
-            opts,
-            trips,
-            &mut handled_accesses,
-        );
+        let o = run_on_loop(module, func, &lp, cost, opts, trips, &mut handled_accesses);
         outcome.merge(o);
     }
     outcome
@@ -323,7 +315,13 @@ mod tests {
     #[test]
     fn chunks_dense_stream_and_stays_valid() {
         let (mut m, id) = stream_sum_module(1000, 8); // density 512 > 75
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::CostModel),
+            None,
+        );
         assert_eq!(out.streams, 1);
         assert_eq!(out.chunked_accesses, 1);
         assert_eq!(out.chunked_loops, 1);
@@ -338,7 +336,13 @@ mod tests {
     fn cost_model_rejects_sparse_stream() {
         // 4096-byte elements in 4096-byte objects: density 1 → never chunk.
         let (mut m, id) = stream_sum_module(1000, 4096);
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::CostModel),
+            None,
+        );
         assert_eq!(out.streams, 0);
         assert_eq!(out.skipped_low_benefit, 1);
         assert_eq!(count_intr(&m, id, Intrinsic::ChunkDeref), 0);
@@ -347,7 +351,13 @@ mod tests {
     #[test]
     fn all_loops_mode_chunks_indiscriminately() {
         let (mut m, id) = stream_sum_module(1000, 4096);
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::AllLoops), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::AllLoops),
+            None,
+        );
         assert_eq!(out.streams, 1);
         m.verify().unwrap();
     }
@@ -356,7 +366,13 @@ mod tests {
     fn off_mode_does_nothing() {
         let (mut m, id) = stream_sum_module(1000, 8);
         let before = m.total_live_insts();
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::Off), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::Off),
+            None,
+        );
         assert_eq!(out, ChunkingOutcome::default());
         assert_eq!(m.total_live_insts(), before);
     }
@@ -383,7 +399,13 @@ mod tests {
             b.ret(Some(zero));
         }
         m.verify().unwrap();
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::CostModel), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::CostModel),
+            None,
+        );
         assert_eq!(out.streams, 2);
         assert_eq!(out.chunked_accesses, 2);
         m.verify().unwrap();
@@ -442,7 +464,11 @@ mod tests {
         let mut prof = Profile::new();
         for lp in &forest.loops {
             let pre = lp.preheader(f).unwrap();
-            let (entries, iters) = if lp.depth == 1 { (1, 100_000) } else { (100_000, 8) };
+            let (entries, iters) = if lp.depth == 1 {
+                (1, 100_000)
+            } else {
+                (100_000, 8)
+            };
             for _ in 0..entries {
                 prof.count_edge(&f.name, pre, lp.header);
             }
@@ -489,7 +515,13 @@ mod tests {
             b.ret(Some(zero));
         }
         m.verify().unwrap();
-        let out = run(&mut m, id, &CostModel::default(), &opts(ChunkingMode::AllLoops), None);
+        let out = run(
+            &mut m,
+            id,
+            &CostModel::default(),
+            &opts(ChunkingMode::AllLoops),
+            None,
+        );
         assert_eq!(out.chunked_loops, 2);
         assert_eq!(out.streams, 2);
         assert_eq!(out.chunked_accesses, 3);

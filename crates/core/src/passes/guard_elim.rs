@@ -23,7 +23,8 @@
 //! report per-site elision counts alongside runtime hit counts.
 
 use std::collections::HashMap;
-use tfm_analysis::guard_check::{self, AvailableGuards, CoverSrc, GuardKind};
+use tfm_analysis::guard_check::{AvailableGuards, CoverSrc, GuardKind};
+use tfm_analysis::summaries::ModuleSummaries;
 use tfm_ir::{InstKind, Intrinsic, Module, Value};
 
 /// One surviving guard that absorbed eliminated duplicates.
@@ -57,12 +58,23 @@ fn chase(repl: &HashMap<Value, Value>, mut v: Value) -> Value {
     v
 }
 
-/// Runs redundant-guard elimination over every function of `module`.
+/// Runs redundant-guard elimination over every function of `module` with
+/// the conservative intraprocedural call model (every call kills custody).
 pub fn run(module: &mut Module) -> ElisionOutcome {
+    run_with(module, None)
+}
+
+/// [`run`], optionally call-aware: with [`ModuleSummaries`] the
+/// available-guards dataflow keeps covers alive across custody-transparent
+/// callees (so guards straddling pure helper calls fold), and calls
+/// returning canonical guarded pointers act as cover sources whose results
+/// later duplicate guards collapse into.
+pub fn run_with(module: &mut Module, summaries: Option<&ModuleSummaries>) -> ElisionOutcome {
     let mut outcome = ElisionOutcome::default();
     let mut absorbed: HashMap<(u32, u32), u32> = HashMap::new();
     for fid in module.function_ids().collect::<Vec<_>>() {
-        let ag = AvailableGuards::compute(module.function(fid));
+        let fx = summaries.map(|s| s.effects_for(fid, module.function(fid)));
+        let ag = AvailableGuards::compute_with(module.function(fid), fx);
         let f = module.function_mut(fid);
         // Eliminated guard → its survivor (the analysis was computed on the
         // pre-elimination IR, so cover sources must be chased through it).
@@ -74,29 +86,29 @@ pub fn run(module: &mut Module) -> ElisionOutcome {
             };
             for v in f.block_insts(b).to_vec() {
                 let InstKind::IntrinsicCall { intr, args } = f.kind(v) else {
-                    guard_check::apply(f, &mut map, v);
+                    ag.apply(f, &mut map, v);
                     continue;
                 };
                 let need = match intr {
                     Intrinsic::GuardRead => GuardKind::Read,
                     Intrinsic::GuardWrite => GuardKind::Write,
                     _ => {
-                        guard_check::apply(f, &mut map, v);
+                        ag.apply(f, &mut map, v);
                         continue;
                     }
                 };
                 let ptr = args[0];
                 let Some(cover) = map.get(&ptr).copied() else {
-                    guard_check::apply(f, &mut map, v);
+                    ag.apply(f, &mut map, v);
                     continue;
                 };
                 let CoverSrc::Guard(src) = cover.src else {
-                    guard_check::apply(f, &mut map, v);
+                    ag.apply(f, &mut map, v);
                     continue;
                 };
                 let g = chase(&repl, src);
                 if g == v {
-                    guard_check::apply(f, &mut map, v);
+                    ag.apply(f, &mut map, v);
                     continue;
                 }
                 // The survivor's *current* kind (upgrades rewrite the IR).
@@ -109,11 +121,24 @@ pub fn run(module: &mut Module) -> ElisionOutcome {
                         intr: Intrinsic::GuardWrite,
                         ..
                     } => GuardKind::Write,
+                    // A call returning a canonical guarded pointer: its
+                    // cover kind is the callee's return custody. Calls are
+                    // never rewritten in place, so the analysis kind is
+                    // still current.
+                    InstKind::Call { .. } => cover.kind,
                     _ => GuardKind::Chunk, // chunk custody: never reused
                 };
+                let upgradeable_guard = matches!(
+                    f.kind(g),
+                    InstKind::IntrinsicCall {
+                        intr: Intrinsic::GuardRead,
+                        ..
+                    }
+                );
                 let eliminable = if have.covers(need) {
                     true
-                } else if have == GuardKind::Read
+                } else if upgradeable_guard
+                    && have == GuardKind::Read
                     && need == GuardKind::Write
                     && f.inst(g).block == b
                 {
@@ -138,7 +163,7 @@ pub fn run(module: &mut Module) -> ElisionOutcome {
                     // Skip the transfer: the deleted guard gens nothing, and
                     // `ptr` stays covered by the survivor.
                 } else {
-                    guard_check::apply(f, &mut map, v);
+                    ag.apply(f, &mut map, v);
                 }
             }
         }
@@ -198,11 +223,20 @@ mod tests {
         let out = run(&mut m);
         assert_eq!(out.eliminated, 1);
         assert_eq!(out.upgraded, 0);
-        assert_eq!(out.sites, vec![ElidedSite { func: id.0, survivor: g1.index() as u32, absorbed: 1 }]);
+        assert_eq!(
+            out.sites,
+            vec![ElidedSite {
+                func: id.0,
+                survivor: g1.index() as u32,
+                absorbed: 1
+            }]
+        );
         assert_eq!(count_guards(&m), (1, 0));
         // The second load now reads through the first guard's result.
         let f = m.function(id);
-        let InstKind::Load { ptr } = *f.kind(x2) else { panic!() };
+        let InstKind::Load { ptr } = *f.kind(x2) else {
+            panic!()
+        };
         assert_eq!(ptr, g1);
         m.verify().unwrap();
     }
@@ -337,7 +371,10 @@ mod tests {
         // Different guards on the two paths: the join's duplicate guard has
         // no single canonical result to reuse and must survive.
         let mut m = Module::new("t");
-        let id = m.declare_function("f", Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)));
+        let id = m.declare_function(
+            "f",
+            Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+        );
         {
             let mut b = FunctionBuilder::new(m.function_mut(id));
             let p = b.param(0);

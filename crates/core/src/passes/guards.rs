@@ -12,7 +12,9 @@
 //! slow-path runtime call, returning a canonical localized pointer
 //! (Fig. 4).
 
-use tfm_analysis::points_to::PointsTo;
+use tfm_analysis::guard_check::{AvailableGuards, GuardKind};
+use tfm_analysis::points_to::{MemClass, PointsTo};
+use tfm_analysis::summaries::ModuleSummaries;
 use tfm_ir::{FuncId, InstData, InstKind, Intrinsic, Module, Type, Value};
 
 /// Per-function analysis result: accesses that must be guarded.
@@ -52,20 +54,77 @@ pub fn analyze_with_locals(
     func: FuncId,
     local_sites: &std::collections::HashSet<tfm_ir::Value>,
 ) -> GuardPlan {
+    analyze_with_env(module, func, local_sites, None)
+}
+
+/// [`analyze_with_locals`], optionally refined by interprocedural
+/// [`ModuleSummaries`]. With summaries the pointer classes come from
+/// [`ModuleSummaries::points_to_for`] (parameters and call results inherit
+/// the classes proven at their call sites), so provably stack / global /
+/// local-heap pointers are skipped across function boundaries. A pointer
+/// classified `Localized` interprocedurally is only skipped while the
+/// call-aware available-guards dataflow proves custody is live at the
+/// access (with write intent for stores); otherwise a guard is inserted as
+/// a custody-reacquire backstop — exactly where the legacy analysis would
+/// have inserted one anyway, so refinement never adds guards.
+pub fn analyze_with_env(
+    module: &Module,
+    func: FuncId,
+    local_sites: &std::collections::HashSet<tfm_ir::Value>,
+    summaries: Option<&ModuleSummaries>,
+) -> GuardPlan {
     let f = module.function(func);
-    let pt = PointsTo::compute_with_locals(f, local_sites);
     let mut plan = GuardPlan::default();
-    for v in f.live_insts() {
-        match f.kind(v) {
-            InstKind::Load { ptr }
-                if pt.needs_guard(*ptr) => {
-                    plan.loads.push(v);
+    let Some(sums) = summaries else {
+        let pt = PointsTo::compute_with_locals(f, local_sites);
+        for v in f.live_insts() {
+            match f.kind(v) {
+                InstKind::Load { ptr } if pt.needs_guard(*ptr) => plan.loads.push(v),
+                InstKind::Store { ptr, .. } if pt.needs_guard(*ptr) => plan.stores.push(v),
+                _ => {}
+            }
+        }
+        return plan;
+    };
+    let pt = sums.points_to_for(func, f, local_sites);
+    let ag = AvailableGuards::compute_with(f, Some(sums.effects_for(func, f)));
+    for b in f.blocks() {
+        let Some(mut map) = ag.block_in(b).cloned() else {
+            continue; // unreachable
+        };
+        for &v in f.block_insts(b) {
+            let (ptr, is_store) = match f.kind(v) {
+                InstKind::Load { ptr } => (*ptr, false),
+                InstKind::Store { ptr, .. } => (*ptr, true),
+                _ => {
+                    ag.apply(f, &mut map, v);
+                    continue;
                 }
-            InstKind::Store { ptr, .. }
-                if pt.needs_guard(*ptr) => {
-                    plan.stores.push(v);
+            };
+            match pt.class(ptr) {
+                MemClass::NonPtr | MemClass::Stack | MemClass::Global | MemClass::LocalHeap => {}
+                MemClass::Heap | MemClass::Unknown => {
+                    if is_store {
+                        plan.stores.push(v);
+                    } else {
+                        plan.loads.push(v);
+                    }
                 }
-            _ => {}
+                // Canonical pointer: guard-free only while custody is live.
+                // A read cover does not carry write intent, so a store
+                // through it still takes a write guard (dirty marking).
+                MemClass::Localized => match map.get(&ptr) {
+                    Some(c) if !is_store || c.kind != GuardKind::Read => {}
+                    _ => {
+                        if is_store {
+                            plan.stores.push(v);
+                        } else {
+                            plan.loads.push(v);
+                        }
+                    }
+                },
+            }
+            ag.apply(f, &mut map, v);
         }
     }
     plan

@@ -239,7 +239,10 @@ mod tests {
     use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature};
 
     fn count_kind(f: &Function, pred: impl Fn(&InstKind) -> bool) -> usize {
-        f.live_insts().into_iter().filter(|&v| pred(f.kind(v))).count()
+        f.live_insts()
+            .into_iter()
+            .filter(|&v| pred(f.kind(v)))
+            .count()
     }
 
     #[test]

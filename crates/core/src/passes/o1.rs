@@ -90,12 +90,10 @@ pub fn constant_fold(f: &mut Function) -> usize {
     let mut n = 0;
     for v in f.live_insts() {
         let folded = match f.kind(v) {
-            InstKind::Binary(op, a, b) => {
-                match (f.kind(*a), f.kind(*b)) {
-                    (InstKind::ConstInt(x), InstKind::ConstInt(y)) => fold_int(*op, *x, *y),
-                    _ => None,
-                }
-            }
+            InstKind::Binary(op, a, b) => match (f.kind(*a), f.kind(*b)) {
+                (InstKind::ConstInt(x), InstKind::ConstInt(y)) => fold_int(*op, *x, *y),
+                _ => None,
+            },
             InstKind::Icmp(op, a, b) => match (f.kind(*a), f.kind(*b)) {
                 (InstKind::ConstInt(x), InstKind::ConstInt(y)) => {
                     Some(fold_icmp(*op, *x, *y) as i64)
@@ -384,7 +382,9 @@ pub fn simplify_cfg(f: &mut Function) -> usize {
         // Straight-line merging.
         for a in f.blocks().collect::<Vec<_>>() {
             let Some(t) = f.terminator(a) else { continue };
-            let InstKind::Br(b) = *f.kind(t) else { continue };
+            let InstKind::Br(b) = *f.kind(t) else {
+                continue;
+            };
             if b == a || b == f.entry_block() {
                 continue;
             }
@@ -552,7 +552,10 @@ mod tests {
     #[test]
     fn cse_merges_identical_geps() {
         let mut m = Module::new("t");
-        let id = m.declare_function("f", Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)));
+        let id = m.declare_function(
+            "f",
+            Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+        );
         {
             let mut b = FunctionBuilder::new(m.function_mut(id));
             let p = b.param(0);
@@ -747,10 +750,7 @@ mod tests {
         m.verify().unwrap();
         let f = m.function(id);
         // Everything now lives in the entry block.
-        assert_eq!(
-            f.block_insts(f.entry_block()).len(),
-            f.live_insts().len()
-        );
+        assert_eq!(f.block_insts(f.entry_block()).len(), f.live_insts().len());
     }
 
     #[test]
@@ -780,7 +780,10 @@ mod tests {
         // for every use. O1 must collapse the loads so the later guard pass
         // has less to instrument.
         let mut m = Module::new("t");
-        let id = m.declare_function("f", Signature::new(vec![Type::Ptr, Type::I64], Some(Type::F64)));
+        let id = m.declare_function(
+            "f",
+            Signature::new(vec![Type::Ptr, Type::I64], Some(Type::F64)),
+        );
         {
             let mut b = FunctionBuilder::new(m.function_mut(id));
             let p = b.param(0);

@@ -2,22 +2,28 @@
 //!
 //! Mirrors Fig. 2 of the paper: runtime initialization → guard check
 //! analysis → loop chunking analysis/transform → guard check transform →
-//! redundant-guard elimination → libc transformation → `tfm-lint`
-//! soundness check, optionally preceded by the O1 scalar pipeline
-//! (the Fig. 17b ordering fix). Produces a [`CompileReport`] with the
-//! §4.6 compilation-cost metrics.
+//! loop-invariant guard motion → redundant-guard elimination → libc
+//! transformation → `tfm-lint` soundness check, optionally preceded by
+//! the O1 scalar pipeline (the Fig. 17b ordering fix). The guard-check
+//! analysis, guard motion, and elision are all optionally refined by
+//! interprocedural [`ModuleSummaries`] (see [`CompilerOptions::interproc`]
+//! and [`CompilerOptions::call_aware_kills`]). Produces a
+//! [`CompileReport`] with the §4.6 compilation-cost metrics.
 
 use crate::cost::CostModel;
 use crate::passes::chunking::{self, ChunkingMode, ChunkingOptions, ChunkingOutcome};
 use crate::passes::guard_elim::{self, ElisionOutcome};
+use crate::passes::guard_motion::{self, MotionOutcome};
 use crate::passes::guards;
 use crate::passes::libc;
 use crate::passes::lint;
 use crate::passes::o1::{self, O1Outcome};
 use crate::passes::runtime_init;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use tfm_analysis::profile::Profile;
-use tfm_ir::Module;
+use tfm_analysis::summaries::ModuleSummaries;
+use tfm_ir::{FuncId, Module, Value};
 
 /// Compiler options.
 #[derive(Copy, Clone, Debug)]
@@ -51,6 +57,19 @@ pub struct CompilerOptions {
     /// when `guards` is on (the hybrid system leaves raw accesses on
     /// purpose).
     pub lint: bool,
+    /// Use interprocedural function summaries to classify parameters and
+    /// call results during guard-check analysis: pointers provably stack /
+    /// global / pruned-local at every call site need no guard in the
+    /// callee, and pointers guarded at every call site are treated as
+    /// already-localized. Refinement only ever removes guards.
+    pub interproc: bool,
+    /// Use call-aware kill sets (custody-transparency summaries) in guard
+    /// motion and redundant-guard elimination, so calls to functions that
+    /// provably never trigger evacuation don't invalidate live guards.
+    pub call_aware_kills: bool,
+    /// Hoist guards on loop-invariant pointers into loop preheaders and
+    /// fold cross-block read-then-write patterns into one write guard.
+    pub guard_motion: bool,
     /// Name of the entry function that receives the runtime-init hook.
     pub main_name: &'static str,
 }
@@ -67,6 +86,9 @@ impl Default for CompilerOptions {
             guards: true,
             elide_guards: true,
             lint: true,
+            interproc: true,
+            call_aware_kills: true,
+            guard_motion: true,
             main_name: "main",
         }
     }
@@ -89,6 +111,9 @@ pub struct CompileReport {
     /// count insertions *before* elision; subtract `elision.eliminated` for
     /// the surviving total).
     pub elision: ElisionOutcome,
+    /// What loop-invariant guard motion did (hoists and cross-block
+    /// read→write folds).
+    pub motion: MotionOutcome,
     /// Live instructions before compilation.
     pub insts_before: usize,
     /// Live instructions after compilation ("code size").
@@ -178,14 +203,26 @@ impl TrackFmCompiler {
 
         let t = Instant::now();
         let prune_threshold = opts.prune_local_allocations.then_some(opts.object_size);
-        let (mut r, mut w) = (0, 0);
-        if opts.guards {
-            for id in module.function_ids().collect::<Vec<_>>() {
-                let locals = match prune_threshold {
+        let locals: HashMap<FuncId, HashSet<Value>> = module
+            .function_ids()
+            .map(|id| {
+                let sites = match prune_threshold {
                     Some(th) => libc::local_alloc_sites(module.function(id), th),
                     None => Default::default(),
                 };
-                let plan = guards::analyze_with_locals(module, id, &locals);
+                (id, sites)
+            })
+            .collect();
+        let (mut r, mut w) = (0, 0);
+        if opts.guards {
+            // Summaries for the guard-check analysis come from the
+            // pre-transform IR; the transform only adds guards, so every
+            // class/custody fact proven here stays sound afterwards.
+            let sums = opts
+                .interproc
+                .then(|| ModuleSummaries::compute_with_locals(module, &[opts.main_name], &locals));
+            for id in module.function_ids().collect::<Vec<_>>() {
+                let plan = guards::analyze_with_env(module, id, &locals[&id], sums.as_ref());
                 let (pr, pw) = guards::transform(module, id, &plan);
                 r += pr;
                 w += pw;
@@ -197,9 +234,23 @@ impl TrackFmCompiler {
             .pass_nanos
             .push(("guard-transform", t.elapsed().as_nanos()));
 
+        // Call-aware kill sets for motion and elision: recomputed on the
+        // post-transform IR so the summaries see the inserted guards.
+        let kill_sums =
+            (opts.guards && opts.call_aware_kills && (opts.guard_motion || opts.elide_guards))
+                .then(|| ModuleSummaries::compute_with_locals(module, &[opts.main_name], &locals));
+
+        if opts.guards && opts.guard_motion {
+            let t = Instant::now();
+            report.motion = guard_motion::run(module, kill_sums.as_ref());
+            report
+                .pass_nanos
+                .push(("guard-motion", t.elapsed().as_nanos()));
+        }
+
         if opts.guards && opts.elide_guards {
             let t = Instant::now();
-            report.elision = guard_elim::run(module);
+            report.elision = guard_elim::run_with(module, kill_sums.as_ref());
             report
                 .pass_nanos
                 .push(("guard-elide", t.elapsed().as_nanos()));
@@ -286,9 +337,9 @@ mod tests {
         assert_eq!(count_intr(&m, Intrinsic::Malloc), 0);
         assert!(report.code_size_ratio() > 1.0);
         assert!(report.total_nanos() > 0);
-        // runtime-init, loop-chunking, guard-transform, guard-elide,
-        // libc-transform, tfm-lint.
-        assert_eq!(report.pass_nanos.len(), 6);
+        // runtime-init, loop-chunking, guard-transform, guard-motion,
+        // guard-elide, libc-transform, tfm-lint.
+        assert_eq!(report.pass_nanos.len(), 7);
     }
 
     #[test]
@@ -365,6 +416,148 @@ mod tests {
         let report = compiler.compile(&mut m, None);
         assert!(report.o1.is_some());
         assert_eq!(report.pass_nanos[0].0, "o1");
+    }
+
+    /// A const-trip loop that stores through a loop-invariant pointer: the
+    /// guard is loop-invariant and should be hoisted into the preheader.
+    fn invariant_store_loop() -> Module {
+        let mut m = Module::new("inv");
+        let id = m.declare_function("main", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let zero = b.iconst(Type::I64, 0);
+            let n = b.iconst(Type::I64, 64);
+            let k = b.iconst(Type::I64, 7);
+            let slot = b.gep(p, k, 8, 0);
+            b.counted_loop(zero, n, 1, |b, i| {
+                // Data-dependent index defeats chunking; the *pointer* is
+                // still loop-invariant.
+                let x = b.load(Type::I64, slot);
+                let y = b.binop(BinOp::Add, x, i);
+                b.store(slot, y);
+            });
+            b.ret(Some(zero));
+        }
+        m.verify().unwrap();
+        m
+    }
+
+    #[test]
+    fn guard_motion_hoists_invariant_guard_out_of_the_loop() {
+        let mut m = invariant_store_loop();
+        let compiler = TrackFmCompiler::new(CompilerOptions {
+            chunking: ChunkingMode::Off,
+            ..Default::default()
+        });
+        let report = compiler.compile(&mut m, None);
+        // The read guard and the write guard fold into one write guard,
+        // which then climbs into the preheader.
+        assert!(report.motion.hoisted >= 1, "motion: {:?}", report.motion);
+        assert_eq!(count_intr(&m, Intrinsic::GuardRead), 0);
+        assert_eq!(count_intr(&m, Intrinsic::GuardWrite), 1);
+    }
+
+    #[test]
+    fn guard_motion_off_leaves_guards_in_place() {
+        let mut m = invariant_store_loop();
+        let compiler = TrackFmCompiler::new(CompilerOptions {
+            chunking: ChunkingMode::Off,
+            guard_motion: false,
+            ..Default::default()
+        });
+        let report = compiler.compile(&mut m, None);
+        assert_eq!(report.motion, Default::default());
+        assert!(report.pass_nanos.iter().all(|(n, _)| *n != "guard-motion"));
+    }
+
+    #[test]
+    fn interproc_skips_guards_on_provably_local_parameters() {
+        // helper loads through its pointer parameter; the only call site
+        // passes a pruned-local allocation. With interproc on, the callee
+        // access needs no guard; off, it gets one.
+        let build = || {
+            let mut m = Module::new("ip");
+            let h = m.declare_function("helper", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(h));
+                let p = b.param(0);
+                let x = b.load(Type::I64, p);
+                b.ret(Some(x));
+            }
+            let id = m.declare_function("main", Signature::new(vec![], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let loc = b.malloc_const(64);
+                let z = b.iconst(Type::I64, 5);
+                b.store(loc, z);
+                let x = b.call(h, vec![loc], Some(Type::I64));
+                b.ret(Some(x));
+            }
+            m.verify().unwrap();
+            m
+        };
+        let opts = CompilerOptions {
+            chunking: ChunkingMode::Off,
+            prune_local_allocations: true,
+            ..Default::default()
+        };
+        let mut with = build();
+        let r_with = TrackFmCompiler::new(opts).compile(&mut with, None);
+        let mut without = build();
+        let r_without = TrackFmCompiler::new(CompilerOptions {
+            interproc: false,
+            ..opts
+        })
+        .compile(&mut without, None);
+        assert!(r_with.total_guards() < r_without.total_guards());
+        assert_eq!(count_intr(&with, Intrinsic::GuardRead), 0);
+        assert_eq!(count_intr(&without, Intrinsic::GuardRead), 1);
+    }
+
+    #[test]
+    fn call_aware_kills_let_elision_cross_transparent_calls() {
+        // Two loads through the same pointer with a pure call in between:
+        // with call-aware kills the second guard is elided; without, the
+        // call conservatively kills custody and both survive.
+        let build = || {
+            let mut m = Module::new("ck");
+            let h = m.declare_function("pure", Signature::new(vec![Type::I64], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(h));
+                let x = b.param(0);
+                let y = b.binop(BinOp::Add, x, x);
+                b.ret(Some(y));
+            }
+            let id = m.declare_function("main", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+            {
+                let mut b = FunctionBuilder::new(m.function_mut(id));
+                let p = b.param(0);
+                let x = b.load(Type::I64, p);
+                let y = b.call(h, vec![x], Some(Type::I64));
+                let z = b.load(Type::I64, p);
+                let s = b.binop(BinOp::Add, y, z);
+                b.ret(Some(s));
+            }
+            m.verify().unwrap();
+            m
+        };
+        let opts = CompilerOptions {
+            chunking: ChunkingMode::Off,
+            ..Default::default()
+        };
+        let mut with = build();
+        let r_with = TrackFmCompiler::new(opts).compile(&mut with, None);
+        let mut without = build();
+        let r_without = TrackFmCompiler::new(CompilerOptions {
+            call_aware_kills: false,
+            ..opts
+        })
+        .compile(&mut without, None);
+        assert_eq!(r_with.elision.eliminated, 1);
+        assert_eq!(r_without.elision.eliminated, 0);
+        assert_eq!(count_intr(&with, Intrinsic::GuardRead), 1);
+        assert_eq!(count_intr(&without, Intrinsic::GuardRead), 2);
     }
 
     #[test]

@@ -386,7 +386,8 @@ impl Pager {
                 cycles += r.done.saturating_sub(now + cycles);
             }
             self.stats.major_faults += 1;
-            self.tel.span_finish(sp, now + cycles, SpanKind::MajorFault, true);
+            self.tel
+                .span_finish(sp, now + cycles, SpanKind::MajorFault, true);
             if self.tel.is_enabled() {
                 self.tel.emit(now, EventKind::MajorFault, page);
                 self.tel.record_fetch_latency(cycles);
@@ -394,7 +395,8 @@ impl Pager {
         } else {
             // Fresh page: the kernel just maps a zero page.
             self.stats.minor_faults += 1;
-            self.tel.span_finish(sp, now + cycles, SpanKind::MinorFault, true);
+            self.tel
+                .span_finish(sp, now + cycles, SpanKind::MinorFault, true);
             self.tel.emit(now, EventKind::MinorFault, page);
         }
         let meta = self.pages.entry(page).or_default();
@@ -730,7 +732,10 @@ mod tests {
         let stall = p.access(0, 8, false, 100_000);
         assert_eq!(p.stats().major_faults, 1);
         assert!(p.stats().fault_retries > 5, "{:?}", p.stats());
-        assert!(stall >= 300_000, "blocked for the rest of the window: {stall}");
+        assert!(
+            stall >= 300_000,
+            "blocked for the rest of the window: {stall}"
+        );
         assert_eq!(p.stats().recoveries, 1, "re-registration drove the rejoin");
         assert_eq!(p.backend().shard_state(0), ShardState::Up);
         assert_eq!(p.backend().shard_epoch(0), 1, "restart bumped the epoch");
@@ -818,7 +823,7 @@ mod tests {
         let mut now = 0;
         now += p.access(0, 8, false, now); // page 0
         now += p.access(PAGE_SIZE, 8, false, now); // page 1
-        // Re-reference page 0 so it gets a second chance.
+                                                   // Re-reference page 0 so it gets a second chance.
         now += p.access(0, 8, false, now);
         // Pressure: page 2 comes in; CLOCK strips ref bits, evicts page 1
         // (page 0 was referenced more recently in clock order).

@@ -78,7 +78,9 @@ mod verifier;
 pub use builder::FunctionBuilder;
 pub use entities::{Block, FuncId, GlobalId, Value};
 pub use function::{BlockData, Function, InstData, Signature};
-pub use inst::{BinOp, CastOp, CmpOp, FCmpOp, InstKind, Intrinsic, CHUNK_FLAG_PREFETCH, CHUNK_FLAG_WRITE};
+pub use inst::{
+    BinOp, CastOp, CmpOp, FCmpOp, InstKind, Intrinsic, CHUNK_FLAG_PREFETCH, CHUNK_FLAG_WRITE,
+};
 pub use module::{Global, Module};
 pub use parser::{parse_module, ParseError};
 pub use types::Type;

@@ -60,7 +60,12 @@ impl Module {
     }
 
     /// Adds a global data object.
-    pub fn add_global(&mut self, name: impl Into<String>, size: u64, init: Option<Vec<u8>>) -> GlobalId {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        init: Option<Vec<u8>>,
+    ) -> GlobalId {
         if let Some(ref bytes) = init {
             assert!(
                 bytes.len() as u64 <= size,

@@ -119,13 +119,10 @@ fn parse_global(module: &mut Module, ln: usize, l: &str) -> Result<(), ParseErro
     let Some(b2) = after.find(" bytes]") else {
         return err(ln, "global missing size unit");
     };
-    let size: u64 = after[b1 + 1..b2]
-        .trim()
-        .parse()
-        .map_err(|_| ParseError {
-            line: ln,
-            message: "bad global size".into(),
-        })?;
+    let size: u64 = after[b1 + 1..b2].trim().parse().map_err(|_| ParseError {
+        line: ln,
+        message: "bad global size".into(),
+    })?;
     let init = if let Some(pos) = after.find("init =") {
         let bytes: Result<Vec<u8>, _> = after[pos + 6..]
             .split_whitespace()
@@ -252,7 +249,10 @@ fn parse_body(module: &mut Module, id: FuncId, lines: &[(usize, &str)]) -> Resul
             placeholders.push((li, v));
         }
         // Branch targets may name blocks not yet seen.
-        for tok in l.split(|c: char| !c.is_alphanumeric()).filter(|t| t.starts_with("bb")) {
+        for tok in l
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| t.starts_with("bb"))
+        {
             if let Ok(n) = tok[2..].parse::<u32>() {
                 ctx.blocks
                     .entry(n)
@@ -638,7 +638,9 @@ mod tests {
     fn roundtrip(m: &Module) {
         let text1 = m.to_string();
         let parsed = parse_module(&text1).unwrap_or_else(|e| panic!("{e}\n{text1}"));
-        parsed.verify().unwrap_or_else(|e| panic!("{e}\n{}", parsed));
+        parsed
+            .verify()
+            .unwrap_or_else(|e| panic!("{e}\n{}", parsed));
         let text2 = parsed.to_string();
         let parsed2 = parse_module(&text2).unwrap();
         let text3 = parsed2.to_string();

@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn prints_function_with_loop() {
         let mut m = Module::new("p");
-        let id = m.declare_function("sum", Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)));
+        let id = m.declare_function(
+            "sum",
+            Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+        );
         {
             let mut b = FunctionBuilder::new(m.function_mut(id));
             let arr = b.param(0);

@@ -105,11 +105,21 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
         for (i, &v) in insts.iter().enumerate() {
             let kind = f.kind(v);
             if kind.is_terminator() && i + 1 != insts.len() {
-                return Err(err_at(f, b, v, format!("terminator {v} is not last in {b}")));
+                return Err(err_at(
+                    f,
+                    b,
+                    v,
+                    format!("terminator {v} is not last in {b}"),
+                ));
             }
             match kind {
                 InstKind::Nop => {
-                    return Err(err_at(f, b, v, format!("tombstone {v} still listed in {b}")));
+                    return Err(err_at(
+                        f,
+                        b,
+                        v,
+                        format!("tombstone {v} still listed in {b}"),
+                    ));
                 }
                 InstKind::Phi(_) => {
                     if seen_nonphi {
@@ -147,7 +157,12 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
             if let InstKind::Phi(incs) = f.kind(v) {
                 let labels: HashSet<Block> = incs.iter().map(|(p, _)| *p).collect();
                 if labels.len() != incs.len() {
-                    return Err(err_at(f, b, v, format!("phi {v} has duplicate predecessor labels")));
+                    return Err(err_at(
+                        f,
+                        b,
+                        v,
+                        format!("phi {v} has duplicate predecessor labels"),
+                    ));
                 }
                 if labels != preds {
                     return Err(err_at(
@@ -206,7 +221,9 @@ fn check_types(f: &Function, v: Value, module: Option<&Module>) -> Result<(), Ve
         InstKind::Binary(op, a, b) => {
             let (ta, tb) = (f.ty(*a), f.ty(*b));
             if ta != tb {
-                return e(format!("{v}: binop operand types differ ({ta:?} vs {tb:?})"));
+                return e(format!(
+                    "{v}: binop operand types differ ({ta:?} vs {tb:?})"
+                ));
             }
             if op.is_float() && ta != Some(Type::F64) {
                 return e(format!("{v}: float binop on non-float"));
@@ -224,18 +241,15 @@ fn check_types(f: &Function, v: Value, module: Option<&Module>) -> Result<(), Ve
                 return e(format!("{v}: icmp on float"));
             }
         }
-        InstKind::Fcmp(_, a, b)
-            if (f.ty(*a) != Some(Type::F64) || f.ty(*b) != Some(Type::F64)) => {
-                return e(format!("{v}: fcmp on non-float"));
-            }
-        InstKind::Load { ptr }
-            if f.ty(*ptr) != Some(Type::Ptr) => {
-                return e(format!("{v}: load through non-pointer"));
-            }
-        InstKind::Store { ptr, .. }
-            if f.ty(*ptr) != Some(Type::Ptr) => {
-                return e(format!("{v}: store through non-pointer"));
-            }
+        InstKind::Fcmp(_, a, b) if (f.ty(*a) != Some(Type::F64) || f.ty(*b) != Some(Type::F64)) => {
+            return e(format!("{v}: fcmp on non-float"));
+        }
+        InstKind::Load { ptr } if f.ty(*ptr) != Some(Type::Ptr) => {
+            return e(format!("{v}: load through non-pointer"));
+        }
+        InstKind::Store { ptr, .. } if f.ty(*ptr) != Some(Type::Ptr) => {
+            return e(format!("{v}: store through non-pointer"));
+        }
         InstKind::Gep { base, index, .. } => {
             if f.ty(*base) != Some(Type::Ptr) {
                 return e(format!("{v}: gep base is not a pointer"));
@@ -286,10 +300,9 @@ fn check_types(f: &Function, v: Value, module: Option<&Module>) -> Result<(), Ve
                 return e(format!("{v}: intrinsic {intr} result type mismatch"));
             }
         }
-        InstKind::Select { tval, fval, .. }
-            if f.ty(*tval) != f.ty(*fval) => {
-                return e(format!("{v}: select arm types differ"));
-            }
+        InstKind::Select { tval, fval, .. } if f.ty(*tval) != f.ty(*fval) => {
+            return e(format!("{v}: select arm types differ"));
+        }
         InstKind::Phi(incs) => {
             for (_, iv) in incs {
                 if f.ty(*iv) != f.ty(v) {

@@ -1218,8 +1218,7 @@ mod tests {
         // plan's seed verbatim).
         for faults in [FaultPlan::none(), FaultPlan::drops(0xFEED, 300_000)] {
             let mut single = build_backend(LinkParams::tcp_25g(), BackendSpec::single(), faults);
-            let mut sharded =
-                build_backend(LinkParams::tcp_25g(), BackendSpec::sharded(1), faults);
+            let mut sharded = build_backend(LinkParams::tcp_25g(), BackendSpec::sharded(1), faults);
             for k in 0..256u64 {
                 let (bytes, at) = (64 + k * 131, k * 5000);
                 assert_eq!(
@@ -1289,7 +1288,10 @@ mod tests {
         }
         assert!(b.shard_health(2).is_degraded());
         for s in [0usize, 1, 3] {
-            assert!(!b.shard_health(s).is_degraded(), "shard {s} must stay healthy");
+            assert!(
+                !b.shard_health(s).is_degraded(),
+                "shard {s} must stay healthy"
+            );
             assert_eq!(b.shard_stats(s).faults, 0);
             assert_eq!(b.shard_stats(s).fetches, 8);
         }
@@ -1319,11 +1321,18 @@ mod tests {
             direct.set_fault_plan_on(s, plan);
         }
         let seeds: Vec<u64> = (0..4).map(|s| direct.link(s).fault_plan().seed).collect();
-        assert_eq!(seeds[0], faults.seed, "shard 0 keeps the seed (1-shard identity)");
+        assert_eq!(
+            seeds[0], faults.seed,
+            "shard 0 keeps the seed (1-shard identity)"
+        );
         let mut uniq = seeds.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        assert_eq!(uniq.len(), 4, "shards must not fault in lockstep: {seeds:?}");
+        assert_eq!(
+            uniq.len(),
+            4,
+            "shards must not fault in lockstep: {seeds:?}"
+        );
         for s in 0..4 {
             assert_eq!(direct.link(s).fault_plan().drop_ppm, faults.drop_ppm);
         }
@@ -1351,8 +1360,11 @@ mod tests {
 
     #[test]
     fn clone_box_preserves_state() {
-        let mut b: Box<dyn RemoteBackend> =
-            Box::new(Sharded::new(LinkParams::tcp_25g(), 2, PlacementPolicy::Hash));
+        let mut b: Box<dyn RemoteBackend> = Box::new(Sharded::new(
+            LinkParams::tcp_25g(),
+            2,
+            PlacementPolicy::Hash,
+        ));
         b.transfer(0, 4096, 0);
         let c = b.clone();
         assert_eq!(b.stats(), c.stats());
@@ -1536,12 +1548,18 @@ mod tests {
         // copy, and the audit says so.
         let mut b = Sharded::new(LinkParams::tcp_25g(), 2, PlacementPolicy::Interleave);
         b.set_fault_plan_on(0, FaultPlan::none().with_cold_crash(100_000, 500_000));
-        assert!(b.failover_active(), "a crash plan arms tracking even at R=1");
+        assert!(
+            b.failover_active(),
+            "a crash plan arms tracking even at R=1"
+        );
         b.try_writeback(0, 4096, 0).unwrap();
         assert_eq!(b.audit().unwrap().lost, 0);
         b.poll(600_000);
         assert_eq!(b.audit().unwrap().lost, 1, "the only copy was wiped");
-        assert!(matches!(b.resync_key(0, 0, 4096, 600_000), ResyncOutcome::Lost));
+        assert!(matches!(
+            b.resync_key(0, 0, 4096, 600_000),
+            ResyncOutcome::Lost
+        ));
     }
 
     #[test]

@@ -689,7 +689,10 @@ mod tests {
         let mut d = LinkHealth::default();
         d.absorb(&recovered);
         d.absorb(&well);
-        assert!(!d.is_degraded(), "a recovered shard does not taint the aggregate");
+        assert!(
+            !d.is_degraded(),
+            "a recovered shard does not taint the aggregate"
+        );
         assert_eq!(d.faults(), 4, "its fault history still counts");
     }
 

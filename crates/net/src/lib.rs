@@ -48,8 +48,8 @@ pub use backend::{
 pub use fault::{
     CrashWindow, FaultKind, FaultPlan, LinkFault, LinkHealth, OutageWindow, ShardState, PPM,
 };
-pub use retry::{drive_retries, Retried, RetryOps, MAX_DRIVEN_RETRIES};
 use fault::{Fate, FaultState};
+pub use retry::{drive_retries, Retried, RetryOps, MAX_DRIVEN_RETRIES};
 
 /// Parameters of a simulated link.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -426,7 +426,8 @@ impl Link {
                         attempts,
                         self.fault_plan(),
                     );
-                    self.tel.emit(f.detected_at, EventKind::Retry, attempts as u64);
+                    self.tel
+                        .emit(f.detected_at, EventKind::Retry, attempts as u64);
                     now = f.detected_at;
                 }
             }

@@ -72,7 +72,11 @@ pub fn drive_retries(ops: &mut impl RetryOps, start: u64) -> Option<Retried> {
             }
             Err(f) => {
                 attempts += 1;
-                assert!(attempts < MAX_DRIVEN_RETRIES, "{}", ops.describe_dead(attempts));
+                assert!(
+                    attempts < MAX_DRIVEN_RETRIES,
+                    "{}",
+                    ops.describe_dead(attempts)
+                );
                 match ops.on_fault(attempts, f) {
                     Some(next_at) => at = next_at,
                     None => return None,
@@ -128,7 +132,14 @@ mod tests {
             log: Vec::new(),
         };
         let r = drive_retries(&mut ops, 500).unwrap();
-        assert_eq!(r, Retried { done: 510, attempts: 0, issued_at: 500 });
+        assert_eq!(
+            r,
+            Retried {
+                done: 510,
+                attempts: 0,
+                issued_at: 500
+            }
+        );
         assert_eq!(ops.log, vec![(500, 0)]);
     }
 
@@ -143,7 +154,14 @@ mod tests {
         // Attempt 0 at 0 faults (detected 100, +1 backoff → 101); attempt 1
         // at 101 faults (detected 201, +2 → 203); attempt 2 delivers.
         assert_eq!(ops.log, vec![(0, 0), (101, 1), (203, 2)]);
-        assert_eq!(r, Retried { done: 213, attempts: 2, issued_at: 203 });
+        assert_eq!(
+            r,
+            Retried {
+                done: 213,
+                attempts: 2,
+                issued_at: 203
+            }
+        );
     }
 
     #[test]

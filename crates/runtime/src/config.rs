@@ -170,8 +170,7 @@ impl FarMemoryConfig {
     /// size is not a multiple of the object size, or the budget is zero.
     pub fn validate(&self) {
         assert!(
-            self.object_size.is_power_of_two()
-                && (64..=4096).contains(&self.object_size),
+            self.object_size.is_power_of_two() && (64..=4096).contains(&self.object_size),
             "object size must be a power of two in [64, 4096], got {}",
             self.object_size
         );
@@ -334,10 +333,14 @@ mod tests {
         }
         // Distinct cores draw distinct schedules for the same (key, attempt)
         // somewhere — otherwise threading the core id bought nothing.
-        assert!((0..64u64)
-            .any(|k| p.backoff_jittered_on(2, k, 1) != p.backoff_jittered_on(2, k, 2)));
+        assert!(
+            (0..64u64).any(|k| p.backoff_jittered_on(2, k, 1) != p.backoff_jittered_on(2, k, 2))
+        );
         // Zero seed still disables jitter on every core.
-        let off = RetryPolicy { jitter_seed: 0, ..p };
+        let off = RetryPolicy {
+            jitter_seed: 0,
+            ..p
+        };
         for core in 0..4 {
             assert_eq!(off.backoff_jittered_on(3, 9, core), off.backoff(3));
         }

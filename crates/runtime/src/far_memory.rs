@@ -285,15 +285,21 @@ impl FarMemory {
     /// its own.
     fn sync_shard_health(&mut self, shard: usize, now: u64) {
         let health = self.backend.shard_health(shard);
-        self.tel
-            .timeline_shard(now, shard as u32, health.fault_rate_ppm(), health.is_degraded());
+        self.tel.timeline_shard(
+            now,
+            shard as u32,
+            health.fault_rate_ppm(),
+            health.is_degraded(),
+        );
         if health.is_degraded() != self.degraded[shard] {
             self.degraded[shard] = health.is_degraded();
             if self.degraded[shard] {
                 self.stats.degradations += 1;
-                self.tel.emit(now, EventKind::Degraded, health.fault_rate_ppm());
+                self.tel
+                    .emit(now, EventKind::Degraded, health.fault_rate_ppm());
             } else {
-                self.tel.emit(now, EventKind::Recovered, health.fault_rate_ppm());
+                self.tel
+                    .emit(now, EventKind::Recovered, health.fault_rate_ppm());
             }
         }
     }
@@ -351,7 +357,9 @@ impl FarMemory {
     /// suite asserts this stays zero whenever R ≥ 2.
     fn replay_shard(&mut self, shard: usize, now: u64) {
         self.tel.emit(now, EventKind::ShardRecovering, shard as u64);
-        let sp = self.tel.span_begin_root(SpanKind::Recovery, shard as u64, now);
+        let sp = self
+            .tel
+            .span_begin_root(SpanKind::Recovery, shard as u64, now);
         let keys: Vec<u64> = self.redo.iter().copied().collect();
         let size = self.cfg.object_size;
         let mut end = now;
@@ -382,7 +390,13 @@ impl FarMemory {
     /// the data) and keep retrying until the backend delivers.
     ///
     /// [`RetryPolicy::max_attempts`]: crate::RetryPolicy::max_attempts
-    fn transfer_with_retry(&mut self, key: u64, bytes: u64, now: u64, writeback: bool) -> Option<u64> {
+    fn transfer_with_retry(
+        &mut self,
+        key: u64,
+        bytes: u64,
+        now: u64,
+        writeback: bool,
+    ) -> Option<u64> {
         if !self.faults_active {
             // Flawless fabric: the legacy single-attempt path, bit-identical
             // to the pre-fault runtime.
@@ -888,7 +902,8 @@ impl RetryOps for RuntimeRetry<'_> {
         }
         let at = f.detected_at + backoff;
         fm.stats.retries += 1;
-        fm.tel.emit(f.detected_at, EventKind::Retry, attempts as u64);
+        fm.tel
+            .emit(f.detected_at, EventKind::Retry, attempts as u64);
         // The retry interval: fault detection through the end of the
         // backoff wait, after which the next attempt issues.
         fm.tel.span_leaf(Span {
@@ -1018,7 +1033,10 @@ mod tests {
         fm.localize(o1, false, 0);
         fm.pin(o1);
         fm.localize(o2, false, 100_000);
-        assert!(fm.table().is_present(o1), "pinned object must not be evicted");
+        assert!(
+            fm.table().is_present(o1),
+            "pinned object must not be evicted"
+        );
         assert!(fm.stats().budget_overruns > 0);
         fm.unpin(o1);
         fm.collection_point(200_000);
@@ -1135,7 +1153,10 @@ mod tests {
     #[test]
     fn prefetch_depth_is_budget_capped() {
         let fm = fm_with(4); // 4-object budget
-        assert!(fm.prefetch_depth() <= 1, "depth must shrink with the budget");
+        assert!(
+            fm.prefetch_depth() <= 1,
+            "depth must shrink with the budget"
+        );
         let roomy = FarMemory::new(FarMemoryConfig {
             heap_size: 1 << 20,
             local_budget: 256 * 4096,
@@ -1198,7 +1219,10 @@ mod tests {
         assert_eq!(snap.count(EventKind::DemandFetch), 1);
         // 2 allocated objects evicted cold, then the re-fetched one again.
         assert_eq!(snap.count(EventKind::Eviction), 3);
-        assert!(snap.count(EventKind::Writeback) >= 2, "fresh objects are dirty");
+        assert!(
+            snap.count(EventKind::Writeback) >= 2,
+            "fresh objects are dirty"
+        );
         assert_eq!(snap.fetch_latency.count(), 1);
         assert!(snap.fetch_latency.max() > 30_000);
         // Residency lifetimes: all three evictions had a matching
@@ -1464,7 +1488,11 @@ mod tests {
         let base = fm.obj_of_offset(p.offset());
         assert_eq!(base.0, 0, "interleave test assumes objects start at 0");
         fm.evacuate_all(0);
-        assert_eq!(fm.redo_ledger_len(), 32, "every acked writeback is ledgered");
+        assert_eq!(
+            fm.redo_ledger_len(),
+            32,
+            "every acked writeback is ledgered"
+        );
 
         // Traffic inside the window observes the crash: object 2's primary
         // is Down, so the read fails over to its replica and the Down
@@ -1528,7 +1556,11 @@ mod tests {
         // edge still fires on the first attempt after it, and the wiped
         // store is rebuilt from the ledger instead of being drained.
         let _ = fm.localize(ObjId(0), false, 2_000_000);
-        assert_eq!(fm.stats().shard_downs, 0, "the crash itself went unobserved");
+        assert_eq!(
+            fm.stats().shard_downs,
+            0,
+            "the crash itself went unobserved"
+        );
         assert_eq!(fm.stats().shard_recoveries, 1);
         assert!(
             fm.stats().resynced_objects >= 16,
@@ -1552,9 +1584,7 @@ mod tests {
                 ..FarMemoryConfig::small()
             }
             .with_backend(BackendSpec::sharded(4).with_replicas(2).with_fault_shard(1))
-            .with_faults(
-                FaultPlan::drops(0x5EED, 200_000).with_cold_crash(500_000, 1_200_000),
-            );
+            .with_faults(FaultPlan::drops(0x5EED, 200_000).with_cold_crash(500_000, 1_200_000));
             let mut fm = FarMemory::new(cfg);
             let p = fm.allocate(16 * 4096, 0).unwrap();
             let base = fm.obj_of_offset(p.offset());

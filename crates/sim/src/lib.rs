@@ -65,7 +65,10 @@ mod stats;
 mod trap;
 
 pub use machine::Machine;
-pub use memsys::{FastswapMem, HybridMem, LocalMem, MemSummary, MemorySystem, TrackFmMem, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+pub use memsys::{
+    FastswapMem, HybridMem, LocalMem, MemSummary, MemorySystem, TrackFmMem, GLOBAL_BASE, HEAP_BASE,
+    STACK_BASE,
+};
 pub use sched::CoreSet;
 pub use stats::{ExecStats, RunResult};
 pub use trap::Trap;

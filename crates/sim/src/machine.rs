@@ -14,12 +14,11 @@ use crate::stats::{ExecStats, RunResult};
 use crate::trap::Trap;
 use std::collections::HashMap;
 use tfm_analysis::profile::Profile;
-use tfm_telemetry::{EventKind, SiteKey, SpanKind, Telemetry};
 use tfm_ir::{
-    BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type,
-    Value,
+    BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type, Value,
 };
 use tfm_runtime::TfmPtr;
+use tfm_telemetry::{EventKind, SiteKey, SpanKind, Telemetry};
 use trackfm::CostModel;
 
 /// Downgrades every killable custody bit (see [`shadow`]): the dynamic
@@ -76,6 +75,18 @@ pub struct Machine<'m, M: MemorySystem> {
     fuel: u64,
     tel: Telemetry,
     sanitize: bool,
+    /// Bumped every time a killing operation clobbers custody shadows.
+    /// Callers compare epochs around a call: custody survives when the
+    /// callee (transitively) executed no kill — the dynamic mirror of the
+    /// static custody-transparency summaries, and always a subset of the
+    /// static may-kill set.
+    kill_epoch: u64,
+    /// Argument custody shadows staged by a `Call` for the callee's
+    /// parameters (the dynamic mirror of summary entry covers).
+    arg_cov: Vec<u8>,
+    /// Custody shadow of the value the last `Ret` returned (the dynamic
+    /// mirror of summary return covers).
+    ret_cov: u8,
 }
 
 /// Guard-sanitizer shadow state for one SSA value (see
@@ -123,6 +134,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             fuel: u64::MAX,
             tel: Telemetry::disabled(),
             sanitize: false,
+            kill_epoch: 0,
+            arg_cov: Vec::new(),
+            ret_cov: shadow::NONE,
         }
     }
 
@@ -333,10 +347,16 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         );
         let mut regs = vec![0u64; f.num_insts()];
         regs[..args.len()].copy_from_slice(args);
-        // Shadow custody state per register. Parameters start uncovered:
-        // the static side classifies them Unknown, so the pipeline re-guards
-        // them in the callee.
+        // Shadow custody state per register. Parameters inherit the shadows
+        // their arguments held at the call site (staged by the `Call` arm),
+        // mirroring the interprocedural entry covers; the harness-level
+        // entry call stages nothing, so roots start uncovered.
         let mut cov = vec![shadow::NONE; if self.sanitize { f.num_insts() } else { 0 }];
+        if self.sanitize {
+            let staged = std::mem::take(&mut self.arg_cov);
+            let n = staged.len().min(args.len());
+            cov[..n].copy_from_slice(&staged[..n]);
+        }
         let saved_stack = self.stack_top;
         let mut block = f.entry_block();
         self.profile_block(fid, block, f);
@@ -354,8 +374,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     InstKind::Binary(op, a, b) => {
                         self.clock += self.cost.alu;
                         let ty = f.ty(v).unwrap_or(Type::I64);
-                        regs[v.index()] =
-                            exec_binop(*op, regs[a.index()], regs[b.index()], ty)?;
+                        regs[v.index()] = exec_binop(*op, regs[a.index()], regs[b.index()], ty)?;
                         if self.sanitize {
                             cov[v.index()] = cov[a.index()].max(cov[b.index()]);
                         }
@@ -384,9 +403,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         }
                     }
                     InstKind::Alloca { size, align } => {
-                        let top = self
-                            .stack_top
-                            .next_multiple_of((*align).max(1) as u64);
+                        let top = self.stack_top.next_multiple_of((*align).max(1) as u64);
                         if top + *size as u64 > self.stack.len() as u64 {
                             return Err(Trap::StackOverflow);
                         }
@@ -400,7 +417,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         let addr = regs[ptr.index()];
                         let ty = f.ty(v).unwrap_or(Type::I64);
                         let size = ty.size() as u64;
-                        if self.sanitize && cov[ptr.index()] == shadow::NONE
+                        if self.sanitize
+                            && cov[ptr.index()] == shadow::NONE
                             && self.is_sanitized_addr(addr)
                         {
                             return Err(Trap::UnguardedAccess { addr });
@@ -417,7 +435,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         let addr = regs[ptr.index()];
                         let ty = f.ty(*val).unwrap_or(Type::I64);
                         let size = ty.size() as u64;
-                        if self.sanitize && cov[ptr.index()] == shadow::NONE
+                        if self.sanitize
+                            && cov[ptr.index()] == shadow::NONE
                             && self.is_sanitized_addr(addr)
                         {
                             return Err(Trap::UnguardedAccess { addr });
@@ -438,8 +457,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     } => {
                         self.clock += self.cost.alu;
                         regs[v.index()] = regs[base.index()]
-                            .wrapping_add((regs[index.index()] as i64).wrapping_mul(*scale as i64)
-                                as u64)
+                            .wrapping_add(
+                                (regs[index.index()] as i64).wrapping_mul(*scale as i64) as u64
+                            )
                             .wrapping_add(*disp as u64);
                         if self.sanitize {
                             cov[v.index()] = cov[base.index()];
@@ -448,11 +468,19 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     InstKind::Call { func, args } => {
                         self.clock += self.cost.call_overhead;
                         let vals: Vec<u64> = args.iter().map(|a| regs[a.index()]).collect();
-                        regs[v.index()] = self.exec_function(*func, &vals)?;
-                        // A call may evict anything: guard custody lapses
-                        // (the dynamic mirror of the static kill set).
                         if self.sanitize {
-                            kill_custody(&mut cov);
+                            self.arg_cov = args.iter().map(|a| cov[a.index()]).collect();
+                        }
+                        let epoch = self.kill_epoch;
+                        regs[v.index()] = self.exec_function(*func, &vals)?;
+                        if self.sanitize {
+                            // Custody lapses only when the callee actually
+                            // executed a killing operation — the dynamic
+                            // mirror of custody-transparency summaries.
+                            if self.kill_epoch != epoch {
+                                kill_custody(&mut cov);
+                            }
+                            cov[v.index()] = std::mem::replace(&mut self.ret_cov, shadow::NONE);
                         }
                     }
                     InstKind::IntrinsicCall { intr, args } => {
@@ -461,18 +489,35 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                         regs[v.index()] = self.exec_intrinsic(*intr, &vals, site)?;
                         if self.sanitize {
                             match intr {
-                                Intrinsic::GuardRead
-                                | Intrinsic::GuardWrite
-                                | Intrinsic::ChunkDeref => {
+                                Intrinsic::GuardRead | Intrinsic::GuardWrite => {
                                     cov[v.index()] = shadow::CUSTODY;
+                                    // The guarded pointer itself is covered
+                                    // too (static `apply` inserts both).
+                                    if let Some(a) = args.first() {
+                                        if cov[a.index()] == shadow::NONE {
+                                            cov[a.index()] = shadow::CUSTODY;
+                                        }
+                                    }
+                                }
+                                Intrinsic::ChunkDeref => {
+                                    cov[v.index()] = shadow::CUSTODY;
+                                    if let Some(a) = args.get(1) {
+                                        if cov[a.index()] == shadow::NONE {
+                                            cov[a.index()] = shadow::CUSTODY;
+                                        }
+                                    }
                                 }
                                 Intrinsic::Malloc | Intrinsic::Calloc => {
                                     kill_custody(&mut cov);
+                                    self.kill_epoch += 1;
                                     // Pruned local allocation: always local,
                                     // never needs a guard.
                                     cov[v.index()] = shadow::STABLE;
                                 }
-                                _ => kill_custody(&mut cov),
+                                _ => {
+                                    kill_custody(&mut cov);
+                                    self.kill_epoch += 1;
+                                }
                             }
                         }
                     }
@@ -515,6 +560,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     InstKind::Ret(val) => {
                         self.clock += self.cost.branch;
                         self.stack_top = saved_stack;
+                        if self.sanitize {
+                            self.ret_cov = val.map(|v| cov[v.index()]).unwrap_or(shadow::NONE);
+                        }
                         return Ok(val.map(|v| regs[v.index()]).unwrap_or(0));
                     }
                     InstKind::Unreachable => return Err(Trap::Unreachable),
@@ -566,8 +614,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
     /// pointers (always) and canonical heap addresses (whose custody the
     /// shadow state must vouch for). Stack and global addresses are exempt.
     fn is_sanitized_addr(&self, addr: u64) -> bool {
-        TfmPtr::is_tfm(addr)
-            || (addr >= HEAP_BASE && addr < HEAP_BASE + self.heap.len() as u64)
+        TfmPtr::is_tfm(addr) || (addr >= HEAP_BASE && addr < HEAP_BASE + self.heap.len() as u64)
     }
 
     fn profile_block(&mut self, fid: FuncId, b: Block, f: &Function) {
@@ -633,7 +680,12 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         kind
     }
 
-    fn exec_intrinsic(&mut self, intr: Intrinsic, args: &[u64], site: SiteKey) -> Result<u64, Trap> {
+    fn exec_intrinsic(
+        &mut self,
+        intr: Intrinsic,
+        args: &[u64],
+        site: SiteKey,
+    ) -> Result<u64, Trap> {
         match intr {
             Intrinsic::Malloc | Intrinsic::TfmAlloc => {
                 self.clock += self.cost.alloc_cycles;
@@ -697,7 +749,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     self.tel.span_finish(sp, now + c, sk, keep);
                     Ok(out)
                 } else {
-                    let (c, out) = self.mem.guard(args[0], write, self.clock, &mut self.stats)?;
+                    let (c, out) = self
+                        .mem
+                        .guard(args[0], write, self.clock, &mut self.stats)?;
                     self.clock += c;
                     Ok(out)
                 }
@@ -713,9 +767,9 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                     let now = self.clock;
                     // Provisional kind, as for guards above.
                     let sp = self.tel.span_begin(SpanKind::GuardSlowRemote, site.0, now);
-                    let (c, out) =
-                        self.mem
-                            .chunk_deref(args[0], args[1], now, &mut self.stats)?;
+                    let (c, out) = self
+                        .mem
+                        .chunk_deref(args[0], args[1], now, &mut self.stats)?;
                     self.clock += c;
                     let kind = self.note_guard_site(site, now, c, &before);
                     let (sk, keep) = span_kind_of(kind);
@@ -803,9 +857,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             Type::I8 => b[0] as i8 as i64 as u64,
             Type::I16 => i16::from_le_bytes(b[..2].try_into().unwrap()) as i64 as u64,
             Type::I32 => i32::from_le_bytes(b[..4].try_into().unwrap()) as i64 as u64,
-            Type::I64 | Type::F64 | Type::Ptr => {
-                u64::from_le_bytes(b[..8].try_into().unwrap())
-            }
+            Type::I64 | Type::F64 | Type::Ptr => u64::from_le_bytes(b[..8].try_into().unwrap()),
         })
     }
 
@@ -816,9 +868,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             Type::I8 => b[0] = val as u8,
             Type::I16 => b[..2].copy_from_slice(&(val as u16).to_le_bytes()),
             Type::I32 => b[..4].copy_from_slice(&(val as u32).to_le_bytes()),
-            Type::I64 | Type::F64 | Type::Ptr => {
-                b[..8].copy_from_slice(&val.to_le_bytes())
-            }
+            Type::I64 | Type::F64 | Type::Ptr => b[..8].copy_from_slice(&val.to_le_bytes()),
         }
         Ok(())
     }
@@ -1270,12 +1320,14 @@ mod tests {
 
     #[test]
     fn sanitizer_catches_custody_lapse_across_calls() {
-        // A guard result reused after a call: the canonical address is still
-        // valid memory, so only the sanitizer's shadow kill catches it.
+        // A guard result reused after a call that really kills (the callee
+        // allocates): the canonical address is still valid memory, so only
+        // the sanitizer's shadow kill catches it.
         let mut m = Module::new("t");
         let h = m.declare_function("h", Signature::new(vec![], Some(Type::I64)));
         {
             let mut b = FunctionBuilder::new(m.function_mut(h));
+            let _ = b.malloc_const(8);
             let z = b.iconst(Type::I64, 0);
             b.ret(Some(z));
         }
@@ -1298,6 +1350,79 @@ mod tests {
             mach.run("f", &[ptr]).unwrap_err(),
             Trap::UnguardedAccess { .. }
         ));
+    }
+
+    #[test]
+    fn sanitizer_keeps_custody_across_transparent_calls() {
+        // The callee executes no killing operation: custody survives the
+        // call dynamically — matching the custody-transparency summaries,
+        // so call-aware-compiled programs stay sanitizer-clean.
+        let mut m = Module::new("t");
+        let h = m.declare_function("h", Signature::new(vec![Type::I64], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(h));
+            let x = b.param(0);
+            let y = b.binop(tfm_ir::BinOp::Add, x, x);
+            b.ret(Some(y));
+        }
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            let a = b.load(Type::I64, g);
+            let _ = b.call(h, vec![a], Some(Type::I64));
+            let x = b.load(Type::I64, g); // custody intact: h is transparent
+            b.ret(Some(x));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        mach.enable_guard_sanitizer();
+        let ptr = mach.setup_alloc(64);
+        mach.setup_write_u64s(ptr, &[7]);
+        mach.finish_setup(false);
+        assert_eq!(mach.run("f", &[ptr]).unwrap().ret, 7);
+    }
+
+    #[test]
+    fn sanitizer_propagates_custody_through_calls() {
+        // Entry covers: a guarded pointer passed as an argument keeps its
+        // custody in the callee. Return covers: a guard result returned to
+        // the caller keeps custody there.
+        let mut m = Module::new("t");
+        let reader = m.declare_function("reader", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        let loc = m.declare_function("loc", Signature::new(vec![Type::Ptr], Some(Type::Ptr)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(reader));
+            let p = b.param(0);
+            let x = b.load(Type::I64, p); // covered by the caller's guard
+            b.ret(Some(x));
+        }
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(loc));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardRead, vec![p]);
+            b.ret(Some(g));
+        }
+        let id = m.declare_function("f", Signature::new(vec![Type::Ptr], Some(Type::I64)));
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id));
+            let p = b.param(0);
+            let g = b.intrinsic(Intrinsic::GuardWrite, vec![p]);
+            let one = b.iconst(Type::I64, 1);
+            b.store(g, one);
+            let a = b.call(reader, vec![g], Some(Type::I64));
+            let q = b.call(loc, vec![p], Some(Type::Ptr));
+            let c = b.load(Type::I64, q); // covered by the callee's guard
+            let s = b.binop(tfm_ir::BinOp::Add, a, c);
+            b.ret(Some(s));
+        }
+        m.verify().unwrap();
+        let mut mach = machine(&m);
+        mach.enable_guard_sanitizer();
+        let ptr = mach.setup_alloc(64);
+        mach.finish_setup(false);
+        assert_eq!(mach.run("f", &[ptr]).unwrap().ret, 2);
     }
 
     #[test]

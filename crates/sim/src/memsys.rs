@@ -489,10 +489,7 @@ impl TrackFmMem {
     fn obj_of_ptr(&self, ptr: u64) -> Result<ObjId, Trap> {
         let off = ptr & tfm_runtime::OFFSET_MASK;
         if off >= self.fm.config().heap_size {
-            return Err(Trap::OutOfBounds {
-                addr: ptr,
-                size: 0,
-            });
+            return Err(Trap::OutOfBounds { addr: ptr, size: 0 });
         }
         Ok(self.fm.obj_of_offset(off))
     }
@@ -1124,7 +1121,10 @@ mod tests {
         // fetch.
         let (_c, _) = m.chunk_deref(h, ptr + 4096, 10_000_000, &mut st).unwrap();
         let s = m.summary().runtime.unwrap();
-        assert_eq!(s.remote_fetches, 1, "only the first object was a demand fetch");
+        assert_eq!(
+            s.remote_fetches, 1,
+            "only the first object was a demand fetch"
+        );
         assert!(s.prefetch_hits >= 1);
     }
 
@@ -1138,7 +1138,10 @@ mod tests {
         let p2 = aifm.alloc(4096, 0).unwrap();
         let (c_tfm, _) = tfm.guard(p1, false, 0, &mut st).unwrap();
         let (c_aifm, _) = aifm.guard(p2, false, 0, &mut st).unwrap();
-        assert!(c_aifm < c_tfm, "AIFM deref {c_aifm} must beat guard {c_tfm}");
+        assert!(
+            c_aifm < c_tfm,
+            "AIFM deref {c_aifm} must beat guard {c_tfm}"
+        );
     }
 
     #[test]

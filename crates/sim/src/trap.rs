@@ -84,7 +84,9 @@ mod tests {
         assert!(t.to_string().contains("general protection fault"));
         assert!(t.to_string().contains("0x1000000000000040"));
         assert!(Trap::DivByZero.to_string().contains("division"));
-        let u = Trap::UnguardedAccess { addr: 0x2000_0000_0040 };
+        let u = Trap::UnguardedAccess {
+            addr: 0x2000_0000_0040,
+        };
         assert!(u.to_string().contains("guard sanitizer"));
         assert!(u.to_string().contains("0x200000000040"));
     }

@@ -76,11 +76,7 @@ impl Json {
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, padc) = match indent {
-            Some(w) => (
-                "\n",
-                " ".repeat(w * (depth + 1)),
-                " ".repeat(w * depth),
-            ),
+            Some(w) => ("\n", " ".repeat(w * (depth + 1)), " ".repeat(w * depth)),
             None => ("", String::new(), String::new()),
         };
         match self {
@@ -423,7 +419,11 @@ mod tests {
                 "raw control char {code:#x} leaked into {text:?}"
             );
             let back = Json::parse(&text).unwrap();
-            assert_eq!(back.as_str(), Some(c.to_string().as_str()), "code {code:#x}");
+            assert_eq!(
+                back.as_str(),
+                Some(c.to_string().as_str()),
+                "code {code:#x}"
+            );
         }
         // The generic form uses four lowercase hex digits.
         assert_eq!(Json::str("\u{0}").to_string_compact(), "\"\\u0000\"");
@@ -468,8 +468,14 @@ mod tests {
     fn get_and_accessors() {
         let doc = Json::parse(r#"{"a": 3, "b": [1, "x"], "c": -1.5}"#).unwrap();
         assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
-        assert_eq!(doc.get("b").and_then(Json::as_arr).map(|a| a.len()), Some(2));
-        assert_eq!(doc.get("b").unwrap().as_arr().unwrap()[1].as_str(), Some("x"));
+        assert_eq!(
+            doc.get("b").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("x")
+        );
         assert_eq!(doc.get("c"), Some(&Json::Num(-1.5)));
         assert_eq!(doc.get("missing"), None);
     }

@@ -234,6 +234,7 @@ impl RunReport {
                                 ("cycles".into(), Json::Int(r.stats.cycles)),
                                 ("stall_cycles".into(), Json::Int(r.stats.stall_cycles)),
                                 ("elided".into(), Json::Int(r.stats.elided)),
+                                ("hoisted".into(), Json::Int(r.stats.hoisted)),
                             ])
                         })
                         .collect(),
@@ -261,7 +262,11 @@ impl RunReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "== run report: {} on {} ==", self.workload, self.system);
+        let _ = writeln!(
+            out,
+            "== run report: {} on {} ==",
+            self.workload, self.system
+        );
         if !self.meta.is_empty() {
             let kv: Vec<String> = self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
             let _ = writeln!(out, "config: {}", kv.join(" "));
@@ -279,7 +284,12 @@ impl RunReport {
                 .iter()
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect();
-            let _ = writeln!(out, "events: {} (dropped={})", kv.join(" "), self.events_dropped);
+            let _ = writeln!(
+                out,
+                "events: {} (dropped={})",
+                kv.join(" "),
+                self.events_dropped
+            );
         }
         if self.events_dropped > 0 {
             let _ = writeln!(
@@ -297,13 +307,22 @@ impl RunReport {
             let _ = writeln!(out, "top guard sites by stall cycles:");
             let _ = writeln!(
                 out,
-                "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
-                "rank", "site", "hits", "fast", "slow_loc", "slow_rem", "cycles", "stall", "elided"
+                "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7} {:>7}",
+                "rank",
+                "site",
+                "hits",
+                "fast",
+                "slow_loc",
+                "slow_rem",
+                "cycles",
+                "stall",
+                "elided",
+                "hoist"
             );
             for (i, r) in self.sites.iter().take(TOP_SITES).enumerate() {
                 let _ = writeln!(
                     out,
-                    "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
+                    "  {:>4}  {:<32} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7} {:>7}",
                     i + 1,
                     r.label,
                     r.stats.hits,
@@ -312,7 +331,8 @@ impl RunReport {
                     r.stats.slow_remote,
                     r.stats.cycles,
                     r.stats.stall_cycles,
-                    r.stats.elided
+                    r.stats.elided,
+                    r.stats.hoisted
                 );
             }
             if self.sites.len() > TOP_SITES {
@@ -357,10 +377,7 @@ mod tests {
         s.slow_remote = 3;
         s.stall_cycles = 90_000;
         r.set_sites(&t, |k| (k.value() == 7).then(|| "main:v7:read".to_string()));
-        r.set_event_counts(
-            |k| if k == EventKind::DemandFetch { 3 } else { 0 },
-            1,
-        );
+        r.set_event_counts(|k| if k == EventKind::DemandFetch { 3 } else { 0 }, 1);
         r
     }
 
@@ -374,7 +391,12 @@ mod tests {
         assert_eq!(r.field("fake", "a"), None);
         let doc = Json::parse(&r.to_json().to_string_pretty()).unwrap();
         assert_eq!(
-            doc.get("stats").unwrap().get("shard1").unwrap().get("a").unwrap(),
+            doc.get("stats")
+                .unwrap()
+                .get("shard1")
+                .unwrap()
+                .get("a")
+                .unwrap(),
             &Json::Int(1)
         );
         assert!(r.render().contains("[  shard0] a=1 b=2"));
@@ -396,17 +418,35 @@ mod tests {
         let doc = Json::parse(&text).unwrap();
         assert_eq!(doc.get("workload").and_then(Json::as_str), Some("stream"));
         assert_eq!(
-            doc.get("stats").unwrap().get("fake").unwrap().get("a").unwrap(),
+            doc.get("stats")
+                .unwrap()
+                .get("fake")
+                .unwrap()
+                .get("a")
+                .unwrap(),
             &Json::Int(1)
         );
-        let hist = doc.get("histograms").unwrap().get("fetch_latency_cycles").unwrap();
+        let hist = doc
+            .get("histograms")
+            .unwrap()
+            .get("fetch_latency_cycles")
+            .unwrap();
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
         assert!(hist.get("p99").and_then(Json::as_u64).unwrap() >= 30_000);
         let sites = doc.get("guard_sites").unwrap().as_arr().unwrap();
-        assert_eq!(sites[0].get("label").and_then(Json::as_str), Some("main:v7:read"));
-        assert_eq!(sites[0].get("stall_cycles").and_then(Json::as_u64), Some(90_000));
         assert_eq!(
-            doc.get("events").unwrap().get("demand_fetch").and_then(Json::as_u64),
+            sites[0].get("label").and_then(Json::as_str),
+            Some("main:v7:read")
+        );
+        assert_eq!(
+            sites[0].get("stall_cycles").and_then(Json::as_u64),
+            Some(90_000)
+        );
+        assert_eq!(
+            doc.get("events")
+                .unwrap()
+                .get("demand_fetch")
+                .and_then(Json::as_u64),
             Some(3)
         );
         assert_eq!(doc.get("events_dropped").and_then(Json::as_u64), Some(1));

@@ -58,6 +58,10 @@ pub struct SiteStats {
     /// redundant-guard elimination. Recorded at compile time, so every run
     /// shows which hot sites absorbed how many deleted checks.
     pub elided: u64,
+    /// Loop levels this site's guard was hoisted out of by loop-invariant
+    /// guard motion (0 = the guard executes where it was inserted).
+    /// Recorded at compile time, like `elided`.
+    pub hoisted: u64,
 }
 
 impl SiteStats {
@@ -71,6 +75,7 @@ impl SiteStats {
         self.cycles += other.cycles;
         self.stall_cycles += other.stall_cycles;
         self.elided += other.elided;
+        self.hoisted = self.hoisted.max(other.hoisted);
     }
 
     /// Slow-path executions of either flavor.

@@ -393,13 +393,7 @@ impl Timeline {
                     .max()
                     .unwrap_or(0),
             )
-            .max(
-                self.core_accesses
-                    .iter()
-                    .map(Vec::len)
-                    .max()
-                    .unwrap_or(0),
-            );
+            .max(self.core_accesses.iter().map(Vec::len).max().unwrap_or(0));
         let pad = |v: &[u64]| {
             let mut out = v.to_vec();
             out.resize(n, 0);
@@ -814,7 +808,9 @@ impl TraceSnapshot {
         let mut cores: Vec<u32> = self
             .spans
             .iter()
-            .filter(|s| s.core != Span::NO_CORE && !(s.kind.is_transfer() && s.shard != Span::NO_SHARD))
+            .filter(|s| {
+                s.core != Span::NO_CORE && !(s.kind.is_transfer() && s.shard != Span::NO_SHARD)
+            })
             .map(|s| s.core)
             .collect();
         cores.sort_unstable();
@@ -874,7 +870,13 @@ impl TraceSnapshot {
     pub fn folded_stacks(&self, label_of: &dyn Fn(u64) -> Option<String>) -> String {
         let sanitize = |s: String| {
             s.chars()
-                .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+                .map(|c| {
+                    if c == ';' || c.is_whitespace() {
+                        '_'
+                    } else {
+                        c
+                    }
+                })
                 .collect::<String>()
         };
         let names: Vec<String> = self
@@ -1110,7 +1112,11 @@ mod tests {
             .unwrap();
         assert_eq!(fetch.get("tid").and_then(Json::as_u64), Some(TID_CORE0 + 2));
         assert_eq!(
-            fetch.get("args").unwrap().get("core").and_then(Json::as_u64),
+            fetch
+                .get("args")
+                .unwrap()
+                .get("core")
+                .and_then(Json::as_u64),
             Some(2)
         );
         let xfer = events

@@ -14,8 +14,8 @@
 //! variable — loop chunking correctly stays away, leaving per-access guards
 //! exactly as the paper describes for irregular structures.
 
-use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use crate::rng::SplitMix64;
+use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use crate::zipf::zipf_trace;
 use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
 
@@ -220,7 +220,7 @@ mod tests {
         let rep = out.report.unwrap();
         // The trace scan may chunk, but slot probing must use plain guards.
         assert!(out.result.stats.guards_fast > 0);
-    	let _ = rep;
+        let _ = rep;
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod nas;
 pub mod openloop;
 pub mod rng;
 pub mod runner;
+pub mod serving;
 pub mod spec;
 pub mod stream;
 pub mod zipf;

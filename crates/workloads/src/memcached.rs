@@ -7,8 +7,8 @@
 //! granularity is small and spatially scattered, so Fastswap's 4 KB pages
 //! amplify I/O (66× in the paper) while TrackFM's small objects keep it low.
 
-use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use crate::rng::SplitMix64;
+use crate::spec::{ArgSpec, InputData, WorkloadSpec};
 use crate::zipf::zipf_trace;
 use tfm_ir::{BinOp, CmpOp, FunctionBuilder, Module, Signature, Type};
 
@@ -261,8 +261,7 @@ mod tests {
         let f_mild = execute(&mild, &RunConfig::fastswap(0.15));
         let f_sharp = execute(&sharp, &RunConfig::fastswap(0.15));
         assert!(
-            f_sharp.result.pager.unwrap().major_faults
-                < f_mild.result.pager.unwrap().major_faults
+            f_sharp.result.pager.unwrap().major_faults < f_mild.result.pager.unwrap().major_faults
         );
     }
 }

@@ -90,7 +90,15 @@ pub fn cg(p: &NasParams) -> WorkloadSpec {
     let id = m.declare_function(
         "main",
         Signature::new(
-            vec![Type::Ptr, Type::Ptr, Type::Ptr, Type::Ptr, Type::Ptr, Type::I64, Type::I64],
+            vec![
+                Type::Ptr,
+                Type::Ptr,
+                Type::Ptr,
+                Type::Ptr,
+                Type::Ptr,
+                Type::I64,
+                Type::I64,
+            ],
             Some(Type::I64),
         ),
     );
@@ -328,7 +336,14 @@ pub fn ft(p: &NasParams) -> WorkloadSpec {
     let main_id = m.declare_function(
         "main",
         Signature::new(
-            vec![Type::Ptr, Type::Ptr, Type::I64, Type::I64, Type::I64, Type::I64],
+            vec![
+                Type::Ptr,
+                Type::Ptr,
+                Type::I64,
+                Type::I64,
+                Type::I64,
+                Type::I64,
+            ],
             Some(Type::I64),
         ),
     );
@@ -563,10 +578,7 @@ pub fn mg(p: &NasParams) -> WorkloadSpec {
     };
 
     let mut m = Module::new("nas_mg");
-    let smooth_id = m.declare_function(
-        "smooth",
-        Signature::new(vec![Type::Ptr, Type::I64], None),
-    );
+    let smooth_id = m.declare_function("smooth", Signature::new(vec![Type::Ptr, Type::I64], None));
     {
         let mut b = FunctionBuilder::new(m.function_mut(smooth_id));
         let u = b.param(0);
@@ -717,7 +729,14 @@ pub fn sp(p: &NasParams) -> WorkloadSpec {
     let id = m.declare_function(
         "main",
         Signature::new(
-            vec![Type::Ptr, Type::Ptr, Type::Ptr, Type::Ptr, Type::I64, Type::I64],
+            vec![
+                Type::Ptr,
+                Type::Ptr,
+                Type::Ptr,
+                Type::Ptr,
+                Type::I64,
+                Type::I64,
+            ],
             Some(Type::I64),
         ),
     );

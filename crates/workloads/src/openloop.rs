@@ -255,9 +255,7 @@ impl OpenLoopRun {
 pub fn execute_open_loop(ol: &OpenLoopSpec, cfg: &RunConfig) -> OpenLoopRun {
     let heap = ol.spec.heap_size(cfg.object_size);
     match cfg.system {
-        SystemKind::Local => {
-            drive(ol, &ol.spec.module, LocalMem::new(heap), cfg, heap, None)
-        }
+        SystemKind::Local => drive(ol, &ol.spec.module, LocalMem::new(heap), cfg, heap, None),
         SystemKind::Fastswap => {
             let pcfg = PagerConfig {
                 local_budget: ol.spec.local_budget(cfg.local_fraction, 4096),
@@ -265,7 +263,14 @@ pub fn execute_open_loop(ol: &OpenLoopSpec, cfg: &RunConfig) -> OpenLoopRun {
                 backend: cfg.backend,
                 ..PagerConfig::default()
             };
-            drive(ol, &ol.spec.module, FastswapMem::new(heap, pcfg), cfg, heap, None)
+            drive(
+                ol,
+                &ol.spec.module,
+                FastswapMem::new(heap, pcfg),
+                cfg,
+                heap,
+                None,
+            )
         }
         SystemKind::TrackFm | SystemKind::Aifm => {
             let mut module = ol.spec.module.clone();
@@ -377,6 +382,7 @@ fn drive<M: MemorySystem>(
     let mut telemetry = tel.snapshot();
     if let Some(rep) = &report {
         runner::attribute_elision(rep, &mut telemetry);
+        runner::attribute_motion(rep, &mut telemetry);
     }
     OpenLoopRun {
         outcome: Outcome {
@@ -412,7 +418,9 @@ mod tests {
             execute_open_loop(&ol, &RunConfig::local().with_cores(cores));
             execute_open_loop(
                 &ol,
-                &RunConfig::trackfm(0.2).with_object_size(64).with_cores(cores),
+                &RunConfig::trackfm(0.2)
+                    .with_object_size(64)
+                    .with_cores(cores),
             );
             execute_open_loop(&ol, &RunConfig::fastswap(0.2).with_cores(cores));
         }
@@ -429,9 +437,15 @@ mod tests {
         for (x, y) in a.requests.iter().zip(&b.requests) {
             assert_eq!((x.arrival, x.key), (y.arrival, y.key));
         }
-        let c = open_loop(&OpenLoopParams { seed: 12, ..small() });
+        let c = open_loop(&OpenLoopParams {
+            seed: 12,
+            ..small()
+        });
         assert!(
-            a.requests.iter().zip(&c.requests).any(|(x, y)| x.key != y.key),
+            a.requests
+                .iter()
+                .zip(&c.requests)
+                .any(|(x, y)| x.key != y.key),
             "a different seed must reshuffle the trace"
         );
     }
@@ -460,7 +474,9 @@ mod tests {
             mean_gap_cycles: 100,
             ..small()
         });
-        let cfg = RunConfig::trackfm(0.1).with_object_size(64).with_prefetch(false);
+        let cfg = RunConfig::trackfm(0.1)
+            .with_object_size(64)
+            .with_prefetch(false);
         let one = execute_open_loop(&ol, &cfg);
         let four = execute_open_loop(&ol, &cfg.with_cores(4));
         assert!(

@@ -7,12 +7,12 @@
 //! budget) and counters reset after setup.
 
 use crate::spec::{ArgSpec, InputData, WorkloadSpec};
+use std::collections::HashMap;
 use tfm_analysis::profile::Profile;
 use tfm_fastswap::PagerConfig;
 use tfm_ir::Module;
 use tfm_net::{BackendSpec, FaultPlan, LinkParams};
 use tfm_runtime::{FarMemoryConfig, PrefetchConfig, RetryPolicy};
-use std::collections::HashMap;
 use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
 use tfm_telemetry::{Json, RunReport, SiteKey, Telemetry, TelemetrySnapshot, TraceConfig};
 use trackfm::{CompileReport, CompilerOptions, CostModel, TrackFmCompiler};
@@ -269,8 +269,14 @@ pub fn execute_with_profile(
                 backend: cfg.backend,
                 ..PagerConfig::default()
             };
-            let (result, telemetry) =
-                run_machine(spec, &spec.module, FastswapMem::new(heap, pcfg), cfg, heap, false);
+            let (result, telemetry) = run_machine(
+                spec,
+                &spec.module,
+                FastswapMem::new(heap, pcfg),
+                cfg,
+                heap,
+                false,
+            );
             Outcome {
                 result,
                 report: None,
@@ -288,6 +294,7 @@ pub fn execute_with_profile(
             };
             let (result, mut telemetry) = run_machine(spec, &module, mem, cfg, heap, false);
             attribute_elision(&report, &mut telemetry);
+            attribute_motion(&report, &mut telemetry);
             Outcome {
                 result,
                 report: Some(report),
@@ -318,6 +325,24 @@ pub fn execute_with_profile(
 pub(crate) fn attribute_elision(report: &CompileReport, telemetry: &mut Option<TelemetrySnapshot>) {
     if let Some(snap) = telemetry {
         for s in &report.elision.sites {
+            snap.sites
+                .stats_mut(SiteKey::new(s.func, s.survivor))
+                .elided += s.absorbed as u64;
+        }
+    }
+}
+
+/// Folds compile-time guard-motion attribution into the run's site table:
+/// each hoisted guard's `hoisted` counter records how many loop levels it
+/// climbed, and cross-block read→write folds count into the survivor's
+/// `elided` like elision's same-block folds do.
+pub(crate) fn attribute_motion(report: &CompileReport, telemetry: &mut Option<TelemetrySnapshot>) {
+    if let Some(snap) = telemetry {
+        for s in &report.motion.sites {
+            let stats = snap.sites.stats_mut(SiteKey::new(s.func, s.value));
+            stats.hoisted = stats.hoisted.max(s.levels as u64);
+        }
+        for s in &report.motion.folds {
             snap.sites
                 .stats_mut(SiteKey::new(s.func, s.survivor))
                 .elided += s.absorbed as u64;
@@ -550,11 +575,19 @@ mod tests {
         let cfg = RunConfig::trackfm(0.5);
         let (outcome, rep) = execute_with_report(&spec, &cfg);
         let report = outcome.report.as_ref().unwrap();
-        assert!(report.elision.eliminated > 0, "analytics should elide guards");
+        assert!(
+            report.elision.eliminated > 0,
+            "analytics should elide guards"
+        );
         let attributed: u64 = rep.sites.iter().map(|s| s.stats.elided).sum();
         assert_eq!(
             attributed,
-            report.elision.sites.iter().map(|s| s.absorbed as u64).sum::<u64>(),
+            report
+                .elision
+                .sites
+                .iter()
+                .map(|s| s.absorbed as u64)
+                .sum::<u64>(),
             "every absorbed guard must be attributed to a surviving site"
         );
         assert!(attributed >= report.elision.eliminated as u64 / 2);
@@ -578,10 +611,16 @@ mod tests {
         let spec = stream::sum(&StreamParams { elems: 16 << 10 });
         let cfg = RunConfig::trackfm(0.25).with_shards(4);
         let (_, rep) = execute_with_report(&spec, &cfg);
-        assert!(rep.meta.iter().any(|(k, v)| k == "backend" && v.contains("sharded(4")));
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(k, v)| k == "backend" && v.contains("sharded(4")));
         for s in 0..4 {
             let section = format!("shard{s}");
-            assert!(rep.field(&section, "fetches").is_some(), "missing {section}");
+            assert!(
+                rep.field(&section, "fetches").is_some(),
+                "missing {section}"
+            );
             assert_eq!(rep.field(&section, "degraded"), Some(0));
         }
         assert!(rep.field("shard4", "fetches").is_none());
@@ -604,7 +643,10 @@ mod tests {
             .with_backend(BackendSpec::sharded(4).with_replicas(2).with_fault_shard(1))
             .with_faults(FaultPlan::none().with_cold_crash(100_000, 400_000));
         let (_, rep) = execute_with_report(&spec, &cfg);
-        assert!(rep.meta.iter().any(|(k, v)| k == "backend" && v.contains("replicas=2")));
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(k, v)| k == "backend" && v.contains("replicas=2")));
         for s in 0..4 {
             let section = format!("shard{s}");
             for f in ["state", "epoch", "failover_reads", "divergent_writes"] {
@@ -613,7 +655,12 @@ mod tests {
         }
         // The runtime section publishes the recovery story, and no
         // acknowledged write may be lost under R=2.
-        for f in ["shard_downs", "shard_recoveries", "resynced_objects", "re_replications"] {
+        for f in [
+            "shard_downs",
+            "shard_recoveries",
+            "resynced_objects",
+            "re_replications",
+        ] {
             assert!(rep.field("runtime", f).is_some(), "missing runtime.{f}");
         }
         assert_eq!(rep.field("runtime", "lost_objects"), Some(0));

@@ -24,7 +24,9 @@ impl Default for StreamParams {
 }
 
 fn input_values(p: &StreamParams) -> Vec<u32> {
-    (0..p.elems as u32).map(|i| i.wrapping_mul(7).wrapping_add(3) & 0xFFFF).collect()
+    (0..p.elems as u32)
+        .map(|i| i.wrapping_mul(7).wrapping_add(3) & 0xFFFF)
+        .collect()
 }
 
 /// Builds the "Sum" test: `for i { sum += a[i] }`.
@@ -123,10 +125,7 @@ pub fn copy(p: &StreamParams) -> WorkloadSpec {
     WorkloadSpec {
         name: format!("stream-copy/{}", p.elems),
         module: m,
-        inputs: vec![
-            InputData::U32(vals),
-            InputData::Zeroed(p.elems as u64 * 4),
-        ],
+        inputs: vec![InputData::U32(vals), InputData::Zeroed(p.elems as u64 * 4)],
         args: vec![
             ArgSpec::Input(0),
             ArgSpec::Input(1),
@@ -226,7 +225,9 @@ pub fn strided_sum(elems: usize, elem_bytes: u32) -> WorkloadSpec {
     let n_words = elems * (elem_bytes as usize / 8);
     let vals: Vec<u64> = (0..n_words as u64).map(|i| i & 0xFF).collect();
     let stride_words = (elem_bytes / 8) as u64;
-    let expected: u64 = (0..elems as u64).map(|i| vals[(i * stride_words) as usize]).sum();
+    let expected: u64 = (0..elems as u64)
+        .map(|i| vals[(i * stride_words) as usize])
+        .sum();
 
     let mut m = Module::new("strided_sum");
     let id = m.declare_function(

@@ -60,8 +60,7 @@ impl ZipfGen {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 
@@ -105,7 +104,10 @@ mod tests {
         let mut rng = SplitMix64::seed_from_u64(7);
         let trace = zipf_trace(100_000, 1.2, 50_000, &mut rng);
         let hot = trace.iter().filter(|&&r| r < 100).count() as f64 / trace.len() as f64;
-        assert!(hot > 0.4, "top 0.1% of keys should draw >40% of accesses, got {hot}");
+        assert!(
+            hot > 0.4,
+            "top 0.1% of keys should draw >40% of accesses, got {hot}"
+        );
         // Rank 0 must be the single hottest.
         let r0 = trace.iter().filter(|&&r| r == 0).count();
         let r500 = trace.iter().filter(|&&r| r == 500).count();

@@ -8,9 +8,7 @@
 
 use trackfm_suite::compiler::ChunkingMode;
 use trackfm_suite::workloads::analytics::{analytics, AnalyticsParams};
-use trackfm_suite::workloads::runner::{
-    collect_profile, execute, execute_with_profile, RunConfig,
-};
+use trackfm_suite::workloads::runner::{collect_profile, execute, execute_with_profile, RunConfig};
 
 fn main() {
     let spec = analytics(&AnalyticsParams {
@@ -44,7 +42,10 @@ fn main() {
     let r_fsw = execute(&spec, &RunConfig::fastswap(frac));
     let r_aifm = execute_with_profile(&spec, &RunConfig::aifm(frac), Some(&profile));
 
-    println!("\n{:<34} {:>14} {:>12}", "configuration", "slowdown", "vs model");
+    println!(
+        "\n{:<34} {:>14} {:>12}",
+        "configuration", "slowdown", "vs model"
+    );
     let model_cycles = r_model.result.stats.cycles as f64;
     for (name, cycles) in [
         ("local-only baseline", base),

@@ -24,10 +24,17 @@ fn main() {
         ("STREAM sum (sequential)", &stream_spec, 0.25),
         ("Zipf hashmap (random, fine-grained)", &map_spec, 0.15),
     ] {
-        println!("\nautotuning `{name}` at {:.0}% local memory:", frac * 100.0);
+        println!(
+            "\nautotuning `{name}` at {:.0}% local memory:",
+            frac * 100.0
+        );
         let report = autotune_object_size(spec, &RunConfig::trackfm(frac), None);
         for (size, cycles) in &report.trials {
-            let marker = if *size == report.chosen { "  <== chosen" } else { "" };
+            let marker = if *size == report.chosen {
+                "  <== chosen"
+            } else {
+                ""
+            };
             println!("  {size:>5} B objects: {cycles:>12} cycles{marker}");
         }
         println!(

@@ -14,10 +14,10 @@
 
 use trackfm_suite::net::FaultPlan;
 use trackfm_suite::telemetry::EventKind;
+use trackfm_suite::workloads::hashmap::{hashmap, HashmapParams};
 use trackfm_suite::workloads::runner::{
     chrome_trace, execute, execute_with_report, flamegraph, RunConfig,
 };
-use trackfm_suite::workloads::hashmap::{hashmap, HashmapParams};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -49,7 +49,10 @@ fn main() {
     println!("\n== chaos run: {plan} ==");
     let (out, rep) = execute_with_report(&spec, &cfg.with_faults(plan).with_tracing());
 
-    assert_eq!(out.result.ret, clean.result.ret, "faults must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "faults must not change the answer"
+    );
     println!(
         "  result {} — identical to the fault-free run ({}x slower: {} cycles)",
         out.result.ret,
@@ -113,7 +116,15 @@ fn main() {
     std::fs::write("target/chaos_trace.json", trace.to_string_pretty())
         .expect("write chrome trace");
     std::fs::write("target/chaos_flame.folded", &folded).expect("write folded stacks");
-    let spans = out.telemetry.as_ref().unwrap().trace.as_ref().unwrap().spans.len();
+    let spans = out
+        .telemetry
+        .as_ref()
+        .unwrap()
+        .trace
+        .as_ref()
+        .unwrap()
+        .spans
+        .len();
     println!("\n== span trace ==");
     println!("  {spans} spans captured");
     println!("  target/chaos_trace.json   — load in chrome://tracing or https://ui.perfetto.dev");

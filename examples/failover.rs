@@ -28,7 +28,9 @@ fn main() {
     let spec = stream::sum(&StreamParams { elems: 256 << 10 });
     let clean = execute(
         &spec,
-        &RunConfig::trackfm(0.25).with_shards(SHARDS).with_replicas(2),
+        &RunConfig::trackfm(0.25)
+            .with_shards(SHARDS)
+            .with_replicas(2),
     );
     println!("== healthy {SHARDS}-shard run, replicas=2 ==");
     println!(
@@ -43,12 +45,19 @@ fn main() {
     let total = clean.result.stats.cycles;
     let (start, end) = (total / 8, total / 8 + total / 4);
     let cfg = RunConfig::trackfm(0.25)
-        .with_backend(BackendSpec::sharded(SHARDS).with_replicas(2).with_fault_shard(SICK))
+        .with_backend(
+            BackendSpec::sharded(SHARDS)
+                .with_replicas(2)
+                .with_fault_shard(SICK),
+        )
         .with_faults(FaultPlan::none().with_cold_crash(start, end));
     println!("\n== shard {SICK} cold-crashed over [{start}, {end}) ==");
     let (out, rep) = execute_with_report(&spec, &cfg);
 
-    assert_eq!(out.result.ret, clean.result.ret, "a crash must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "a crash must not change the answer"
+    );
     println!(
         "  result {} — identical answer, {} cycles (was {})",
         out.result.ret, out.result.stats.cycles, total
@@ -63,8 +72,14 @@ fn main() {
     println!("  shard recoveries       {}", rt.shard_recoveries);
     println!("  objects re-replicated  {}", rt.re_replications);
     println!("  objects re-synced      {}", rt.resynced_objects);
-    println!("  acked objects lost     {}  <- the whole point", rt.lost_objects);
-    assert_eq!(rt.lost_objects, 0, "replicas=2 must never lose acknowledged data");
+    println!(
+        "  acked objects lost     {}  <- the whole point",
+        rt.lost_objects
+    );
+    assert_eq!(
+        rt.lost_objects, 0,
+        "replicas=2 must never lose acknowledged data"
+    );
 
     println!("\n== per-shard failover state ==");
     for (i, snap) in out.result.shards.iter().enumerate() {
@@ -74,7 +89,11 @@ fn main() {
             snap.epoch,
             snap.failover_reads,
             snap.divergent_writes,
-            if i == SICK as usize { "   <- scripted crash" } else { "" },
+            if i == SICK as usize {
+                "   <- scripted crash"
+            } else {
+                ""
+            },
         );
     }
     let snap = out.telemetry.as_ref().unwrap();

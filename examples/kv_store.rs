@@ -31,8 +31,14 @@ fn main() {
     let configs = [
         ("all-local", RunConfig::local()),
         ("Fastswap", RunConfig::fastswap(frac)),
-        ("TrackFM (64B objects)", RunConfig::trackfm(frac).with_object_size(64)),
-        ("AIFM (64B objects)", RunConfig::aifm(frac).with_object_size(64)),
+        (
+            "TrackFM (64B objects)",
+            RunConfig::trackfm(frac).with_object_size(64),
+        ),
+        (
+            "AIFM (64B objects)",
+            RunConfig::aifm(frac).with_object_size(64),
+        ),
     ];
 
     println!(
@@ -79,7 +85,9 @@ fn main() {
         seed: 99,
         mean_gap_cycles: 100,
     });
-    let serving = RunConfig::trackfm(frac).with_object_size(64).with_prefetch(false);
+    let serving = RunConfig::trackfm(frac)
+        .with_object_size(64)
+        .with_prefetch(false);
     println!(
         "\nserving: {} open-loop gets, zipf {} arrivals every ~100 cycles",
         ol.requests.len(),

@@ -50,7 +50,10 @@ fn main() {
     println!("\n== shard {SICK} dark over [{start}, {end}) ==");
     let (out, rep) = execute_with_report(&spec, &cfg);
 
-    assert_eq!(out.result.ret, clean.result.ret, "an outage must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "an outage must not change the answer"
+    );
     println!(
         "  result {} — identical answer, {} cycles (was {})",
         out.result.ret, out.result.stats.cycles, total
@@ -66,8 +69,16 @@ fn main() {
             snap.stats.fetches,
             snap.stats.faults,
             snap.health.fault_rate_ppm(),
-            if snap.health.is_degraded() { ", DEGRADED" } else { "" },
-            if i == SICK as usize { "   <- scripted outage" } else { "" },
+            if snap.health.is_degraded() {
+                ", DEGRADED"
+            } else {
+                ""
+            },
+            if i == SICK as usize {
+                "   <- scripted outage"
+            } else {
+                ""
+            },
         );
     }
     let snap = out.telemetry.as_ref().unwrap();

@@ -70,7 +70,10 @@ fn pruning_keeps_small_allocations_local_and_guard_free() {
 
     // Compiler-level effects.
     assert_eq!(plain_report.pruned_local_sites, 0);
-    assert_eq!(pruned_report.pruned_local_sites, 1, "malloc(64) stays local");
+    assert_eq!(
+        pruned_report.pruned_local_sites, 1,
+        "malloc(64) stays local"
+    );
     assert!(
         pruned_report.total_guards() < plain_report.total_guards(),
         "accesses through the pruned allocation need no guards: {} vs {}",

@@ -70,9 +70,8 @@ fn drop_rate_sweep_preserves_semantics() {
 #[test]
 fn same_seed_reproduces_identical_stats() {
     let spec = spec();
-    let cfg = RunConfig::trackfm(0.25).with_faults(
-        FaultPlan::drops(0xDEAD_BEEF, 50_000).with_stalls(20_000, 9_000),
-    );
+    let cfg = RunConfig::trackfm(0.25)
+        .with_faults(FaultPlan::drops(0xDEAD_BEEF, 50_000).with_stalls(20_000, 9_000));
     let a = execute(&spec, &cfg);
     let b = execute(&spec, &cfg);
     assert_eq!(a.result.ret, b.result.ret);
@@ -96,8 +95,11 @@ fn same_seed_reproduces_identical_stats() {
 #[test]
 fn stalls_and_jitter_delay_without_failing() {
     let spec = spec();
-    let cfg = RunConfig::trackfm(0.25)
-        .with_faults(FaultPlan::none().with_stalls(100_000, 12_000).with_jitter(200_000, 3_000));
+    let cfg = RunConfig::trackfm(0.25).with_faults(
+        FaultPlan::none()
+            .with_stalls(100_000, 12_000)
+            .with_jitter(200_000, 3_000),
+    );
     let out = execute(&spec, &cfg);
     let tx = out.result.transfers.unwrap();
     assert!(tx.delayed > 0, "10% stalls + 20% jitter must fire");
@@ -119,15 +121,20 @@ fn outage_window_degrades_then_recovers() {
     let total = clean.result.stats.cycles;
     let start = total / 4;
     let end = start + total / 8;
-    let cfg = RunConfig::trackfm(0.25)
-        .with_faults(FaultPlan::none().with_outage(start, end));
+    let cfg = RunConfig::trackfm(0.25).with_faults(FaultPlan::none().with_outage(start, end));
     let (out, rep) = execute_with_report(&spec, &cfg);
 
-    assert_eq!(out.result.ret, clean.result.ret, "outage must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "outage must not change the answer"
+    );
     let rt = out.result.runtime.unwrap();
     assert!(rt.link_faults > 0, "the outage window must be hit");
     assert!(rt.retries > 0, "demand fetches retry through the outage");
-    assert!(rt.degradations >= 1, "sustained faults must trip degradation");
+    assert!(
+        rt.degradations >= 1,
+        "sustained faults must trip degradation"
+    );
     assert!(
         rt.prefetch_suppressed > 0,
         "degraded mode turns the prefetcher off"
@@ -145,7 +152,10 @@ fn outage_window_degrades_then_recovers() {
 
     // The retry-latency histogram made it into the run report.
     let h = rep.histogram("retry_latency_cycles").unwrap();
-    assert!(h.count() > 0, "retried ops record their detect+backoff penalty");
+    assert!(
+        h.count() > 0,
+        "retried ops record their detect+backoff penalty"
+    );
 }
 
 /// One shard of four goes dark mid-run while the other three keep serving:
@@ -169,10 +179,16 @@ fn shard_outage_stays_confined_to_the_sick_shard() {
         .with_faults(FaultPlan::none().with_outage(start, start + total / 8));
     let (out, rep) = execute_with_report(&spec, &cfg);
 
-    assert_eq!(out.result.ret, clean.result.ret, "outage must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "outage must not change the answer"
+    );
     let rt = out.result.runtime.unwrap();
     assert!(rt.link_faults > 0, "the outage window must be hit");
-    assert!(rt.degradations >= 1, "sustained faults must trip degradation");
+    assert!(
+        rt.degradations >= 1,
+        "sustained faults must trip degradation"
+    );
 
     // Fault confinement: only the scripted shard's ledger shows faults; the
     // other three served their share of the stream flawlessly.
@@ -181,7 +197,10 @@ fn shard_outage_stays_confined_to_the_sick_shard() {
     for (i, snap) in shards.iter().enumerate() {
         assert!(snap.stats.fetches > 0, "shard {i} must keep serving");
         if i == sick as usize {
-            assert!(snap.stats.faults > 0, "the sick shard must record its outage");
+            assert!(
+                snap.stats.faults > 0,
+                "the sick shard must record its outage"
+            );
         } else {
             assert_eq!(snap.stats.faults, 0, "shard {i} must stay flawless");
             assert!(!snap.health.is_degraded(), "shard {i} must stay healthy");

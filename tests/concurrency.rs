@@ -131,7 +131,9 @@ fn manual_sync_outcome(ol: &OpenLoopSpec, cfg: &RunConfig) -> (Outcome, u64) {
     let mut telemetry = tel.snapshot();
     if let Some(snap) = &mut telemetry {
         for s in &report.elision.sites {
-            snap.sites.stats_mut(SiteKey::new(s.func, s.survivor)).elided += s.absorbed as u64;
+            snap.sites
+                .stats_mut(SiteKey::new(s.func, s.survivor))
+                .elided += s.absorbed as u64;
         }
     }
     (
@@ -170,7 +172,11 @@ fn vary(cfg: RunConfig, seed: u64) -> RunConfig {
         cfg = cfg.with_shards(1 + (mix(seed ^ 1) % 4) as u32);
     }
     if seed % 3 == 1 {
-        cfg = cfg.with_faults(FaultPlan::none().with_stalls(30_000, 2_000).with_jitter(50_000, 500));
+        cfg = cfg.with_faults(
+            FaultPlan::none()
+                .with_stalls(30_000, 2_000)
+                .with_jitter(50_000, 500),
+        );
     }
     if seed.is_multiple_of(5) {
         cfg = cfg.with_tracing();
@@ -185,11 +191,26 @@ fn cores1_is_bitwise_identical_across_a_200_seed_sweep() {
         let cfg = vary(RunConfig::trackfm(0.15).with_object_size(64), seed);
         let sched = execute_open_loop(&ol, &cfg);
         let (manual, clock) = manual_sync_outcome(&ol, &cfg);
-        assert_eq!(sched.makespan, clock, "seed {seed}: simulated cycles differ");
-        assert_eq!(sched.outcome.result.stats, manual.result.stats, "seed {seed}");
-        assert_eq!(sched.outcome.result.runtime, manual.result.runtime, "seed {seed}");
-        assert_eq!(sched.outcome.result.transfers, manual.result.transfers, "seed {seed}");
-        assert_eq!(sched.outcome.result.shards, manual.result.shards, "seed {seed}");
+        assert_eq!(
+            sched.makespan, clock,
+            "seed {seed}: simulated cycles differ"
+        );
+        assert_eq!(
+            sched.outcome.result.stats, manual.result.stats,
+            "seed {seed}"
+        );
+        assert_eq!(
+            sched.outcome.result.runtime, manual.result.runtime,
+            "seed {seed}"
+        );
+        assert_eq!(
+            sched.outcome.result.transfers, manual.result.transfers,
+            "seed {seed}"
+        );
+        assert_eq!(
+            sched.outcome.result.shards, manual.result.shards,
+            "seed {seed}"
+        );
     }
 }
 
@@ -204,9 +225,18 @@ fn multi_core_runs_are_deterministic_across_the_sweep() {
         assert_eq!(a.core_clocks, b.core_clocks, "seed {seed} ({cores} cores)");
         assert_eq!(a.makespan, b.makespan, "seed {seed}");
         assert_eq!(a.checksum, b.checksum, "seed {seed}");
-        assert_eq!(a.outcome.result.stats, b.outcome.result.stats, "seed {seed}");
-        assert_eq!(a.outcome.result.runtime, b.outcome.result.runtime, "seed {seed}");
-        assert_eq!(a.outcome.result.transfers, b.outcome.result.transfers, "seed {seed}");
+        assert_eq!(
+            a.outcome.result.stats, b.outcome.result.stats,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.outcome.result.runtime, b.outcome.result.runtime,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.outcome.result.transfers, b.outcome.result.transfers,
+            "seed {seed}"
+        );
     }
 }
 
@@ -245,7 +275,9 @@ fn cores1_report_renders_byte_identical_to_the_synchronous_machine() {
     }
     assert!(!render.contains("core"), "no core artifacts at cores(1)");
     // And the traces agree span for span.
-    let t_sched = runner::chrome_trace(&sched.outcome).unwrap().to_string_pretty();
+    let t_sched = runner::chrome_trace(&sched.outcome)
+        .unwrap()
+        .to_string_pretty();
     let t_manual = runner::chrome_trace(&manual).unwrap().to_string_pretty();
     assert_eq!(t_sched, t_manual, "chrome traces must be byte-identical");
 }
@@ -268,7 +300,14 @@ fn concurrent_demand_fetches_overlap_in_the_trace() {
         .with_cores(4)
         .with_tracing();
     let (run, _) = execute_open_loop_with_report(&ol, &cfg);
-    let trace = run.outcome.telemetry.as_ref().unwrap().trace.as_ref().unwrap();
+    let trace = run
+        .outcome
+        .telemetry
+        .as_ref()
+        .unwrap()
+        .trace
+        .as_ref()
+        .unwrap();
     let fetches: Vec<_> = trace
         .spans
         .iter()

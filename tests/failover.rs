@@ -99,7 +99,10 @@ fn chaos_sweep_never_loses_an_acknowledged_writeback() {
     for seed in 0..200u64 {
         let fm = crash_run(seed, 2);
         let audit = fm.failover_audit().expect("replicated backend audits");
-        assert!(audit.acked_keys > 0, "seed {seed}: nothing was acknowledged");
+        assert!(
+            audit.acked_keys > 0,
+            "seed {seed}: nothing was acknowledged"
+        );
         assert_eq!(audit.lost, 0, "seed {seed}: acked writeback lost");
         assert_eq!(
             audit.under_replicated, 0,
@@ -177,7 +180,10 @@ fn observed_crash_re_replicates_and_recovers() {
         now += fm.localize(ObjId(base.0 + k), false, now);
     }
     assert_eq!(fm.stats().shard_downs, 1);
-    assert!(fm.stats().re_replications > 0, "ledger must drain off shard 2");
+    assert!(
+        fm.stats().re_replications > 0,
+        "ledger must drain off shard 2"
+    );
 
     // Past the restart: recovery rejoins the shard with a bumped epoch.
     now = 2_000_001;
@@ -201,11 +207,18 @@ fn replicas_one_is_bitwise_free() {
     let (a, rep_a) = execute_with_report(&spec, &plain);
     let (b, rep_b) = execute_with_report(&spec, &r1);
     assert_eq!(a.result.ret, b.result.ret);
-    assert_eq!(a.result.stats, b.result.stats, "replicas(1) must cost nothing");
+    assert_eq!(
+        a.result.stats, b.result.stats,
+        "replicas(1) must cost nothing"
+    );
     assert_eq!(a.result.runtime, b.result.runtime);
     assert_eq!(a.result.transfers, b.result.transfers);
     assert_eq!(a.result.shards, b.result.shards);
-    assert_eq!(rep_a.render(), rep_b.render(), "even the report is identical");
+    assert_eq!(
+        rep_a.render(),
+        rep_b.render(),
+        "even the report is identical"
+    );
 }
 
 /// End to end through the workload runner: a replicated run rides out a cold
@@ -220,11 +233,17 @@ fn workload_survives_cold_crash_with_zero_loss() {
         .with_faults(FaultPlan::none().with_cold_crash(100_000, 400_000));
     let (out, rep) = execute_with_report(&spec, &cfg);
 
-    assert_eq!(out.result.ret, clean.result.ret, "crash must not change the answer");
+    assert_eq!(
+        out.result.ret, clean.result.ret,
+        "crash must not change the answer"
+    );
     let rt = out.result.runtime.unwrap();
     assert_eq!(rt.lost_objects, 0, "R=2 must not lose acknowledged data");
     assert!(rt.shard_downs >= 1, "the crash must be observed");
-    assert_eq!(rt.shard_recoveries, rt.shard_downs, "every down shard rejoins");
+    assert_eq!(
+        rt.shard_recoveries, rt.shard_downs,
+        "every down shard rejoins"
+    );
 
     // Telemetry narrates the arc: down, recovering, up again.
     let snap = out.telemetry.as_ref().unwrap();
@@ -238,10 +257,19 @@ fn workload_survives_cold_crash_with_zero_loss() {
     // The report publishes per-shard failover state and epochs.
     for s in 0..4 {
         let section = format!("shard{s}");
-        assert!(rep.field(&section, "state").is_some(), "missing {section}.state");
-        assert!(rep.field(&section, "epoch").is_some(), "missing {section}.epoch");
+        assert!(
+            rep.field(&section, "state").is_some(),
+            "missing {section}.state"
+        );
+        assert!(
+            rep.field(&section, "epoch").is_some(),
+            "missing {section}.epoch"
+        );
     }
-    assert!(rep.field("shard1", "epoch").unwrap() >= 1, "shard 1 restarted");
+    assert!(
+        rep.field("shard1", "epoch").unwrap() >= 1,
+        "shard 1 restarted"
+    );
 
     // Same seed, same crash, same story — bit for bit.
     let again = execute(&spec, &cfg);

@@ -6,9 +6,7 @@
 //! `lint_module` reports **zero** may-heap accesses without guard custody.
 //! A deliberately tampered module proves the lint is not vacuous.
 
-use trackfm_suite::compiler::{
-    lint_module, ChunkingMode, CompilerOptions, TrackFmCompiler,
-};
+use trackfm_suite::compiler::{lint_module, ChunkingMode, CompilerOptions, TrackFmCompiler};
 use trackfm_suite::ir::{
     BinOp, CastOp, FunctionBuilder, InstKind, Intrinsic, Module, Signature, Type,
 };

@@ -160,9 +160,7 @@ fn c10_skew_amortizes_faults_and_trackfm_wins_low_skew() {
         fsw_high.stats.cycles,
         fsw_low.stats.cycles
     );
-    assert!(
-        fsw_high.pager.unwrap().major_faults < fsw_low.pager.unwrap().major_faults
-    );
+    assert!(fsw_high.pager.unwrap().major_faults < fsw_low.pager.unwrap().major_faults);
     // At low skew, TrackFM wins and moves far less data.
     assert!(tfm_low.stats.cycles < fsw_low.stats.cycles);
     assert!(tfm_low.bytes_transferred() * 4 < fsw_low.bytes_transferred());
@@ -177,14 +175,20 @@ fn c11_nas_directions() {
     let mg = nas::mg(&p);
     let tfm = execute(&mg, &RunConfig::trackfm(0.25));
     let fsw = execute(&mg, &RunConfig::fastswap(0.25));
-    assert!(tfm.result.stats.cycles < fsw.result.stats.cycles, "MG: TrackFM should win");
+    assert!(
+        tfm.result.stats.cycles < fsw.result.stats.cycles,
+        "MG: TrackFM should win"
+    );
 
     let ft = nas::ft(&p);
     let plain = execute(&ft, &RunConfig::trackfm(0.25));
     let mut o1 = RunConfig::trackfm(0.25);
     o1.compiler.o1 = true;
     let opt = execute(&ft, &o1);
-    assert!(opt.result.stats.cycles < plain.result.stats.cycles, "O1 must help FT");
+    assert!(
+        opt.result.stats.cycles < plain.result.stats.cycles,
+        "O1 must help FT"
+    );
 }
 
 /// §5 "Lessons": with repeated access, page-fault costs amortize — Fastswap
@@ -202,7 +206,10 @@ fn lesson_temporal_locality_amortizes_faults() {
     let roomy = execute(&spec, &RunConfig::fastswap(0.7));
     let loc = execute(&spec, &RunConfig::local());
     let slowdown = roomy.result.stats.cycles as f64 / loc.result.stats.cycles as f64;
-    assert!(slowdown < 3.5, "hot-set faults should amortize, got {slowdown:.1}x");
+    assert!(
+        slowdown < 3.5,
+        "hot-set faults should amortize, got {slowdown:.1}x"
+    );
     assert!(roomy.result.stats.cycles < tight.result.stats.cycles);
 }
 

@@ -5,9 +5,7 @@
 use trackfm_suite::analysis::dom::DomTree;
 use trackfm_suite::analysis::loops::LoopForest;
 use trackfm_suite::compiler::{ChunkingMode, CompilerOptions, CostModel, TrackFmCompiler};
-use trackfm_suite::ir::{
-    BinOp, FunctionBuilder, InstKind, Intrinsic, Module, Signature, Type,
-};
+use trackfm_suite::ir::{BinOp, FunctionBuilder, InstKind, Intrinsic, Module, Signature, Type};
 use trackfm_suite::workloads::{analytics, kmeans, memcached, nas, stream};
 
 fn count_intrinsic(m: &Module, which: Intrinsic) -> usize {
@@ -25,7 +23,10 @@ fn count_intrinsic(m: &Module, which: Intrinsic) -> usize {
 
 fn workload_modules() -> Vec<(String, Module)> {
     vec![
-        ("stream".into(), stream::sum(&stream::StreamParams { elems: 1024 }).module),
+        (
+            "stream".into(),
+            stream::sum(&stream::StreamParams { elems: 1024 }).module,
+        ),
         (
             "kmeans".into(),
             kmeans::kmeans(&kmeans::KmeansParams {
@@ -74,8 +75,16 @@ fn compiled_modules_always_verify_and_have_runtime_hooks() {
             1,
             "{name}: exactly one runtime-init hook in main"
         );
-        assert_eq!(count_intrinsic(&m, Intrinsic::Malloc), 0, "{name}: libc malloc survived");
-        assert_eq!(count_intrinsic(&m, Intrinsic::Free), 0, "{name}: libc free survived");
+        assert_eq!(
+            count_intrinsic(&m, Intrinsic::Malloc),
+            0,
+            "{name}: libc malloc survived"
+        );
+        assert_eq!(
+            count_intrinsic(&m, Intrinsic::Free),
+            0,
+            "{name}: libc free survived"
+        );
         assert!(report.insts_after >= report.insts_before, "{name}");
     }
 }
@@ -132,10 +141,7 @@ fn chunk_begins_live_in_preheaders_outside_their_loops() {
                     })
                     .collect();
                 for lp in deref_loops {
-                    assert!(
-                        !lp.contains(block),
-                        "chunk.begin inside the loop it serves"
-                    );
+                    assert!(!lp.contains(block), "chunk.begin inside the loop it serves");
                 }
             }
         }
@@ -184,7 +190,11 @@ fn guard_counts_scale_with_memory_instructions() {
 
 #[test]
 fn o1_pipeline_composes_with_all_chunking_modes() {
-    for mode in [ChunkingMode::Off, ChunkingMode::AllLoops, ChunkingMode::CostModel] {
+    for mode in [
+        ChunkingMode::Off,
+        ChunkingMode::AllLoops,
+        ChunkingMode::CostModel,
+    ] {
         let mut m = nas::ft(&nas::NasParams { shrink: 100 }).module;
         let compiler = TrackFmCompiler::new(CompilerOptions {
             o1: true,

@@ -11,7 +11,9 @@
 //! * the full TrackFM transformation preserves behaviour under far memory.
 
 use trackfm_suite::compiler::{CostModel, TrackFmCompiler};
-use trackfm_suite::ir::{parse_module, BinOp, CmpOp, FunctionBuilder, Module, Signature, Type, Value};
+use trackfm_suite::ir::{
+    parse_module, BinOp, CmpOp, FunctionBuilder, Module, Signature, Type, Value,
+};
 use trackfm_suite::runtime::FarMemoryConfig;
 use trackfm_suite::sim::{LocalMem, Machine, TrackFmMem};
 use trackfm_suite::workloads::SplitMix64;
@@ -128,7 +130,10 @@ fn run_local(m: &Module, a: u64, b: u64) -> u64 {
     let scratch = machine.setup_alloc(128);
     machine.setup_write_u64s(scratch, &[0; 16]);
     machine.finish_setup(false);
-    machine.run("main", &[a, b, scratch]).expect("clean run").ret
+    machine
+        .run("main", &[a, b, scratch])
+        .expect("clean run")
+        .ret
 }
 
 fn run_trackfm(m: &Module, a: u64, b: u64) -> u64 {
@@ -144,19 +149,27 @@ fn run_trackfm(m: &Module, a: u64, b: u64) -> u64 {
     let scratch = machine.setup_alloc(128);
     machine.setup_write_u64s(scratch, &[0; 16]);
     machine.finish_setup(true); // cold: everything remote at t=0
-    machine.run("main", &[a, b, scratch]).expect("clean run").ret
+    machine
+        .run("main", &[a, b, scratch])
+        .expect("clean run")
+        .ret
 }
 
 #[test]
 fn random_programs_verify_roundtrip_optimize_and_remote() {
     let mut rng = SplitMix64::seed_from_u64(0x5EED_0001);
     for case in 0..64 {
-        let ops: Vec<Op> = (0..rng.next_range(1, 39)).map(|_| random_op(&mut rng)).collect();
+        let ops: Vec<Op> = (0..rng.next_range(1, 39))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let seed = rng.next_u64() as i64;
         let a = rng.next_u64();
         let b = rng.next_u64();
         let m = build(&ops, seed);
-        assert!(m.verify().is_ok(), "case {case}: generated program must verify");
+        assert!(
+            m.verify().is_ok(),
+            "case {case}: generated program must verify"
+        );
         let want = run_local(&m, a, b);
 
         // Parser round-trip preserves behaviour and is a print fixpoint.
@@ -186,7 +199,11 @@ fn random_programs_verify_roundtrip_optimize_and_remote() {
             ..Default::default()
         });
         compiler.compile(&mut both, None);
-        assert_eq!(run_trackfm(&both, a, b), want, "O1+TrackFM changed behaviour");
+        assert_eq!(
+            run_trackfm(&both, a, b),
+            want,
+            "O1+TrackFM changed behaviour"
+        );
     }
 }
 
@@ -223,7 +240,9 @@ fn lint_and_sanitizer_agree_on_random_corpus() {
     let mut rng = SplitMix64::seed_from_u64(0x5EED_0004);
     let mut total_eliminated = 0usize;
     for case in 0..200 {
-        let ops: Vec<Op> = (0..rng.next_range(1, 31)).map(|_| random_op(&mut rng)).collect();
+        let ops: Vec<Op> = (0..rng.next_range(1, 31))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let seed = rng.next_u64() as i64;
         let a = rng.next_u64();
         let b = rng.next_u64();
@@ -265,6 +284,268 @@ fn lint_and_sanitizer_agree_on_random_corpus() {
     );
 }
 
+/// One operation of the *interprocedural* generator: the base ops plus
+/// calls into helper functions and constant-trip loops over an invariant
+/// far-memory slot — the shapes the interprocedural custody analysis and
+/// loop-invariant guard motion exist for.
+#[derive(Clone, Debug)]
+enum ExtOp {
+    Base(Op),
+    /// Call the pure arithmetic helper (custody-transparent).
+    CallPure(u8),
+    /// Call the RMW helper on a scratch slot (raw pointer-param deref).
+    CallBump(u8, u8),
+    /// Call the stack-only RMW helper on an alloca slot: interprocedural
+    /// classification proves the pointer param provably-stack, so the
+    /// helper compiles guard-free.
+    CallBumpStack(u8, u8),
+    /// Call the allocating helper (custody-killing).
+    CallKiller(u8),
+    /// Constant-trip loop RMW'ing one invariant scratch slot; the second
+    /// payload bit decides whether the body also calls the pure helper.
+    InvLoop(u8, u8, u8),
+}
+
+fn random_ext_op(rng: &mut SplitMix64) -> ExtOp {
+    let b8 = |rng: &mut SplitMix64| rng.next_u64() as u8;
+    match rng.next_below(9) {
+        0..=3 => ExtOp::Base(random_op(rng)),
+        4 => ExtOp::CallPure(b8(rng)),
+        5 => ExtOp::CallBump(b8(rng), b8(rng)),
+        6 => ExtOp::CallBumpStack(b8(rng), b8(rng)),
+        7 => ExtOp::CallKiller(b8(rng)),
+        _ => ExtOp::InvLoop(b8(rng), b8(rng), b8(rng)),
+    }
+}
+
+/// [`build`]'s multi-function sibling: `main` plus a pure helper, an
+/// RMW-on-pointer-param helper, and an allocating (custody-killing)
+/// helper. Behaviour stays pointer-value-free and deterministic.
+fn build_interproc(ops: &[ExtOp], seed: i64) -> Module {
+    let mut m = Module::new("rand_ip");
+
+    // Pure: f(x) = (x ^ seed) + (x << 1). Custody-transparent.
+    let pure_fn = m.declare_function("pure", Signature::new(vec![Type::I64], Some(Type::I64)));
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(pure_fn));
+        let x = b.param(0);
+        let c = b.iconst(Type::I64, seed);
+        let one = b.iconst(Type::I64, 1);
+        let t = b.binop(BinOp::Xor, x, c);
+        let s = b.binop(BinOp::Shl, x, one);
+        let r = b.binop(BinOp::Add, t, s);
+        b.ret(Some(r));
+    }
+
+    // Bump: v = *p; *p = v + x; return v. Raw deref of the pointer param —
+    // classified (and guarded) from its call sites.
+    let bump_fn = m.declare_function(
+        "bump",
+        Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(bump_fn));
+        let p = b.param(0);
+        let x = b.param(1);
+        let v = b.load(Type::I64, p);
+        let v2 = b.binop(BinOp::Add, v, x);
+        b.store(p, v2);
+        b.ret(Some(v));
+    }
+
+    // Stack-only bump: body identical to `bump`, but every call site
+    // passes an alloca — interprocedurally its param is provably Stack.
+    let bump_stack_fn = m.declare_function(
+        "bump_stack",
+        Signature::new(vec![Type::Ptr, Type::I64], Some(Type::I64)),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(bump_stack_fn));
+        let p = b.param(0);
+        let x = b.param(1);
+        let v = b.load(Type::I64, p);
+        let v2 = b.binop(BinOp::Add, v, x);
+        b.store(p, v2);
+        b.ret(Some(v));
+    }
+
+    // Killer: allocates (and frees) — may trigger evacuation, so custody
+    // must not survive calls to it.
+    let killer_fn = m.declare_function("killer", Signature::new(vec![Type::I64], Some(Type::I64)));
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(killer_fn));
+        let x = b.param(0);
+        let q = b.malloc_const(16);
+        b.store(q, x);
+        let v = b.load(Type::I64, q);
+        b.intrinsic(trackfm_suite::ir::Intrinsic::Free, vec![q]);
+        b.ret(Some(v));
+    }
+
+    let id = m.declare_function(
+        "main",
+        Signature::new(vec![Type::I64, Type::I64, Type::Ptr], Some(Type::I64)),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let scratch = b.param(2);
+        let mut vals: Vec<Value> = vec![b.param(0), b.param(1)];
+        let c = b.iconst(Type::I64, seed);
+        let stack_slots: Vec<Value> = (0..4).map(|_| b.alloca(8, 8)).collect();
+        for &sl in &stack_slots {
+            b.store(sl, c);
+        }
+        vals.push(c);
+        let pick = |vals: &[Value], n: u8| vals[n as usize % vals.len()];
+        for op in ops {
+            let v = match op {
+                ExtOp::Base(op) => match op {
+                    Op::Bin(o, x, y) => {
+                        let a = pick(&vals, *x);
+                        let bb = pick(&vals, *y);
+                        b.binop(BINOPS[*o as usize % BINOPS.len()], a, bb)
+                    }
+                    Op::Cmp(o, x, y) => {
+                        let a = pick(&vals, *x);
+                        let bb = pick(&vals, *y);
+                        b.icmp(CMPS[*o as usize % CMPS.len()], a, bb)
+                    }
+                    Op::StoreLoad(x, s) | Op::StackSlot(x, s) => {
+                        let v = pick(&vals, *x);
+                        let slot = b.iconst(Type::I64, (s % 16) as i64);
+                        let addr = b.gep(scratch, slot, 8, 0);
+                        b.store(addr, v);
+                        b.load(Type::I64, addr)
+                    }
+                },
+                ExtOp::CallPure(x) => {
+                    let a = pick(&vals, *x);
+                    b.call(pure_fn, vec![a], Some(Type::I64))
+                }
+                ExtOp::CallBump(x, s) => {
+                    let a = pick(&vals, *x);
+                    let slot = b.iconst(Type::I64, (s % 16) as i64);
+                    let addr = b.gep(scratch, slot, 8, 0);
+                    b.call(bump_fn, vec![addr, a], Some(Type::I64))
+                }
+                ExtOp::CallBumpStack(x, s) => {
+                    let a = pick(&vals, *x);
+                    let sl = stack_slots[(s % 4) as usize];
+                    b.call(bump_stack_fn, vec![sl, a], Some(Type::I64))
+                }
+                ExtOp::CallKiller(x) => {
+                    let a = pick(&vals, *x);
+                    b.call(killer_fn, vec![a], Some(Type::I64))
+                }
+                ExtOp::InvLoop(x, s, n) => {
+                    let addend = pick(&vals, *x);
+                    let slot = b.iconst(Type::I64, (s % 16) as i64);
+                    let addr = b.gep(scratch, slot, 8, 0);
+                    let zero = b.iconst(Type::I64, 0);
+                    let trip = b.iconst(Type::I64, (n % 5 + 1) as i64);
+                    let with_call = n & 0x80 != 0;
+                    b.counted_loop(zero, trip, 1, |b, _i| {
+                        let t = b.load(Type::I64, addr);
+                        let inc = if with_call {
+                            b.call(pure_fn, vec![addend], Some(Type::I64))
+                        } else {
+                            addend
+                        };
+                        let t2 = b.binop(BinOp::Add, t, inc);
+                        b.store(addr, t2);
+                    });
+                    b.load(Type::I64, addr)
+                }
+            };
+            vals.push(v);
+        }
+        let last = *vals.last().unwrap();
+        b.ret(Some(last));
+    }
+    m
+}
+
+/// The all-combos gate for the interprocedural layer. Over 200 seeded
+/// multi-function programs, every on/off combination of
+/// `{interproc, call_aware_kills, guard_motion}`:
+///
+/// * passes the (always fully interprocedural) static lint;
+/// * runs clean under the dynamic guard sanitizer;
+/// * returns the bit-identical result of a [`LocalMem`] oracle run;
+/// * never simulates *more* cycles than the all-off configuration.
+///
+/// The transforms must also demonstrably fire somewhere in the corpus.
+#[test]
+fn all_interproc_flag_combos_agree_on_random_corpus() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0008);
+    let mut total_hoisted = 0usize;
+    let mut interproc_elided_guards = false;
+    let mut call_aware_extra_elision = false;
+    for case in 0..200 {
+        let ops: Vec<ExtOp> = (0..rng.next_range(1, 25))
+            .map(|_| random_ext_op(&mut rng))
+            .collect();
+        let seed = rng.next_u64() as i64;
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let m = build_interproc(&ops, seed);
+        assert!(m.verify().is_ok(), "case {case}: program must verify");
+        let want = run_local(&m, a, b);
+
+        let mut all_off_cycles = 0u64;
+        let mut guards_by_combo = [0usize; 8];
+        let mut elided_by_combo = [0usize; 8];
+        for combo in 0..8u8 {
+            let opts = trackfm_suite::compiler::CompilerOptions {
+                interproc: combo & 1 != 0,
+                call_aware_kills: combo & 2 != 0,
+                guard_motion: combo & 4 != 0,
+                ..Default::default()
+            };
+            let mut far = m.clone();
+            let report = TrackFmCompiler::new(opts).compile(&mut far, None);
+            // Static: full-precision lint, regardless of transform flags.
+            assert!(
+                trackfm_suite::compiler::lint_module(&far).is_empty(),
+                "case {case} combo {combo:03b}: lint must pass"
+            );
+            // Dynamic: the sanitizer checks custody on the taken path.
+            let (got, cyc) = run_trackfm_sanitized(&far, a, b);
+            assert_eq!(
+                got, want,
+                "case {case} combo {combo:03b}: result differs from the LocalMem oracle"
+            );
+            if combo == 0 {
+                all_off_cycles = cyc;
+            } else {
+                assert!(
+                    cyc <= all_off_cycles,
+                    "case {case} combo {combo:03b}: cycles increased \
+                     ({all_off_cycles} -> {cyc})"
+                );
+            }
+            total_hoisted += report.motion.hoisted;
+            guards_by_combo[combo as usize] = report.total_guards();
+            elided_by_combo[combo as usize] = report.elision.eliminated;
+        }
+        if guards_by_combo[1] < guards_by_combo[0] {
+            interproc_elided_guards = true;
+        }
+        if elided_by_combo[2] > elided_by_combo[0] {
+            call_aware_extra_elision = true;
+        }
+    }
+    assert!(total_hoisted > 0, "guard motion must fire in the corpus");
+    assert!(
+        interproc_elided_guards,
+        "interproc classification must skip guards somewhere in the corpus"
+    );
+    assert!(
+        call_aware_extra_elision,
+        "call-aware kills must enable extra elision somewhere in the corpus"
+    );
+}
+
 /// Both checkers reject the same broken program: a raw dereference of a
 /// heap pointer that never passed through a guard is a static lint error
 /// *and* a dynamic sanitizer trap.
@@ -287,7 +568,9 @@ fn lint_and_sanitizer_both_reject_unguarded_access() {
 
     let errors = trackfm_suite::compiler::lint_module(&m);
     assert_eq!(errors.len(), 1, "lint must flag the raw deref: {errors:?}");
-    assert!(errors[0].to_string().contains("never passed through a guard"));
+    assert!(errors[0]
+        .to_string()
+        .contains("never passed through a guard"));
 
     let cfg = FarMemoryConfig {
         heap_size: 1 << 16,

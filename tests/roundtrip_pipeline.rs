@@ -84,14 +84,17 @@ fn assert_roundtrip(tag: &str, compiled: &Module) -> Module {
     let shape = |m: &Module| {
         m.functions()
             .map(|(_, f)| {
-                let mut sizes: Vec<usize> =
-                    f.blocks().map(|b| f.block_insts(b).len()).collect();
+                let mut sizes: Vec<usize> = f.blocks().map(|b| f.block_insts(b).len()).collect();
                 sizes.sort_unstable();
                 (f.name.clone(), sizes)
             })
             .collect::<Vec<_>>()
     };
-    assert_eq!(shape(compiled), shape(&parsed), "{tag}: module shape changed");
+    assert_eq!(
+        shape(compiled),
+        shape(&parsed),
+        "{tag}: module shape changed"
+    );
     parsed
 }
 

@@ -57,7 +57,11 @@ fn every_workload_preserves_semantics_on_every_system() {
         for cfg in all_systems(0.3, 1024) {
             // `execute` panics if the checksum deviates from the host oracle.
             let out = execute(spec, &cfg);
-            assert!(out.result.stats.instructions > 0, "{} ran nothing", spec.name);
+            assert!(
+                out.result.stats.instructions > 0,
+                "{} ran nothing",
+                spec.name
+            );
         }
     }
 }
@@ -66,7 +70,11 @@ fn every_workload_preserves_semantics_on_every_system() {
 fn all_chunking_modes_preserve_semantics() {
     let spec = stream::copy(&stream::StreamParams { elems: 32 << 10 });
     let profile = collect_profile(&spec);
-    for mode in [ChunkingMode::Off, ChunkingMode::AllLoops, ChunkingMode::CostModel] {
+    for mode in [
+        ChunkingMode::Off,
+        ChunkingMode::AllLoops,
+        ChunkingMode::CostModel,
+    ] {
         for o1 in [false, true] {
             let mut cfg = RunConfig::trackfm(0.25);
             cfg.compiler.chunking = mode;
@@ -118,7 +126,10 @@ fn o1_preserves_semantics_on_alloca_heavy_workloads() {
         lcfg.compiler.o1 = true;
         execute(spec, &lcfg);
     }
-    assert!(promoted_total >= 5, "mem2reg should fire broadly: {promoted_total}");
+    assert!(
+        promoted_total >= 5,
+        "mem2reg should fire broadly: {promoted_total}"
+    );
 }
 
 /// Random element counts, local fractions and object sizes: the stream
@@ -169,7 +180,12 @@ fn kmeans_is_bit_exact() {
         let points = rng.next_range(200, 1_499) as usize;
         let dims = rng.next_range(2, 9) as usize;
         let k = rng.next_range(2, 5) as usize;
-        let spec = kmeans::kmeans(&kmeans::KmeansParams { points, dims, k, iters: 2 });
+        let spec = kmeans::kmeans(&kmeans::KmeansParams {
+            points,
+            dims,
+            k,
+            iters: 2,
+        });
         execute(&spec, &RunConfig::local());
         let mut all_loops = RunConfig::trackfm(0.4);
         all_loops.compiler.chunking = ChunkingMode::AllLoops;

@@ -9,9 +9,7 @@
 //!    case of `SingleNode`, and a whole workload run costs exactly the same
 //!    under either spelling: same cycles, same counters, same ledger.
 
-use trackfm_suite::net::{
-    build_backend, BackendSpec, FaultPlan, LinkParams, PlacementPolicy,
-};
+use trackfm_suite::net::{build_backend, BackendSpec, FaultPlan, LinkParams, PlacementPolicy};
 use trackfm_suite::workloads::runner::{execute, RunConfig};
 use trackfm_suite::workloads::stream::{self, StreamParams};
 
@@ -97,5 +95,8 @@ fn one_shard_identity_survives_fault_injection() {
     assert_eq!(sharded.result.stats, single.result.stats);
     assert_eq!(sharded.result.runtime, single.result.runtime);
     assert_eq!(sharded.result.transfers, single.result.transfers);
-    assert!(single.result.runtime.unwrap().link_faults > 0, "plan must fire");
+    assert!(
+        single.result.runtime.unwrap().link_faults > 0,
+        "plan must fire"
+    );
 }

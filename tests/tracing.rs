@@ -119,7 +119,10 @@ fn chaos_trace_decomposes_remote_guard_latency() {
         .filter(|e| e.kind == "transfer")
         .map(|e| e.tid)
         .collect();
-    assert!(shard_tids.len() >= 2, "expected ≥2 shard tracks: {shard_tids:?}");
+    assert!(
+        shard_tids.len() >= 2,
+        "expected ≥2 shard tracks: {shard_tids:?}"
+    );
 
     // The flamegraph shows the same decomposition, keyed by site label.
     let folded = flamegraph(&out).expect("tracing was on");
@@ -155,7 +158,10 @@ fn disabled_tracing_pays_nothing() {
 
     // telemetry on, tracing off vs. tracing config present but disabled.
     let plain = execute(&spec, &base.with_telemetry(true));
-    let gated = execute(&spec, &base.with_telemetry(true).with_trace(TraceConfig::default()));
+    let gated = execute(
+        &spec,
+        &base.with_telemetry(true).with_trace(TraceConfig::default()),
+    );
     assert!(!TraceConfig::default().enabled);
     assert_eq!(plain.result.stats.cycles, gated.result.stats.cycles);
     let rep_plain = build_report(&spec, &base.with_telemetry(true), &plain);
