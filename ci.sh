@@ -47,8 +47,11 @@ cargo test -q --test concurrency
 #                         acknowledged writebacks. Emits BENCH_failover.json.
 #   concurrency_scaling — cores(1) bit-identical; 8 cores >= 4x throughput.
 #                         Emits BENCH_concurrency.json.
+#   interp_speed        — both engines bit-identical on serving, then the
+#                         bytecode engine must clear >= 1.5x the tree-walker's
+#                         wall clock. Emits BENCH_interp.json.
 for bench in guard_elision guard_motion fault_overhead trace_overhead \
-    shard_scaling failover_overhead concurrency_scaling; do
+    shard_scaling failover_overhead concurrency_scaling interp_speed; do
     case "$bench" in
     guard_elision | guard_motion) TFM_SCALE=8 cargo bench -q -p tfm-bench --bench "$bench" ;;
     *) cargo bench -q -p tfm-bench --bench "$bench" ;;

@@ -1,0 +1,256 @@
+//! Real wall-clock throughput of the two execution engines.
+//!
+//! Everything else in this suite measures *simulated* cycles; this bench
+//! measures *host* time — the only quantity the bytecode engine is allowed
+//! to change. It runs the serving workload under local memory on both
+//! engines, asserts bit-identical simulated results first, then times each
+//! engine and gates on the bytecode engine clearing **≥ 1.5×** the
+//! tree-walker's wall-clock throughput (measured headroom ≈ 2×; the gate
+//! leaves margin for a noisy single-core host).
+//!
+//! A note on the threshold: EXPERIMENTS.md long pegged the tree-walker at
+//! ~76 ns per IR instruction, which would have made a 5× gate trivial.
+//! The measured baseline on this host is ~7 ns/instruction — the
+//! tree-walker is itself a dense-register interpreter — so roughly 1 ns of
+//! every instruction is *shared* simulation work (memory-system calls,
+//! `read_mem`/`write_mem`, edge profiling) and the per-dispatch floor of a
+//! faithful interpreter (~5-7 host cycles at 2.1 GHz) bounds any honest
+//! interpreter-vs-interpreter speedup near ~2.5-3×. The bytecode engine's
+//! measured ~2× comes from superinstruction fusion, lowering-time ALU
+//! specialization and hoisted hot counters; the remaining gap to the
+//! tree-walker's ceiling is shared-cost, not dispatch.
+//!
+//! Emits `BENCH_interp.json` (ns/instruction, M inst/s, speedup, plus
+//! informational sanitized and far-memory rows) for CI trend tracking and
+//! the EXPERIMENTS.md table.
+
+use std::time::Instant;
+use tfm_sim::{ExecEngine, LocalMem, Machine, RunResult, TrackFmMem};
+use tfm_telemetry::Json;
+use tfm_workloads::runner::{self, RunConfig};
+use tfm_workloads::serving::{serving, ServingParams};
+use tfm_workloads::spec::WorkloadSpec;
+use trackfm::TrackFmCompiler;
+
+/// Reps per measurement; the fastest is reported (standard wall-clock
+/// practice: the minimum is the least noise-contaminated sample).
+const REPS: usize = 7;
+
+/// The wall-clock gate: bytecode must clear this many hundredths of the
+/// tree-walker's time (150 = 1.5×).
+const GATE_X100: u64 = 150;
+
+/// One timed run on a fresh machine: returns the result and the wall-clock
+/// nanoseconds of `Machine::run` alone (setup and lowering of the module —
+/// a once-per-machine cost — stay inside the timed region for the bytecode
+/// engine, so the gate is conservative).
+fn timed_local(spec: &WorkloadSpec, engine: ExecEngine) -> (RunResult, u64) {
+    let heap = spec.heap_size(4096);
+    let mut machine = Machine::new(&spec.module, LocalMem::new(heap), Default::default(), heap);
+    machine.set_engine(engine);
+    let args = runner::setup(spec, &mut machine, false);
+    let t = Instant::now();
+    let r = machine.run("main", &args).expect("serving run trapped");
+    (r, t.elapsed().as_nanos() as u64)
+}
+
+/// Best-of-REPS wall time plus the (identical every rep) result.
+fn measure_local(spec: &WorkloadSpec, engine: ExecEngine) -> (RunResult, u64) {
+    let mut best = u64::MAX;
+    let mut result = None;
+    for _ in 0..REPS {
+        let (r, ns) = timed_local(spec, engine);
+        best = best.min(ns);
+        result = Some(r);
+    }
+    (result.unwrap(), best)
+}
+
+/// Informational sanitized measurement: the TrackFM-compiled binary (so
+/// every access carries custody) under the guard sanitizer, where the
+/// tree-walker additionally pays per-call shadow allocations.
+fn measure_sanitized(spec: &WorkloadSpec, engine: ExecEngine) -> (RunResult, u64) {
+    let cfg = RunConfig::trackfm(0.25);
+    let mut module = spec.module.clone();
+    TrackFmCompiler::new(cfg.compiler).compile(&mut module, None);
+    let mut best = u64::MAX;
+    let mut result = None;
+    for _ in 0..REPS {
+        let heap = spec.heap_size(4096);
+        let mut machine = Machine::new(&module, LocalMem::new(heap), Default::default(), heap);
+        machine.set_engine(engine);
+        machine.enable_guard_sanitizer();
+        let args = runner::setup(spec, &mut machine, false);
+        let t = Instant::now();
+        let r = machine.run("main", &args).expect("serving run trapped");
+        best = best.min(t.elapsed().as_nanos() as u64);
+        result = Some(r);
+    }
+    (result.unwrap(), best)
+}
+
+/// Informational far-memory measurement: the TrackFM-compiled binary on the
+/// object runtime, where memory-system work dilutes the interpreter's share
+/// of the wall clock (Amdahl) — reported, not gated.
+fn measure_trackfm(spec: &WorkloadSpec, engine: ExecEngine) -> (RunResult, u64) {
+    let cfg = RunConfig::trackfm(0.25);
+    let mut module = spec.module.clone();
+    TrackFmCompiler::new(cfg.compiler).compile(&mut module, None);
+    let mut best = u64::MAX;
+    let mut result = None;
+    for _ in 0..REPS {
+        let mem = TrackFmMem::new(runner::far_config(spec, &cfg), cfg.cost);
+        let heap = spec.heap_size(cfg.object_size);
+        let mut machine = Machine::new(&module, mem, cfg.cost, heap);
+        machine.set_engine(engine);
+        let args = runner::setup(spec, &mut machine, false);
+        let t = Instant::now();
+        let r = machine.run("main", &args).expect("serving run trapped");
+        best = best.min(t.elapsed().as_nanos() as u64);
+        result = Some(r);
+    }
+    (result.unwrap(), best)
+}
+
+fn ns_per_inst_x100(ns: u64, insts: u64) -> u64 {
+    ns * 100 / insts.max(1)
+}
+
+fn minst_per_sec(ns: u64, insts: u64) -> u64 {
+    insts * 1_000 / ns.max(1)
+}
+
+fn main() {
+    let spec = serving(&ServingParams::default());
+
+    // ------------------------------------------------------------------
+    // 1. Identity gate before any timing: both engines must agree on the
+    //    full simulated outcome (result, cycles, every counter).
+    // ------------------------------------------------------------------
+    println!("interp_speed: identity check");
+    let (tw_r, _) = timed_local(&spec, ExecEngine::TreeWalk);
+    let (bc_r, _) = timed_local(&spec, ExecEngine::Bytecode);
+    assert_eq!(tw_r.ret, bc_r.ret, "engines must agree on the result");
+    assert_eq!(
+        tw_r.stats, bc_r.stats,
+        "engines must agree on every simulated counter"
+    );
+    assert_eq!(
+        tw_r.ret,
+        spec.expected.expect("serving has an oracle"),
+        "serving oracle"
+    );
+    assert_eq!(
+        bc_r.engine.dispatched_insts, bc_r.stats.instructions,
+        "bytecode must dispatch every retired instruction"
+    );
+    println!(
+        "  identical: ret={} cycles={} insts={}",
+        tw_r.ret, tw_r.stats.cycles, tw_r.stats.instructions
+    );
+
+    // ------------------------------------------------------------------
+    // 2. The wall-clock gate: serving under local memory, best of REPS.
+    // ------------------------------------------------------------------
+    let (tw_r, tw_ns) = measure_local(&spec, ExecEngine::TreeWalk);
+    let (bc_r, bc_ns) = measure_local(&spec, ExecEngine::Bytecode);
+    let insts = tw_r.stats.instructions;
+    let speedup_x100 = tw_ns * 100 / bc_ns.max(1);
+    println!("\ninterp_speed (serving, {insts} insts, local memory, best of {REPS}):");
+    for (name, ns) in [("treewalk", tw_ns), ("bytecode", bc_ns)] {
+        let nspi = ns_per_inst_x100(ns, insts);
+        println!(
+            "  {name:<9} {:>9} us  {:>3}.{:02} ns/inst  {:>5} M inst/s",
+            ns / 1_000,
+            nspi / 100,
+            nspi % 100,
+            minst_per_sec(ns, insts),
+        );
+    }
+    println!(
+        "  speedup   {}.{:02}x (gate: >= {}.{:02}x)",
+        speedup_x100 / 100,
+        speedup_x100 % 100,
+        GATE_X100 / 100,
+        GATE_X100 % 100
+    );
+    assert_eq!(tw_r.stats, bc_r.stats, "timed runs must stay identical");
+    assert!(
+        bc_ns * GATE_X100 <= tw_ns * 100,
+        "bytecode must clear >= {GATE_X100}/100 x the tree-walker on serving: \
+         {bc_ns} ns vs {tw_ns} ns"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Informational: sanitize mode (TrackFM-compiled, custody shadow
+    //    tracking on) and far memory (Amdahl-diluted) comparisons.
+    // ------------------------------------------------------------------
+    let (stw_r, stw_ns) = measure_sanitized(&spec, ExecEngine::TreeWalk);
+    let (sbc_r, sbc_ns) = measure_sanitized(&spec, ExecEngine::Bytecode);
+    assert_eq!(
+        stw_r.stats, sbc_r.stats,
+        "sanitized runs must stay identical"
+    );
+    let san_speedup_x100 = stw_ns * 100 / sbc_ns.max(1);
+    println!(
+        "\n  sanitized (guard sanitizer, trackfm-compiled): {} us -> {} us ({}.{:02}x, informational)",
+        stw_ns / 1_000,
+        sbc_ns / 1_000,
+        san_speedup_x100 / 100,
+        san_speedup_x100 % 100
+    );
+
+    let (ftw_r, ftw_ns) = measure_trackfm(&spec, ExecEngine::TreeWalk);
+    let (fbc_r, fbc_ns) = measure_trackfm(&spec, ExecEngine::Bytecode);
+    assert_eq!(
+        ftw_r.stats, fbc_r.stats,
+        "far-memory runs must stay identical"
+    );
+    let far_speedup_x100 = ftw_ns * 100 / fbc_ns.max(1);
+    println!(
+        "  far-memory (trackfm 25% local): {} us -> {} us ({}.{:02}x, informational)",
+        ftw_ns / 1_000,
+        fbc_ns / 1_000,
+        far_speedup_x100 / 100,
+        far_speedup_x100 % 100
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("interp_speed".into())),
+        ("workload".into(), Json::Str("serving".into())),
+        ("identical".into(), Json::Bool(true)),
+        ("instructions".into(), Json::Int(insts)),
+        ("treewalk_ns".into(), Json::Int(tw_ns)),
+        ("bytecode_ns".into(), Json::Int(bc_ns)),
+        (
+            "treewalk_ns_per_inst_x100".into(),
+            Json::Int(ns_per_inst_x100(tw_ns, insts)),
+        ),
+        (
+            "bytecode_ns_per_inst_x100".into(),
+            Json::Int(ns_per_inst_x100(bc_ns, insts)),
+        ),
+        (
+            "treewalk_minst_per_sec".into(),
+            Json::Int(minst_per_sec(tw_ns, insts)),
+        ),
+        (
+            "bytecode_minst_per_sec".into(),
+            Json::Int(minst_per_sec(bc_ns, insts)),
+        ),
+        ("speedup_x100".into(), Json::Int(speedup_x100)),
+        ("gate_x100".into(), Json::Int(GATE_X100)),
+        (
+            "gate_pass".into(),
+            Json::Bool(bc_ns * GATE_X100 <= tw_ns * 100),
+        ),
+        ("san_treewalk_ns".into(), Json::Int(stw_ns)),
+        ("san_bytecode_ns".into(), Json::Int(sbc_ns)),
+        ("san_speedup_x100".into(), Json::Int(san_speedup_x100)),
+        ("far_treewalk_ns".into(), Json::Int(ftw_ns)),
+        ("far_bytecode_ns".into(), Json::Int(fbc_ns)),
+        ("far_speedup_x100".into(), Json::Int(far_speedup_x100)),
+    ]);
+    std::fs::write("BENCH_interp.json", doc.to_string_pretty()).expect("write BENCH_interp.json");
+    println!("\n  wrote BENCH_interp.json");
+}

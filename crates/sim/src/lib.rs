@@ -16,6 +16,13 @@
 //! returns a [`RunResult`] with cycles, guard/fault counters and network
 //! byte ledgers — everything the paper's tables and figures plot.
 //!
+//! Two execution engines sit behind [`Machine::run`], selected with
+//! [`Machine::set_engine`]: the tree-walking interpreter (default) and the
+//! flattened register-[`bytecode`] engine, which lowers the module once and
+//! dispatches from dense pre-resolved instructions. Both are bit-identical
+//! in every simulated quantity; bytecode is ~an order of magnitude faster
+//! in real time (see DESIGN.md §6j).
+//!
 //! ## Example: the sum loop end to end
 //!
 //! ```
@@ -58,17 +65,18 @@
 //! assert!(result.bytes_transferred() > 0); // data came over the network
 //! ```
 
+pub mod bytecode;
 mod machine;
 mod memsys;
 mod sched;
 mod stats;
 mod trap;
 
-pub use machine::Machine;
+pub use machine::{ExecEngine, Machine};
 pub use memsys::{
     FastswapMem, HybridMem, LocalMem, MemSummary, MemorySystem, TrackFmMem, GLOBAL_BASE, HEAP_BASE,
     STACK_BASE,
 };
 pub use sched::CoreSet;
-pub use stats::{ExecStats, RunResult};
+pub use stats::{EngineStats, ExecStats, RunResult};
 pub use trap::Trap;

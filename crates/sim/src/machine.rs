@@ -9,10 +9,12 @@
 //! Integer values are stored sign-extended to 64 bits; unsigned operations
 //! mask to the operand width first. `f64` values are stored as raw bits.
 
+use crate::bytecode::Program;
 use crate::memsys::{MemorySystem, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
-use crate::stats::{ExecStats, RunResult};
+use crate::stats::{EngineStats, ExecStats, RunResult};
 use crate::trap::Trap;
 use std::collections::HashMap;
+use std::rc::Rc;
 use tfm_analysis::profile::Profile;
 use tfm_ir::{
     BinOp, Block, CastOp, CmpOp, FCmpOp, FuncId, Function, InstKind, Intrinsic, Module, Type, Value,
@@ -21,10 +23,27 @@ use tfm_runtime::TfmPtr;
 use tfm_telemetry::{EventKind, SiteKey, SpanKind, Telemetry};
 use trackfm::CostModel;
 
+/// Selects the execution engine behind [`Machine::run`].
+///
+/// Both engines implement identical semantics and cycle accounting — every
+/// simulated quantity (results, cycles, stats, traps, telemetry) is
+/// bit-identical between them. The bytecode engine only changes *real*
+/// wall-clock throughput (see DESIGN.md §6j).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// The original tree-walking interpreter over [`tfm_ir::InstKind`].
+    #[default]
+    TreeWalk,
+    /// The flattened register-bytecode engine (see [`crate::bytecode`]):
+    /// the module is lowered once into dense [`crate::bytecode::Program`]
+    /// form and executed by a tight dispatch loop.
+    Bytecode,
+}
+
 /// Downgrades every killable custody bit (see [`shadow`]): the dynamic
 /// counterpart of the static analysis clearing its cover map at calls and
 /// allocating intrinsics.
-fn kill_custody(cov: &mut [u8]) {
+pub(crate) fn kill_custody(cov: &mut [u8]) {
     for c in cov.iter_mut() {
         if *c == shadow::CUSTODY {
             *c = shadow::NONE;
@@ -33,7 +52,7 @@ fn kill_custody(cov: &mut [u8]) {
 }
 
 /// Default simulated stack size (1 MiB).
-const STACK_SIZE: usize = 1 << 20;
+pub(crate) const STACK_SIZE: usize = 1 << 20;
 
 /// Maps a classified guard outcome to the span kind it should be recorded
 /// as, plus whether the span is worth keeping when tracing. Fast-path
@@ -60,38 +79,54 @@ struct ProfileCollector {
 
 /// The interpreter.
 pub struct Machine<'m, M: MemorySystem> {
-    module: &'m Module,
+    pub(crate) module: &'m Module,
     /// The memory system (exposed for test assertions).
     pub mem: M,
-    cost: CostModel,
+    pub(crate) cost: CostModel,
     heap: Vec<u8>,
     globals: Vec<u8>,
-    global_offsets: Vec<u64>,
-    stack: Vec<u8>,
-    stack_top: u64,
-    clock: u64,
-    stats: ExecStats,
+    pub(crate) global_offsets: Vec<u64>,
+    pub(crate) stack: Vec<u8>,
+    pub(crate) stack_top: u64,
+    pub(crate) clock: u64,
+    pub(crate) stats: ExecStats,
     profiler: Option<ProfileCollector>,
-    fuel: u64,
+    pub(crate) fuel: u64,
     tel: Telemetry,
-    sanitize: bool,
+    pub(crate) sanitize: bool,
     /// Bumped every time a killing operation clobbers custody shadows.
     /// Callers compare epochs around a call: custody survives when the
     /// callee (transitively) executed no kill — the dynamic mirror of the
     /// static custody-transparency summaries, and always a subset of the
     /// static may-kill set.
-    kill_epoch: u64,
+    pub(crate) kill_epoch: u64,
     /// Argument custody shadows staged by a `Call` for the callee's
     /// parameters (the dynamic mirror of summary entry covers).
-    arg_cov: Vec<u8>,
+    pub(crate) arg_cov: Vec<u8>,
     /// Custody shadow of the value the last `Ret` returned (the dynamic
     /// mirror of summary return covers).
-    ret_cov: u8,
+    pub(crate) ret_cov: u8,
+    /// Which engine [`Machine::run`] executes on.
+    engine: ExecEngine,
+    /// Lowering/dispatch counters for the bytecode engine (zero under the
+    /// tree-walker, keeping its reports byte-identical).
+    pub(crate) engine_stats: EngineStats,
+    /// The lowered module, built lazily on the first bytecode run and
+    /// reused for every subsequent call (`Rc` so the dispatch loop can hold
+    /// it across `&mut self` method calls).
+    pub(crate) bc: Option<Rc<Program>>,
+    /// Shared register stack for bytecode frames (one zero-filled window
+    /// per active call, replacing the tree-walker's per-call `Vec`).
+    pub(crate) bc_regs: Vec<u64>,
+    /// Shadow custody stack parallel to [`Self::bc_regs`] (sanitizer only).
+    pub(crate) bc_cov: Vec<u8>,
+    /// Reusable parallel-copy scratch for phi edges.
+    pub(crate) bc_scratch: Vec<(u32, u64, u8)>,
 }
 
 /// Guard-sanitizer shadow state for one SSA value (see
 /// [`Machine::enable_guard_sanitizer`]).
-mod shadow {
+pub(crate) mod shadow {
     /// No custody: dereferencing a heap address through this value traps.
     pub const NONE: u8 = 0;
     /// Guard/chunk-deref custody: valid until the next call or allocating
@@ -137,7 +172,25 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             kill_epoch: 0,
             arg_cov: Vec::new(),
             ret_cov: shadow::NONE,
+            engine: ExecEngine::TreeWalk,
+            engine_stats: EngineStats::default(),
+            bc: None,
+            bc_regs: Vec::new(),
+            bc_cov: Vec::new(),
+            bc_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the execution engine for subsequent [`Machine::run`] calls.
+    /// Both engines are bit-identical in every simulated quantity; the
+    /// bytecode engine is simply faster in real time.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// The engine [`Machine::run`] currently executes on.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Enables the dynamic guard sanitizer: every register carries a shadow
@@ -322,13 +375,17 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
             .module
             .find_function(func)
             .unwrap_or_else(|| panic!("no function named `{func}`"));
-        let ret = self.exec_function(fid, args)?;
+        let ret = match self.engine {
+            ExecEngine::TreeWalk => self.exec_function(fid, args)?,
+            ExecEngine::Bytecode => self.run_bytecode(fid, args)?,
+        };
         let mut stats = self.stats;
         stats.cycles = self.clock;
         let summary = self.mem.summary();
         Ok(RunResult {
             ret,
             stats,
+            engine: self.engine_stats,
             runtime: summary.runtime,
             pager: summary.pager,
             transfers: summary.transfers,
@@ -359,7 +416,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         }
         let saved_stack = self.stack_top;
         let mut block = f.entry_block();
-        self.profile_block(fid, block, f);
+        self.profile_block(fid, block, f.num_blocks());
         'blocks: loop {
             let insts = f.block_insts(block);
             for &v in insts {
@@ -421,7 +478,12 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                             && cov[ptr.index()] == shadow::NONE
                             && self.is_sanitized_addr(addr)
                         {
-                            return Err(Trap::UnguardedAccess { addr });
+                            return Err(Trap::UnguardedAccess {
+                                addr,
+                                func: fid.0,
+                                block: block.0,
+                                inst: v.0,
+                            });
                         }
                         self.stats.loads += 1;
                         let extra =
@@ -439,7 +501,12 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                             && cov[ptr.index()] == shadow::NONE
                             && self.is_sanitized_addr(addr)
                         {
-                            return Err(Trap::UnguardedAccess { addr });
+                            return Err(Trap::UnguardedAccess {
+                                addr,
+                                func: fid.0,
+                                block: block.0,
+                                inst: v.0,
+                            });
                         }
                         self.stats.stores += 1;
                         let extra =
@@ -604,27 +671,35 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
                 cov[v.index()] = c;
             }
         }
-        if let Some(col) = &mut self.profiler {
-            *col.edges.entry((fid.0, from.0, to.0)).or_insert(0) += 1;
-        }
-        self.profile_block(fid, to, f);
+        self.note_edge(fid, from.0, to.0);
+        self.profile_block(fid, to, f.num_blocks());
     }
 
     /// True if the sanitizer polices accesses to `addr`: tagged TrackFM
     /// pointers (always) and canonical heap addresses (whose custody the
     /// shadow state must vouch for). Stack and global addresses are exempt.
-    fn is_sanitized_addr(&self, addr: u64) -> bool {
+    #[inline]
+    pub(crate) fn is_sanitized_addr(&self, addr: u64) -> bool {
         TfmPtr::is_tfm(addr) || (addr >= HEAP_BASE && addr < HEAP_BASE + self.heap.len() as u64)
     }
 
-    fn profile_block(&mut self, fid: FuncId, b: Block, f: &Function) {
+    /// Records one edge traversal when profiling is on (both engines).
+    #[inline]
+    pub(crate) fn note_edge(&mut self, fid: FuncId, from: u32, to: u32) {
+        if let Some(col) = &mut self.profiler {
+            *col.edges.entry((fid.0, from, to)).or_insert(0) += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn profile_block(&mut self, fid: FuncId, b: Block, num_blocks: usize) {
         if let Some(col) = &mut self.profiler {
             let counts = col
                 .blocks
                 .entry(fid.0)
-                .or_insert_with(|| vec![0; f.num_blocks()]);
-            if counts.len() < f.num_blocks() {
-                counts.resize(f.num_blocks(), 0);
+                .or_insert_with(|| vec![0; num_blocks]);
+            if counts.len() < num_blocks {
+                counts.resize(num_blocks, 0);
             }
             counts[b.index()] += 1;
         }
@@ -680,7 +755,7 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         kind
     }
 
-    fn exec_intrinsic(
+    pub(crate) fn exec_intrinsic(
         &mut self,
         intr: Intrinsic,
         args: &[u64],
@@ -834,7 +909,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
     // Raw byte access.
     // ------------------------------------------------------------------
 
-    fn resolve(&mut self, addr: u64, size: u64) -> Result<&mut [u8], Trap> {
+    #[inline]
+    pub(crate) fn resolve(&mut self, addr: u64, size: u64) -> Result<&mut [u8], Trap> {
         let end = addr.wrapping_add(size);
         if addr >= HEAP_BASE && end <= HEAP_BASE + self.heap.len() as u64 {
             let off = (addr - HEAP_BASE) as usize;
@@ -850,7 +926,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         }
     }
 
-    fn read_mem(&mut self, addr: u64, ty: Type) -> Result<u64, Trap> {
+    #[inline]
+    pub(crate) fn read_mem(&mut self, addr: u64, ty: Type) -> Result<u64, Trap> {
         let size = ty.size() as usize;
         let b = self.resolve(addr, size as u64)?;
         Ok(match ty {
@@ -861,7 +938,8 @@ impl<'m, M: MemorySystem> Machine<'m, M> {
         })
     }
 
-    fn write_mem(&mut self, addr: u64, val: u64, ty: Type) -> Result<(), Trap> {
+    #[inline]
+    pub(crate) fn write_mem(&mut self, addr: u64, val: u64, ty: Type) -> Result<(), Trap> {
         let size = ty.size() as usize;
         let b = self.resolve(addr, size as u64)?;
         match ty {
@@ -898,7 +976,8 @@ fn sext(v: u64, ty: Type) -> u64 {
     }
 }
 
-fn exec_binop(op: BinOp, a: u64, b: u64, ty: Type) -> Result<u64, Trap> {
+#[inline(always)]
+pub(crate) fn exec_binop(op: BinOp, a: u64, b: u64, ty: Type) -> Result<u64, Trap> {
     if op.is_float() {
         let (x, y) = (f64::from_bits(a), f64::from_bits(b));
         let r = match op {
@@ -951,7 +1030,8 @@ fn exec_binop(op: BinOp, a: u64, b: u64, ty: Type) -> Result<u64, Trap> {
     Ok(sext(r, ty))
 }
 
-fn exec_icmp(op: CmpOp, a: u64, b: u64, ty: Type) -> bool {
+#[inline(always)]
+pub(crate) fn exec_icmp(op: CmpOp, a: u64, b: u64, ty: Type) -> bool {
     let (sa, sb) = (a as i64, b as i64);
     let (ua, ub) = (mask_unsigned(a, ty), mask_unsigned(b, ty));
     match op {
@@ -968,7 +1048,8 @@ fn exec_icmp(op: CmpOp, a: u64, b: u64, ty: Type) -> bool {
     }
 }
 
-fn exec_fcmp(op: FCmpOp, x: f64, y: f64) -> bool {
+#[inline(always)]
+pub(crate) fn exec_fcmp(op: FCmpOp, x: f64, y: f64) -> bool {
     match op {
         FCmpOp::Oeq => x == y,
         FCmpOp::One => x != y && !x.is_nan() && !y.is_nan(),
@@ -979,7 +1060,8 @@ fn exec_fcmp(op: FCmpOp, x: f64, y: f64) -> bool {
     }
 }
 
-fn exec_cast(op: CastOp, v: u64, from: Type, to: Type) -> u64 {
+#[inline(always)]
+pub(crate) fn exec_cast(op: CastOp, v: u64, from: Type, to: Type) -> u64 {
     match op {
         CastOp::Zext => mask_unsigned(v, from),
         CastOp::Sext => sext(v, from),

@@ -43,6 +43,15 @@ pub enum Trap {
     UnguardedAccess {
         /// The faulting address.
         addr: u64,
+        /// Function index of the faulting load/store.
+        func: u32,
+        /// Block index of the faulting load/store.
+        block: u32,
+        /// Value (instruction) index of the faulting load/store. Both
+        /// engines resolve the same position: the tree-walker reads it off
+        /// the instruction it is visiting, the bytecode engine maps the
+        /// faulting pc back through its side table.
+        inst: u32,
     },
 }
 
@@ -62,9 +71,15 @@ impl fmt::Display for Trap {
             Trap::AllocFailure => write!(f, "allocation failure"),
             Trap::BadChunkHandle { handle } => write!(f, "invalid chunk handle {handle}"),
             Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
-            Trap::UnguardedAccess { addr } => write!(
+            Trap::UnguardedAccess {
+                addr,
+                func,
+                block,
+                inst,
+            } => write!(
                 f,
-                "guard sanitizer: access to {addr:#x} without live guard custody"
+                "guard sanitizer: access to {addr:#x} without live guard custody \
+                 (at @f{func} bb{block} %{inst})"
             ),
         }
     }
@@ -86,8 +101,12 @@ mod tests {
         assert!(Trap::DivByZero.to_string().contains("division"));
         let u = Trap::UnguardedAccess {
             addr: 0x2000_0000_0040,
+            func: 1,
+            block: 2,
+            inst: 9,
         };
         assert!(u.to_string().contains("guard sanitizer"));
         assert!(u.to_string().contains("0x200000000040"));
+        assert!(u.to_string().contains("@f1 bb2 %9"));
     }
 }

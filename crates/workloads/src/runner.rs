@@ -13,7 +13,9 @@ use tfm_fastswap::PagerConfig;
 use tfm_ir::Module;
 use tfm_net::{BackendSpec, FaultPlan, LinkParams};
 use tfm_runtime::{FarMemoryConfig, PrefetchConfig, RetryPolicy};
-use tfm_sim::{FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem};
+use tfm_sim::{
+    ExecEngine, FastswapMem, HybridMem, LocalMem, Machine, MemorySystem, RunResult, TrackFmMem,
+};
 use tfm_telemetry::{Json, RunReport, SiteKey, Telemetry, TelemetrySnapshot, TraceConfig};
 use trackfm::{CompileReport, CompilerOptions, CostModel, TrackFmCompiler};
 
@@ -79,6 +81,10 @@ pub struct RunConfig {
     /// `1` keeps even open-loop runs on the synchronous single-machine
     /// path, bit-identical to every other run.
     pub cores: u32,
+    /// Which execution engine interprets the program. Both engines produce
+    /// bit-identical simulated results; the bytecode engine only runs
+    /// faster in real time (see `tfm_sim::bytecode`).
+    pub engine: ExecEngine,
 }
 
 impl RunConfig {
@@ -97,6 +103,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             backend: BackendSpec::SingleNode,
             cores: 1,
+            engine: ExecEngine::TreeWalk,
         }
     }
 
@@ -188,6 +195,13 @@ impl RunConfig {
     /// (floored to 1; closed-loop runs are unaffected).
     pub fn with_cores(mut self, cores: u32) -> Self {
         self.cores = cores.max(1);
+        self
+    }
+
+    /// Selects the execution engine ([`ExecEngine::Bytecode`] for fast
+    /// wall-clock sweeps; simulated results are identical either way).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -376,7 +390,15 @@ pub fn build_report(spec: &WorkloadSpec, cfg: &RunConfig, outcome: &Outcome) -> 
     if !cfg.backend.is_single() {
         rep.push_meta("backend", cfg.backend);
     }
+    // Engine visibility is gated on actual bytecode activity so tree-walk
+    // reports stay byte-identical to their historical form.
+    if outcome.result.engine.lowered_fns > 0 {
+        rep.push_meta("engine", "bytecode");
+    }
     rep.push_section(&outcome.result.stats);
+    if outcome.result.engine.lowered_fns > 0 {
+        rep.push_section(&outcome.result.engine);
+    }
     if let Some(rt) = &outcome.result.runtime {
         rep.push_section(rt);
     }
@@ -473,6 +495,7 @@ fn run_machine<M: MemorySystem>(
     cold: bool,
 ) -> (RunResult, Option<TelemetrySnapshot>) {
     let mut machine = Machine::new(module, mem, cfg.cost, heap);
+    machine.set_engine(cfg.engine);
     let args = setup(spec, &mut machine, cold);
     // Telemetry attaches only after setup: the report should describe the
     // measured phase, not in-app initialization.

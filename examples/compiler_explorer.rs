@@ -234,6 +234,25 @@ fn main() {
             s.func, s.survivor, s.absorbed
         );
     }
+    // ------------------------------------------------------------------
+    // The execution engine's view: the compiled module flattened into
+    // dense register bytecode (what `ExecEngine::Bytecode` dispatches).
+    // ------------------------------------------------------------------
+    let prog = trackfm_suite::sim::bytecode::lower_module(&compiled);
+    println!("\n================ REGISTER BYTECODE ================");
+    println!("; the lowered form the bytecode engine executes: virtual");
+    println!("; registers, fall-through blocks, fused superinstructions");
+    println!("; (gep+load, gep+store, icmp+br) and 64-bit ALU opcodes.");
+    print!(
+        "{}",
+        prog.disasm(&|site| {
+            rep.guard_sites
+                .iter()
+                .find(|s| s.func == site.func() && s.value == site.value())
+                .map(|s| s.label.clone())
+        })
+    );
+
     println!("\nInterprocedural things to look for:");
     println!("  * `classify` is custody-transparent (kills=false): guards stay live");
     println!("    across the call, so the total-slot read/write pair folds into one");

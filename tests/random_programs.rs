@@ -591,6 +591,175 @@ fn lint_and_sanitizer_both_reject_unguarded_access() {
     }
 }
 
+/// Runs `m` under far memory on the given engine, returning the outcome
+/// and the machine's final clock (observable even when the run traps —
+/// that's what makes the fuel-lockstep sweep below possible).
+fn exec_far_engine(
+    m: &Module,
+    engine: trackfm_suite::sim::ExecEngine,
+    a: u64,
+    b: u64,
+    sanitize: bool,
+    fuel: u64,
+) -> (
+    Result<trackfm_suite::sim::RunResult, trackfm_suite::sim::Trap>,
+    u64,
+) {
+    let cfg = FarMemoryConfig {
+        heap_size: 1 << 16,
+        object_size: 64,
+        local_budget: 256,
+        link: trackfm_suite::net::LinkParams::tcp_25g(),
+        ..FarMemoryConfig::small()
+    };
+    let mem = TrackFmMem::new(cfg, CostModel::default());
+    let mut machine = Machine::new(m, mem, CostModel::default(), 1 << 16);
+    machine.set_engine(engine);
+    machine.set_fuel(fuel);
+    if sanitize {
+        machine.enable_guard_sanitizer();
+    }
+    let scratch = machine.setup_alloc(128);
+    machine.setup_write_u64s(scratch, &[0; 16]);
+    machine.finish_setup(true);
+    let r = machine.run("main", &[a, b, scratch]);
+    let clock = machine.clock();
+    (r, clock)
+}
+
+/// Asserts the two engines produced bit-identical outcomes: same
+/// result-or-trap (including trap positions), same full [`ExecStats`]
+/// (cycles, instructions, loads/stores, every guard counter, stalls), and
+/// the same final clock.
+#[allow(clippy::type_complexity)]
+fn assert_engines_identical(
+    ctx: &str,
+    tw: (
+        Result<trackfm_suite::sim::RunResult, trackfm_suite::sim::Trap>,
+        u64,
+    ),
+    bc: (
+        Result<trackfm_suite::sim::RunResult, trackfm_suite::sim::Trap>,
+        u64,
+    ),
+) {
+    match (&tw.0, &bc.0) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.ret, y.ret, "{ctx}: results differ");
+            assert_eq!(x.stats, y.stats, "{ctx}: exec stats differ");
+            assert_eq!(x.runtime, y.runtime, "{ctx}: runtime stats differ");
+            assert_eq!(x.transfers, y.transfers, "{ctx}: transfer ledgers differ");
+            assert_eq!(
+                y.engine.dispatched_insts, y.stats.instructions,
+                "{ctx}: bytecode must dispatch every retired instruction"
+            );
+            assert_eq!(
+                x.engine,
+                Default::default(),
+                "{ctx}: tree-walk engine counters must stay zero"
+            );
+        }
+        (Err(x), Err(y)) => assert_eq!(x, y, "{ctx}: traps differ"),
+        _ => panic!(
+            "{ctx}: engines disagree on outcome: {:?} vs {:?}",
+            tw.0, bc.0
+        ),
+    }
+    assert_eq!(tw.1, bc.1, "{ctx}: final clocks differ");
+}
+
+/// The differential engine sweep: over the 200-seed corpus (both the
+/// single-function and the interprocedural generator), the tree-walker and
+/// the bytecode engine must agree on result, trap, cycle count, and
+/// sanitizer verdict — and, via a per-instruction fuel lockstep, at *every
+/// instruction boundary*: truncating both engines after exactly k retired
+/// instructions must leave them at the same clock with the same trap.
+#[test]
+fn engines_agree_on_random_corpus_in_lockstep() {
+    use trackfm_suite::sim::ExecEngine;
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_0010);
+    for case in 0..200 {
+        let (m, a, b) = if case % 2 == 0 {
+            let ops: Vec<Op> = (0..rng.next_range(1, 31))
+                .map(|_| random_op(&mut rng))
+                .collect();
+            let seed = rng.next_u64() as i64;
+            (build(&ops, seed), rng.next_u64(), rng.next_u64())
+        } else {
+            let ops: Vec<ExtOp> = (0..rng.next_range(1, 25))
+                .map(|_| random_ext_op(&mut rng))
+                .collect();
+            let seed = rng.next_u64() as i64;
+            (build_interproc(&ops, seed), rng.next_u64(), rng.next_u64())
+        };
+        let mut far = m.clone();
+        TrackFmCompiler::default().compile(&mut far, None);
+
+        // Full runs, sanitizer off and on: result, stats, cycles, verdict.
+        for sanitize in [false, true] {
+            let tw = exec_far_engine(&far, ExecEngine::TreeWalk, a, b, sanitize, u64::MAX);
+            let bc = exec_far_engine(&far, ExecEngine::Bytecode, a, b, sanitize, u64::MAX);
+            assert_engines_identical(&format!("case {case} sanitize={sanitize}"), tw, bc);
+        }
+
+        // Per-instruction lockstep on a deterministic subset: truncate both
+        // engines at instruction k via the fuel limit and compare the
+        // partial timelines. Identical clocks at every probed k means the
+        // engines charge cycles in the same per-instruction order, not just
+        // to the same total.
+        if case % 10 == 0 {
+            let (full, _) = exec_far_engine(&far, ExecEngine::TreeWalk, a, b, false, u64::MAX);
+            let retired = full.as_ref().map(|r| r.stats.instructions).unwrap_or(64);
+            for k in [
+                1,
+                2,
+                3,
+                5,
+                retired / 3,
+                retired / 2,
+                retired.saturating_sub(1),
+            ] {
+                let k = k.max(1);
+                let tw = exec_far_engine(&far, ExecEngine::TreeWalk, a, b, false, k);
+                let bc = exec_far_engine(&far, ExecEngine::Bytecode, a, b, false, k);
+                assert_engines_identical(&format!("case {case} fuel={k}"), tw, bc);
+            }
+        }
+    }
+}
+
+/// Both engines resolve the same source position into
+/// [`Trap::UnguardedAccess`]: the tree-walker reads it off the instruction
+/// it is visiting, the bytecode engine maps the faulting pc back through
+/// its side table — the messages must match byte for byte.
+#[test]
+fn engines_report_identical_sanitizer_trap_positions() {
+    use trackfm_suite::sim::{ExecEngine, Trap};
+
+    let mut m = Module::new("bad");
+    let id = m.declare_function(
+        "main",
+        Signature::new(vec![Type::I64, Type::I64, Type::Ptr], Some(Type::I64)),
+    );
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(id));
+        let p = b.param(2);
+        let v = b.load(Type::I64, p); // unguarded heap deref
+        b.ret(Some(v));
+    }
+    m.verify().unwrap();
+    let tw = exec_far_engine(&m, ExecEngine::TreeWalk, 0, 0, true, u64::MAX);
+    let bc = exec_far_engine(&m, ExecEngine::Bytecode, 0, 0, true, u64::MAX);
+    let (t1, t2) = (tw.0.unwrap_err(), bc.0.unwrap_err());
+    assert!(matches!(t1, Trap::UnguardedAccess { .. }), "{t1:?}");
+    assert_eq!(t1, t2, "trap payloads (incl. positions) must match");
+    assert_eq!(t1.to_string(), t2.to_string());
+    assert!(
+        t1.to_string().contains("bb0 %3"),
+        "position should point at the load: {t1}"
+    );
+}
+
 /// The static trip-count analysis must agree with the interpreter:
 /// for random (init, bound, step) counted loops, `static_trip_count`
 /// equals the number of body executions observed by the profiler.
